@@ -1,0 +1,51 @@
+//! Criterion micro-benchmarks of the HVX model: program execution
+//! throughput and VLIW scheduling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use halide_ir::{Buffer2D, Env};
+use hvx::{ExecCtx, HvxExpr, Op, SlotBudget};
+use lanes::ElemType;
+
+fn conv_program() -> hvx::Program {
+    // vtmpy row + fused narrow: a realistic loop body.
+    let vt = HvxExpr::op(
+        Op::Vtmpy { elem: ElemType::U8, w0: 1, w1: 2 },
+        vec![
+            HvxExpr::vmem("in", ElemType::U8, -1, 0),
+            HvxExpr::vmem("in", ElemType::U8, 127, 0),
+        ],
+    );
+    let out = HvxExpr::op(
+        Op::VasrNarrow { elem: ElemType::U16, shift: 2, round: true, sat: true, out: ElemType::U8 },
+        vec![HvxExpr::op(Op::Hi, vec![vt.clone()]), HvxExpr::op(Op::Lo, vec![vt])],
+    );
+    out.to_program()
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let p = conv_program();
+    let mut env = Env::new();
+    env.insert(Buffer2D::from_fn("in", ElemType::U8, 512, 1, |x, _| (x % 256) as i64));
+    let ctx = ExecCtx { env: &env, x0: 128, y0: 0, lanes: 128, vec_bytes: 128 };
+    c.bench_function("simulator/execute_tile_128", |b| {
+        b.iter(|| p.run_ctx(&ctx).expect("runs"))
+    });
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    let p = conv_program();
+    c.bench_function("simulator/schedule", |b| {
+        b.iter(|| p.schedule(128, 128, SlotBudget::hvx()))
+    });
+}
+
+fn bench_baseline_select(c: &mut Criterion) {
+    let sobel = workloads::by_name("sobel").expect("registered");
+    let e = sobel.exprs[0].clone();
+    c.bench_function("baseline/select_sobel", |b| {
+        b.iter(|| halide_opt::select(&e, halide_opt::BaselineOptions::hvx()).expect("selects"))
+    });
+}
+
+criterion_group!(benches, bench_execute, bench_schedule, bench_baseline_select);
+criterion_main!(benches);

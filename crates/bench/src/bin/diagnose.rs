@@ -1,0 +1,41 @@
+//! Development aid: explain why a benchmark expression fails to compile,
+//! stage by stage.
+//!
+//! ```sh
+//! cargo run --release -p rake-bench --bin diagnose -- camera_pipe
+//! ```
+
+use rake_bench::{bench_verifier, RunConfig};
+use synth::{lift_expr, lower_expr, LoweringOptions, SynthStats};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "camera_pipe".into());
+    let w = workloads::by_name(&name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let cfg = RunConfig::quick(&w);
+    let verifier = bench_verifier(cfg);
+    for (i, e) in w.exprs.iter().enumerate() {
+        println!("== {name}[{i}] ==\n{e}\n");
+        let mut stats = SynthStats::default();
+        match lift_expr(e, &verifier, &mut stats) {
+            None => {
+                println!("LIFT FAILED after {} queries", stats.lifting_queries);
+                continue;
+            }
+            Some((u, _)) => {
+                println!("lifted ({} queries, {:?}):\n{u}", stats.lifting_queries, stats.lifting_time);
+                let opts = LoweringOptions {
+                    lanes: cfg.lanes,
+                    vec_bytes: cfg.vec_bytes,
+                    ..LoweringOptions::default()
+                };
+                match lower_expr(&u, &verifier, opts, &mut stats) {
+                    None => println!(
+                        "LOWER FAILED after {} sketch + {} swizzle queries",
+                        stats.sketching_queries, stats.swizzling_queries
+                    ),
+                    Some(h) => println!("lowered:\n{h}"),
+                }
+            }
+        }
+    }
+}

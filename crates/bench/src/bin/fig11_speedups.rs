@@ -1,0 +1,41 @@
+//! Figure 11: speedup of Rake over the baseline Halide-style backend for
+//! every benchmark, plus the suite average.
+//!
+//! ```sh
+//! cargo run --release -p rake-bench --bin fig11_speedups [--quick]
+//! ```
+
+use rake_bench::{run_workload, RunConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("Figure 11 — Rake speedup over the baseline HVX backend");
+    println!("(cycles from the bundled VLIW simulator; shape, not absolute numbers)\n");
+    println!(
+        "{:<16} {:>6} {:>6} {:>10} {:>10} {:>8}  bar",
+        "benchmark", "exprs", "opt", "baseline", "rake", "speedup"
+    );
+    let mut speedups = Vec::new();
+    for w in workloads::all() {
+        let cfg = if quick { RunConfig::quick(&w) } else { RunConfig::full(&w) };
+        let run = run_workload(&w, cfg);
+        assert!(run.all_verified(), "{}: output mismatch", run.name);
+        let s = run.speedup();
+        speedups.push(s);
+        let bar = "#".repeat((s * 20.0).round() as usize);
+        println!(
+            "{:<16} {:>6} {:>6} {:>10} {:>10} {:>7.2}x  {bar}",
+            run.name,
+            run.exprs.len(),
+            run.optimized(),
+            run.baseline_cycles,
+            run.rake_cycles,
+            s
+        );
+    }
+    let geomean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+    let max = speedups.iter().cloned().fold(f64::MIN, f64::max);
+    let min = speedups.iter().cloned().fold(f64::MAX, f64::min);
+    println!("\ngeomean speedup: {geomean:.3}x   max: {max:.2}x   min: {min:.2}x");
+    println!("paper reports:   avg +18%, max 2.1x (gaussian3x3), min 0.93x (depthwise_conv)");
+}

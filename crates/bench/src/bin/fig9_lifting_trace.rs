@@ -1,0 +1,27 @@
+//! Figure 9: the bottom-up lifting trace for a Sobel row — each accepted
+//! step with the rule (update / replace / extend) that produced it.
+//!
+//! ```sh
+//! cargo run --release -p rake-bench --bin fig9_lifting_trace
+//! ```
+
+use halide_ir::builder::*;
+use lanes::ElemType::{U16, U8};
+use rake::{Rake, Target};
+
+fn main() {
+    let tap = |dx| widen(load("input", U8, dx, -1));
+    let expr = add(add(tap(-1), mul(tap(0), bcast(2, U16))), tap(1));
+
+    let compiled = Rake::new(Target::hvx()).compile(&expr).expect("sobel row compiles");
+    println!("Figure 9 — lifting `{expr}` to the Uber-Instruction IR\n");
+    println!("{:<5} {:<8} halide -> lifted", "step", "rule");
+    for (i, s) in compiled.trace.steps.iter().enumerate() {
+        println!("{:<5} {:<8} {}", i + 1, format!("{:?}", s.rule), s.halide);
+        for line in s.lifted.lines() {
+            println!("      {line}");
+        }
+    }
+    println!("\nfinal lifted expression:\n{}", compiled.uber);
+    println!("lifting queries: {}", compiled.stats.lifting_queries);
+}

@@ -1,0 +1,84 @@
+//! The full evaluation driver: runs every benchmark once at full width and
+//! writes both the Figure 11 speedup table and the Table 1 compilation
+//! statistics (the data EXPERIMENTS.md records). Prints progress per
+//! benchmark; pass `--quick` for the scaled-down configuration.
+//!
+//! ```sh
+//! cargo run --release -p rake-bench --bin full_eval
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rake_bench::{run_workload, RunConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut fig11 = String::new();
+    let mut table1 = String::new();
+    let _ = writeln!(
+        fig11,
+        "{:<16} {:>6} {:>6} {:>10} {:>10} {:>8}",
+        "benchmark", "exprs", "opt", "baseline", "rake", "speedup"
+    );
+    let _ = writeln!(
+        table1,
+        "{:<16} {:>5} {:>8} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9}",
+        "benchmark", "opt", "lift-q", "sketch-q", "swizl-q", "lift-s", "sketch-s", "swizl-s",
+        "total-s"
+    );
+    let mut speedups = Vec::new();
+    for w in workloads::all() {
+        let cfg = if quick { RunConfig::quick(&w) } else { RunConfig::full(&w) };
+        let t0 = Instant::now();
+        let run = run_workload(&w, cfg);
+        let ok = run.all_verified();
+        eprintln!(
+            "{:<16} speedup {:>5.2}x  {}  ({:.1?})",
+            run.name,
+            run.speedup(),
+            if ok { "verified" } else { "MISMATCH" },
+            t0.elapsed()
+        );
+        assert!(ok, "{}: output mismatch against the reference interpreter", run.name);
+        speedups.push(run.speedup());
+        let _ = writeln!(
+            fig11,
+            "{:<16} {:>6} {:>6} {:>10} {:>10} {:>7.2}x",
+            run.name,
+            run.exprs.len(),
+            run.optimized(),
+            run.baseline_cycles,
+            run.rake_cycles,
+            run.speedup()
+        );
+        let s = &run.stats;
+        let _ = writeln!(
+            table1,
+            "{:<16} {:>5} {:>8} {:>8} {:>8} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+            run.name,
+            run.optimized(),
+            s.lifting_queries,
+            s.sketching_queries,
+            s.swizzling_queries,
+            s.lifting_time.as_secs_f64(),
+            s.sketching_time.as_secs_f64(),
+            s.swizzling_time.as_secs_f64(),
+            s.total_time().as_secs_f64()
+        );
+    }
+    let geomean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+    let _ = writeln!(
+        fig11,
+        "\ngeomean {:.3}x  max {:.2}x  min {:.2}x",
+        geomean,
+        speedups.iter().cloned().fold(f64::MIN, f64::max),
+        speedups.iter().cloned().fold(f64::MAX, f64::min)
+    );
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/fig11.txt", &fig11).expect("write fig11");
+    std::fs::write("results/table1.txt", &table1).expect("write table1");
+    println!("== Figure 11 ==\n{fig11}");
+    println!("== Table 1 ==\n{table1}");
+    println!("written to results/fig11.txt and results/table1.txt");
+}

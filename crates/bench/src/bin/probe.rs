@@ -1,0 +1,26 @@
+//! Quick smoke run: every benchmark through both code generators at scaled
+//! width, reporting compile/verify status. Development aid; the paper
+//! figures come from the `fig*`/`table*` binaries.
+
+use rake_bench::{run_workload, RunConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("{:<16} {:>5} {:>5} {:>9} {:>9} {:>8}  ok?", "benchmark", "exprs", "opt", "base", "rake", "speedup");
+    for w in workloads::all() {
+        let cfg = if quick { RunConfig::quick(&w) } else { RunConfig::full(&w) };
+        let start = std::time::Instant::now();
+        let run = run_workload(&w, cfg);
+        println!(
+            "{:<16} {:>5} {:>5} {:>9} {:>9} {:>7.2}x  {} ({:.1?})",
+            run.name,
+            run.exprs.len(),
+            run.optimized(),
+            run.baseline_cycles,
+            run.rake_cycles,
+            run.speedup(),
+            if run.all_verified() { "verified" } else { "MISMATCH" },
+            start.elapsed(),
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! `rakec` — compile a Halide IR S-expression to HVX with Rake.
+//!
+//! Input is the canonical S-expression form of `halide_ir::sexpr` (what
+//! the paper's Halide plugin emits for the synthesizer), read from a file
+//! argument or stdin.
+//!
+//! ```sh
+//! echo '(add (cast u16 (load in u8 -1 0))
+//!            (add (mul (cast u16 (load in u8 0 0)) (bcast 2 u16))
+//!                 (cast u16 (load in u8 1 0))))' \
+//!   | cargo run --release -p rake-bench --bin rakec -- --trace
+//! ```
+//!
+//! Options:
+//!   --lanes N     vectorization width (default 128)
+//!   --baseline    also print the pattern-matching baseline's code
+//!   --trace       print the lifting trace (Figure 9 style)
+//!   --uber        print the lifted Uber-Instruction IR
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+use hvx::SlotBudget;
+use rake::{Rake, Target};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut lanes = 128usize;
+    let mut baseline = false;
+    let mut trace = false;
+    let mut uber = false;
+    let mut path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--lanes" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => lanes = v,
+                None => return usage("--lanes needs an integer"),
+            },
+            "--baseline" => baseline = true,
+            "--trace" => trace = true,
+            "--uber" => uber = true,
+            "--help" | "-h" => return usage(""),
+            other if !other.starts_with('-') => path = Some(other.to_owned()),
+            other => return usage(&format!("unknown option `{other}`")),
+        }
+    }
+
+    let input = match path {
+        Some(p) => match std::fs::read_to_string(&p) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("rakec: cannot read {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            let mut s = String::new();
+            if std::io::stdin().read_to_string(&mut s).is_err() {
+                eprintln!("rakec: cannot read stdin");
+                return ExitCode::FAILURE;
+            }
+            s
+        }
+    };
+
+    let expr = match halide_ir::sexpr::parse(input.trim()) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("rakec: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("; input: {expr}");
+
+    let vec_bytes = 128.min(lanes.max(8));
+    let target = Target { lanes, vec_bytes };
+    match Rake::new(target).compile(&expr) {
+        Ok(c) => {
+            if trace {
+                println!("\n; lifting trace");
+                for (i, s) in c.trace.steps.iter().enumerate() {
+                    println!(";  step {:>2} [{:?}] {}", i + 1, s.rule, s.halide);
+                }
+            }
+            if uber {
+                println!("\n; uber-instruction IR\n{}", c.uber);
+                println!("; canonical: {}", uber_ir::sexpr::to_sexpr(&c.uber));
+            }
+            println!("\n; rake codegen (cost: latency {}, loads {})",
+                c.program.latency_sum(lanes, vec_bytes),
+                c.program.load_units(lanes, vec_bytes));
+            print!("{}", c.program);
+            println!(
+                "; cycles/tile: {}",
+                c.program.schedule(lanes, vec_bytes, SlotBudget::hvx()).cycles
+            );
+            if baseline {
+                match halide_opt::select(
+                    &expr,
+                    halide_opt::BaselineOptions { lanes, vec_bytes },
+                ) {
+                    Ok(b) => {
+                        let p = b.to_program();
+                        println!("\n; baseline codegen");
+                        print!("{p}");
+                        println!(
+                            "; cycles/tile: {}",
+                            p.schedule(lanes, vec_bytes, SlotBudget::hvx()).cycles
+                        );
+                    }
+                    Err(e) => println!("\n; baseline: {e}"),
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("rakec: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("rakec: {err}");
+    }
+    eprintln!("usage: rakec [--lanes N] [--baseline] [--trace] [--uber] [file.sexp]");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

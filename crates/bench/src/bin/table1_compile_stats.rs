@@ -1,0 +1,55 @@
+//! Table 1: compilation statistics per benchmark — expressions optimized,
+//! query counts and wall-clock time per synthesis stage.
+//!
+//! ```sh
+//! cargo run --release -p rake-bench --bin table1_compile_stats [--quick]
+//! ```
+
+use rake_bench::{run_workload, RunConfig};
+use synth::SynthStats;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("Table 1 — compilation statistics (this reproduction's scale)\n");
+    println!(
+        "{:<16} {:>5} {:>8} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9}",
+        "benchmark",
+        "exprs",
+        "lift-q",
+        "sketch-q",
+        "swizl-q",
+        "lift-s",
+        "sketch-s",
+        "swizl-s",
+        "total-s"
+    );
+    let mut suite = SynthStats::default();
+    let mut total_exprs = 0;
+    for w in workloads::all() {
+        let cfg = if quick { RunConfig::quick(&w) } else { RunConfig::full(&w) };
+        let run = run_workload(&w, cfg);
+        let s = &run.stats;
+        suite.merge(s);
+        total_exprs += run.optimized();
+        println!(
+            "{:<16} {:>5} {:>8} {:>8} {:>8} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+            run.name,
+            run.optimized(),
+            s.lifting_queries,
+            s.sketching_queries,
+            s.swizzling_queries,
+            s.lifting_time.as_secs_f64(),
+            s.sketching_time.as_secs_f64(),
+            s.swizzling_time.as_secs_f64(),
+            s.total_time().as_secs_f64(),
+        );
+    }
+    println!(
+        "\nsuite: {total_exprs} expressions optimized; {} lifting, {} sketching, {} swizzling queries; {:.2}s total synthesis",
+        suite.lifting_queries,
+        suite.sketching_queries,
+        suite.swizzling_queries,
+        suite.total_time().as_secs_f64()
+    );
+    println!("paper scale: 450 expressions, ~62 min mean compile time per benchmark (Rosette/Z3).");
+}

@@ -1,0 +1,286 @@
+//! Expression analyses: traversal, the qualifying filter, and interval
+//! range analysis.
+//!
+//! The range analysis is what enables the paper's "semantic reasoning"
+//! optimizations (§7.1.2): e.g. replacing an unfused shift+cast with HVX's
+//! fused `vasr-rnd-sat` is only sound when the analysis proves the
+//! intermediate cannot exceed the narrow type's range, and using the
+//! unsigned-only `vmpyie` requires proving an operand non-negative.
+
+use std::collections::BTreeSet;
+
+use lanes::ElemType;
+
+use crate::expr::{BinOp, Expr, Load, ShiftDir};
+
+/// Number of AST nodes.
+pub fn node_count(e: &Expr) -> usize {
+    1 + e.children().iter().map(|c| node_count(c)).sum::<usize>()
+}
+
+/// Height of the AST (a leaf has depth 1).
+pub fn depth(e: &Expr) -> usize {
+    1 + e.children().iter().map(|c| depth(c)).max().unwrap_or(0)
+}
+
+/// Visit every node pre-order.
+pub fn visit(e: &Expr, f: &mut impl FnMut(&Expr)) {
+    f(e);
+    for c in e.children() {
+        visit(c, f);
+    }
+}
+
+/// All loads in the expression, in traversal order (duplicates preserved).
+pub fn loads(e: &Expr) -> Vec<Load> {
+    let mut out = Vec::new();
+    visit(e, &mut |n| {
+        if let Expr::Load(l) = n {
+            out.push(l.clone());
+        }
+    });
+    out
+}
+
+/// Names of all buffers read by the expression.
+pub fn buffers_used(e: &Expr) -> BTreeSet<String> {
+    loads(e).into_iter().map(|l| l.buffer).collect()
+}
+
+/// Whether Rake would attempt to optimize this expression. The paper (§7)
+/// skips scalar expressions and trivial vector expressions — single
+/// variables, non-strided loads and scalar broadcasts — leaving those to
+/// LLVM. We qualify an expression when it contains at least one compute
+/// node (binary, shift, or non-trivial cast chain).
+pub fn is_qualifying(e: &Expr) -> bool {
+    match e {
+        Expr::Load(_) | Expr::Broadcast(_) | Expr::BroadcastLoad(_) => false,
+        Expr::Cast(c) => is_qualifying(&c.arg),
+        Expr::Binary(_) | Expr::Shift(_) => true,
+    }
+}
+
+/// A closed integer interval `[lo, hi]` tracked in `i128` so intermediate
+/// bounds can never overflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Range {
+    /// Inclusive lower bound.
+    pub lo: i128,
+    /// Inclusive upper bound.
+    pub hi: i128,
+}
+
+impl Range {
+    /// The full canonical range of an element type.
+    pub fn of_type(ty: ElemType) -> Range {
+        Range { lo: ty.min_value() as i128, hi: ty.max_value() as i128 }
+    }
+
+    /// A single point.
+    pub fn point(v: i64) -> Range {
+        Range { lo: v as i128, hi: v as i128 }
+    }
+
+    /// Whether every value in the range is canonical for `ty`.
+    pub fn fits(&self, ty: ElemType) -> bool {
+        self.lo >= ty.min_value() as i128 && self.hi <= ty.max_value() as i128
+    }
+
+    /// Whether the range is entirely non-negative.
+    pub fn is_non_negative(&self) -> bool {
+        self.lo >= 0
+    }
+
+    fn add(self, o: Range) -> Range {
+        Range { lo: self.lo + o.lo, hi: self.hi + o.hi }
+    }
+
+    fn sub(self, o: Range) -> Range {
+        Range { lo: self.lo - o.hi, hi: self.hi - o.lo }
+    }
+
+    fn mul(self, o: Range) -> Range {
+        let products = [self.lo * o.lo, self.lo * o.hi, self.hi * o.lo, self.hi * o.hi];
+        Range {
+            lo: products.iter().copied().min().expect("non-empty"),
+            hi: products.iter().copied().max().expect("non-empty"),
+        }
+    }
+
+    fn min(self, o: Range) -> Range {
+        Range { lo: self.lo.min(o.lo), hi: self.hi.min(o.hi) }
+    }
+
+    fn max(self, o: Range) -> Range {
+        Range { lo: self.lo.max(o.lo), hi: self.hi.max(o.hi) }
+    }
+
+    fn absd(self, o: Range) -> Range {
+        // |a - b| over the rectangle.
+        let d = self.sub(o);
+        if d.lo >= 0 {
+            d
+        } else if d.hi <= 0 {
+            Range { lo: -d.hi, hi: -d.lo }
+        } else {
+            Range { lo: 0, hi: (-d.lo).max(d.hi) }
+        }
+    }
+}
+
+/// Interval range analysis. Loads take the full range of the buffer element
+/// type; wrap-around casts and overflowing arithmetic widen the result to
+/// the full type range (a sound over-approximation).
+pub fn value_range(e: &Expr) -> Range {
+    match e {
+        Expr::Load(l) => Range::of_type(l.ty),
+        Expr::Broadcast(b) => Range::point(b.value),
+        Expr::BroadcastLoad(b) => Range::of_type(b.ty),
+        Expr::Cast(c) => {
+            let r = value_range(&c.arg);
+            if c.saturating {
+                Range {
+                    lo: r.lo.clamp(c.to.min_value() as i128, c.to.max_value() as i128),
+                    hi: r.hi.clamp(c.to.min_value() as i128, c.to.max_value() as i128),
+                }
+            } else if r.fits(c.to) {
+                r
+            } else {
+                Range::of_type(c.to)
+            }
+        }
+        Expr::Binary(b) => {
+            let ty = e.ty();
+            let (lr, rr) = (value_range(&b.lhs), value_range(&b.rhs));
+            let raw = match b.op {
+                BinOp::Add => lr.add(rr),
+                BinOp::Sub => lr.sub(rr),
+                BinOp::Mul => lr.mul(rr),
+                BinOp::Min => lr.min(rr),
+                BinOp::Max => lr.max(rr),
+                BinOp::Absd => lr.absd(rr),
+            };
+            if raw.fits(ty) {
+                raw
+            } else {
+                Range::of_type(ty)
+            }
+        }
+        Expr::Shift(s) => {
+            let ty = e.ty();
+            let r = value_range(&s.arg);
+            let raw = match s.dir {
+                ShiftDir::Left => Range { lo: r.lo << s.amount, hi: r.hi << s.amount },
+                ShiftDir::Right => Range { lo: r.lo >> s.amount, hi: r.hi >> s.amount },
+            };
+            if raw.fits(ty) {
+                raw
+            } else {
+                Range::of_type(ty)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::{eval, Buffer2D, Env, EvalCtx};
+    use proptest::prelude::*;
+
+    #[test]
+    fn counting() {
+        let e = add(load("a", ElemType::U8, 0, 0), load("a", ElemType::U8, 1, 0));
+        assert_eq!(node_count(&e), 3);
+        assert_eq!(depth(&e), 2);
+        assert_eq!(loads(&e).len(), 2);
+        assert_eq!(buffers_used(&e).len(), 1);
+    }
+
+    #[test]
+    fn qualifying_filter() {
+        assert!(!is_qualifying(&load("a", ElemType::U8, 0, 0)));
+        assert!(!is_qualifying(&bcast(3, ElemType::U8)));
+        assert!(!is_qualifying(&widen(load("a", ElemType::U8, 0, 0))));
+        assert!(is_qualifying(&add(
+            load("a", ElemType::U8, 0, 0),
+            load("a", ElemType::U8, 1, 0)
+        )));
+        assert!(is_qualifying(&shl(load("a", ElemType::U8, 0, 0), 1)));
+    }
+
+    #[test]
+    fn range_of_widened_conv_row() {
+        // u16(u8) + u16(u8)*2 + u16(u8): bound is 255 * 4 = 1020, fits u16.
+        let t = || widen(load("in", ElemType::U8, 0, 0));
+        let e = add(add(t(), mul(t(), bcast(2, ElemType::U16))), t());
+        let r = value_range(&e);
+        assert_eq!(r, Range { lo: 0, hi: 1020 });
+        assert!(r.is_non_negative());
+        assert!(r.fits(ElemType::U16));
+        assert!(!r.fits(ElemType::U8));
+    }
+
+    #[test]
+    fn range_of_rounding_shift() {
+        // (x + 8) >> 4 for x in [0, 1020]: [0, 64] — fits u8, so the fused
+        // saturating form is provably equivalent (the gaussian3x3 case).
+        let t = || widen(load("in", ElemType::U8, 0, 0));
+        let sum = add(add(t(), mul(t(), bcast(2, ElemType::U16))), t());
+        let e = shr(add(sum, bcast(8, ElemType::U16)), 4);
+        let r = value_range(&e);
+        assert_eq!(r, Range { lo: 0, hi: 64 });
+        assert!(r.fits(ElemType::U8));
+    }
+
+    #[test]
+    fn overflowing_arith_widens_to_type_range() {
+        let e = mul(load("a", ElemType::U8, 0, 0), load("a", ElemType::U8, 0, 0));
+        assert_eq!(value_range(&e), Range::of_type(ElemType::U8));
+    }
+
+    #[test]
+    fn absd_range() {
+        let e = absd(load("a", ElemType::U8, 0, 0), bcast(10, ElemType::U8));
+        let r = value_range(&e);
+        assert_eq!(r, Range { lo: 0, hi: 245 });
+    }
+
+    #[test]
+    fn saturating_cast_narrows_range() {
+        let e = sat_cast(
+            ElemType::U8,
+            sub(bcast(0, ElemType::I16), load("a", ElemType::I16, 0, 0)),
+        );
+        let r = value_range(&e);
+        assert!(r.fits(ElemType::U8));
+    }
+
+    proptest! {
+        /// The computed range is a sound over-approximation: evaluating on
+        /// random buffers never escapes it.
+        #[test]
+        fn prop_range_is_sound(seed in 0u64..500) {
+            let t = |dx: i32| widen(load("in", ElemType::U8, dx, 0));
+            let e = shr(
+                add(
+                    add(add(t(-1), mul(t(0), bcast(2, ElemType::U16))), t(1)),
+                    bcast(8, ElemType::U16),
+                ),
+                4,
+            );
+            let r = value_range(&e);
+            let mut env = Env::new();
+            env.insert(Buffer2D::from_fn("in", ElemType::U8, 16, 1, |x, _| {
+                // Cheap deterministic pseudo-random fill.
+                let v = seed.wrapping_mul(6364136223846793005).wrapping_add(x as u64);
+                (v >> 33) as i64
+            }));
+            let out = eval(&e, &EvalCtx { env: &env, x0: 4, y0: 0, lanes: 8 }).unwrap();
+            for lane in out.iter() {
+                prop_assert!(lane as i128 >= r.lo && lane as i128 <= r.hi);
+            }
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Ergonomic smart constructors for [`Expr`].
+//!
+//! These are the functions workload definitions are written with. They
+//! validate types eagerly and panic on ill-typed construction — a workload
+//! with a type error is a programming bug, not a runtime condition. The
+//! fallible equivalents live on [`Expr`] itself.
+
+use lanes::ElemType;
+
+use crate::expr::{BinOp, BroadcastLoad, Cast, Expr, Load, ShiftDir};
+
+/// A vector load `buffer(x + dx, y + dy)`.
+pub fn load(buffer: &str, ty: ElemType, dx: i32, dy: i32) -> Expr {
+    Expr::Load(Load { buffer: buffer.to_owned(), dx, dy, ty })
+}
+
+/// A scalar broadcast `xN(value)`.
+///
+/// # Panics
+///
+/// Panics if `value` is not canonical for `ty`.
+pub fn bcast(value: i64, ty: ElemType) -> Expr {
+    Expr::broadcast(value, ty).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// A broadcast of a runtime scalar `buffer(x, y + dy)` (absolute column,
+/// tile-relative row) — the shape unrolled reduction loops produce.
+pub fn bcast_load(buffer: &str, x: i32, dy: i32, ty: ElemType) -> Expr {
+    Expr::BroadcastLoad(BroadcastLoad { buffer: buffer.to_owned(), x, dy, ty })
+}
+
+/// Truncating lane-wise cast.
+pub fn cast(to: ElemType, arg: Expr) -> Expr {
+    Expr::Cast(Cast { to, saturating: false, arg: Box::new(arg) })
+}
+
+/// Saturating lane-wise cast.
+pub fn sat_cast(to: ElemType, arg: Expr) -> Expr {
+    Expr::Cast(Cast { to, saturating: true, arg: Box::new(arg) })
+}
+
+/// Cast to the double-width type of the same signedness (`uint16x128(...)`
+/// over a `u8` operand in the paper's notation).
+///
+/// # Panics
+///
+/// Panics if the operand type has no wider equivalent (is already 32-bit).
+pub fn widen(arg: Expr) -> Expr {
+    let to = arg
+        .ty()
+        .widened()
+        .unwrap_or_else(|| panic!("cannot widen {} further", arg.ty()));
+    cast(to, arg)
+}
+
+fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+    Expr::binary(op, a, b).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Wrapping addition.
+///
+/// # Panics
+///
+/// Panics on operand type mismatch (as do all binary builders below).
+pub fn add(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Add, a, b)
+}
+
+/// Wrapping subtraction.
+pub fn sub(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Sub, a, b)
+}
+
+/// Wrapping multiplication.
+pub fn mul(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Mul, a, b)
+}
+
+/// Lane minimum.
+pub fn min(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Min, a, b)
+}
+
+/// Lane maximum.
+pub fn max(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Max, a, b)
+}
+
+/// Absolute difference.
+pub fn absd(a: Expr, b: Expr) -> Expr {
+    bin(BinOp::Absd, a, b)
+}
+
+/// `clamp(x, lo, hi)` = `max(min(x, hi), lo)`, with broadcast bounds of the
+/// operand's type.
+///
+/// # Panics
+///
+/// Panics if the bounds do not fit the operand type.
+pub fn clamp(x: Expr, lo: i64, hi: i64) -> Expr {
+    let ty = x.ty();
+    max(min(x, bcast(hi, ty)), bcast(lo, ty))
+}
+
+/// Wrapping shift left by an immediate.
+///
+/// # Panics
+///
+/// Panics if `amount >= ty.bits()`.
+pub fn shl(arg: Expr, amount: u32) -> Expr {
+    Expr::shift(ShiftDir::Left, arg, amount).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Shift right by an immediate (arithmetic for signed types).
+///
+/// # Panics
+///
+/// Panics if `amount >= ty.bits()`.
+pub fn shr(arg: Expr, amount: u32) -> Expr {
+    Expr::shift(ShiftDir::Right, arg, amount).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Rounding shift right written out as Halide lowers it:
+/// `(x + (1 << (amount-1))) >> amount`.
+///
+/// # Panics
+///
+/// Panics if `amount` is 0 or out of range for the operand type.
+pub fn rounding_shr(arg: Expr, amount: u32) -> Expr {
+    assert!(amount > 0, "rounding shift needs a positive amount");
+    let ty = arg.ty();
+    shr(add(arg, bcast(1i64 << (amount - 1), ty)), amount)
+}
+
+/// `(a + b + 1) >> 1` — averaging with round-up, the halving-add pattern
+/// pooling layers produce.
+pub fn avg_round(a: Expr, b: Expr) -> Expr {
+    let ty = a.ty();
+    shr(add(add(a, b), bcast(1, ty)), 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    #[test]
+    fn widen_picks_double_width() {
+        let e = widen(load("in", ElemType::U8, 0, 0));
+        assert_eq!(e.ty(), ElemType::U16);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot widen")]
+    fn widen_rejects_32bit() {
+        let _ = widen(load("in", ElemType::I32, 0, 0));
+    }
+
+    #[test]
+    fn clamp_structure() {
+        let c = clamp(load("in", ElemType::I16, 0, 0), 0, 255);
+        assert_eq!(c.ty(), ElemType::I16);
+        assert!(matches!(c, Expr::Binary(ref b) if b.op == BinOp::Max));
+    }
+
+    #[test]
+    fn rounding_shr_expands() {
+        let e = rounding_shr(load("in", ElemType::I16, 0, 0), 4);
+        // (x + 8) >> 4
+        match &e {
+            Expr::Shift(s) => {
+                assert_eq!(s.amount, 4);
+                match &*s.arg {
+                    Expr::Binary(b) => {
+                        assert_eq!(b.op, BinOp::Add);
+                        assert!(matches!(&*b.rhs, Expr::Broadcast(bc) if bc.value == 8));
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched types")]
+    fn add_panics_on_mismatch() {
+        let _ = add(load("a", ElemType::U8, 0, 0), load("b", ElemType::U16, 0, 0));
+    }
+}

@@ -1,0 +1,190 @@
+//! A Halide-style pipeline front-end.
+//!
+//! The paper's input programs are written as Halide *algorithms* — pure
+//! functions defined at every `(x, y)` in terms of other functions — plus
+//! a *schedule* that picks the tile shape and vectorization (Figure 2).
+//! Rake intercepts compilation after lowering, when every intermediate
+//! function has been inlined into one vector expression per innermost loop
+//! body (Figure 3).
+//!
+//! This module reproduces that front-end shape: [`Func`]s compose at
+//! coordinate offsets, and [`Pipeline::lower`] performs the
+//! inline-everything lowering that produces the tile expression handed to
+//! instruction selection.
+//!
+//! # Example — the Sobel x-gradient of Figure 2
+//!
+//! ```
+//! use halide_ir::pipeline::{Func, Pipeline};
+//! use halide_ir::builder::{absd, add, bcast, mul, widen};
+//! use lanes::ElemType;
+//!
+//! let input = Func::input("input", ElemType::U8);
+//! let in16 = Func::define({
+//!     let input = input.clone();
+//!     move |x, y| widen(input.at(x, y))
+//! });
+//! let x_avg = Func::define({
+//!     let in16 = in16.clone();
+//!     move |x, y| add(
+//!         add(in16.at(x - 1, y), mul(in16.at(x, y), bcast(2, ElemType::U16))),
+//!         in16.at(x + 1, y),
+//!     )
+//! });
+//! let sobel_x = Func::define({
+//!     let x_avg = x_avg.clone();
+//!     move |x, y| absd(x_avg.at(x, y - 1), x_avg.at(x, y + 1))
+//! });
+//!
+//! let pipeline = Pipeline::new(sobel_x).vectorize(128);
+//! let expr = pipeline.lower();
+//! assert_eq!(expr.ty(), ElemType::U16);
+//! assert_eq!(halide_ir::analysis::loads(&expr).len(), 6);
+//! ```
+
+use std::rc::Rc;
+
+use lanes::ElemType;
+
+use crate::builder::load;
+use crate::expr::Expr;
+
+/// A pipeline stage: a pure function from coordinates to values, defined
+/// in terms of inputs and other stages. Cloning shares the definition.
+#[derive(Clone)]
+pub struct Func {
+    gen: Rc<dyn Fn(i32, i32) -> Expr>,
+}
+
+impl std::fmt::Debug for Func {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Func(at(0,0) = {})", self.at(0, 0))
+    }
+}
+
+impl Func {
+    /// An input image parameter: `input(x, y)` is a buffer load.
+    pub fn input(name: &str, ty: ElemType) -> Func {
+        let name = name.to_owned();
+        Func { gen: Rc::new(move |dx, dy| load(&name, ty, dx, dy)) }
+    }
+
+    /// Define a stage by its value at `(x, y)`. References to other stages
+    /// are made through [`Func::at`], which composes offsets — exactly
+    /// Halide's default inlining.
+    pub fn define(f: impl Fn(i32, i32) -> Expr + 'static) -> Func {
+        Func { gen: Rc::new(f) }
+    }
+
+    /// The stage's value at offset `(dx, dy)` from the loop coordinates,
+    /// fully inlined.
+    pub fn at(&self, dx: i32, dy: i32) -> Expr {
+        (self.gen)(dx, dy)
+    }
+}
+
+/// An output stage plus its schedule (the part of Figure 2 below the
+/// "The schedule" comment that instruction selection cares about: the
+/// vectorization width).
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    output: Func,
+    lanes: usize,
+}
+
+impl Pipeline {
+    /// A pipeline computing `output`, vectorized 128 wide by default.
+    pub fn new(output: Func) -> Pipeline {
+        Pipeline { output, lanes: 128 }
+    }
+
+    /// Set the vectorization width (`.vectorize(xi)` with a split factor).
+    pub fn vectorize(mut self, lanes: usize) -> Pipeline {
+        self.lanes = lanes;
+        self
+    }
+
+    /// The vectorization width.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Lower to the innermost loop body's vector expression (Figure 3):
+    /// every stage inlined, evaluated at the loop origin.
+    pub fn lower(&self) -> Expr {
+        self.output.at(0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+    use crate::builder::*;
+    use crate::{eval, Buffer2D, Env, EvalCtx};
+
+    fn blur_pipeline() -> Pipeline {
+        let input = Func::input("img", ElemType::U8);
+        let wide = Func::define({
+            let input = input.clone();
+            move |x, y| widen(input.at(x, y))
+        });
+        let hsum = Func::define({
+            let wide = wide.clone();
+            move |x, y| add(add(wide.at(x - 1, y), wide.at(x, y)), wide.at(x + 1, y))
+        });
+        let out = Func::define({
+            let hsum = hsum.clone();
+            move |x, y| {
+                cast(
+                    ElemType::U8,
+                    shr(
+                        add(
+                            add(add(hsum.at(x, y - 1), hsum.at(x, y)), hsum.at(x, y + 1)),
+                            bcast(4, ElemType::U16),
+                        ),
+                        3,
+                    ),
+                )
+            }
+        });
+        Pipeline::new(out).vectorize(8)
+    }
+
+    #[test]
+    fn inlining_composes_offsets() {
+        let p = blur_pipeline();
+        let e = p.lower();
+        // 3x3 stencil: 9 loads after full inlining.
+        assert_eq!(analysis::loads(&e).len(), 9);
+        let dxs: Vec<i32> = analysis::loads(&e).iter().map(|l| l.dx).collect();
+        assert!(dxs.contains(&-1) && dxs.contains(&1));
+        assert_eq!(e.ty(), ElemType::U8);
+    }
+
+    #[test]
+    fn lowered_expression_evaluates() {
+        let p = blur_pipeline();
+        let e = p.lower();
+        let mut env = Env::new();
+        env.insert(Buffer2D::filled("img", ElemType::U8, 32, 8, 8));
+        let v = eval(&e, &EvalCtx { env: &env, x0: 4, y0: 2, lanes: p.lanes() }).unwrap();
+        // Uniform input: blur of 8s = (72 + 4) >> 3 = 9... with 9 taps of 8:
+        // sum = 72; (72 + 4) >> 3 = 9.
+        assert_eq!(v.as_slice(), &[9; 8]);
+    }
+
+    #[test]
+    fn stages_are_shareable() {
+        let input = Func::input("img", ElemType::U8);
+        let a = Func::define({
+            let input = input.clone();
+            move |x, y| max(input.at(x, y), input.at(x + 1, y))
+        });
+        // Two consumers of the same stage.
+        let e1 = a.at(0, 0);
+        let e2 = a.at(0, 1);
+        assert_ne!(e1, e2);
+        assert_eq!(analysis::loads(&e1).len(), 2);
+    }
+}

@@ -1,0 +1,373 @@
+//! S-expression serialization of the IR.
+//!
+//! The paper's implementation exchanges expressions between the Halide
+//! compiler (C++) and the synthesis engine (Racket) as S-expressions, with
+//! a parser on each side (§6). This module is that bridge: a compact
+//! canonical S-expression form with a printer and a parser that round-trip
+//! exactly.
+//!
+//! # Grammar
+//!
+//! ```text
+//! expr := (load <buffer> <ty> <dx> <dy>)
+//!       | (bcast <value> <ty>)
+//!       | (bcast-load <buffer> <x> <dy> <ty>)
+//!       | (cast <ty> expr) | (sat-cast <ty> expr)
+//!       | (add expr expr) | (sub expr expr) | (mul expr expr)
+//!       | (min expr expr) | (max expr expr) | (absd expr expr)
+//!       | (shl expr <n>)  | (shr expr <n>)
+//! ty   := u8 | i8 | u16 | i16 | u32 | i32
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use halide_ir::builder::*;
+//! use halide_ir::sexpr;
+//! use lanes::ElemType;
+//!
+//! let e = add(widen(load("in", ElemType::U8, -1, 0)), bcast(2, ElemType::U16));
+//! let text = sexpr::to_sexpr(&e);
+//! assert_eq!(text, "(add (cast u16 (load in u8 -1 0)) (bcast 2 u16))");
+//! assert_eq!(sexpr::parse(&text)?, e);
+//! # Ok::<(), halide_ir::sexpr::ParseError>(())
+//! ```
+
+use std::fmt;
+
+use lanes::ElemType;
+
+use crate::expr::{BinOp, BroadcastLoad, Cast, Expr, Load, ShiftDir};
+
+/// Serialize an expression to its canonical S-expression.
+pub fn to_sexpr(e: &Expr) -> String {
+    let mut s = String::new();
+    write_sexpr(e, &mut s);
+    s
+}
+
+fn write_sexpr(e: &Expr, out: &mut String) {
+    use std::fmt::Write;
+    match e {
+        Expr::Load(l) => {
+            let _ = write!(out, "(load {} {} {} {})", l.buffer, l.ty, l.dx, l.dy);
+        }
+        Expr::Broadcast(b) => {
+            let _ = write!(out, "(bcast {} {})", b.value, b.ty);
+        }
+        Expr::BroadcastLoad(b) => {
+            let _ = write!(out, "(bcast-load {} {} {} {})", b.buffer, b.x, b.dy, b.ty);
+        }
+        Expr::Cast(c) => {
+            let head = if c.saturating { "sat-cast" } else { "cast" };
+            let _ = write!(out, "({head} {} ", c.to);
+            write_sexpr(&c.arg, out);
+            out.push(')');
+        }
+        Expr::Binary(b) => {
+            let head = match b.op {
+                BinOp::Add => "add",
+                BinOp::Sub => "sub",
+                BinOp::Mul => "mul",
+                BinOp::Min => "min",
+                BinOp::Max => "max",
+                BinOp::Absd => "absd",
+            };
+            let _ = write!(out, "({head} ");
+            write_sexpr(&b.lhs, out);
+            out.push(' ');
+            write_sexpr(&b.rhs, out);
+            out.push(')');
+        }
+        Expr::Shift(s) => {
+            let head = match s.dir {
+                ShiftDir::Left => "shl",
+                ShiftDir::Right => "shr",
+            };
+            let _ = write!(out, "({head} ");
+            write_sexpr(&s.arg, out);
+            let _ = write!(out, " {})", s.amount);
+        }
+    }
+}
+
+/// A parse failure, with the byte offset where it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Open,
+    Close,
+    Atom(String),
+}
+
+fn tokenize(input: &str) -> Result<Vec<(usize, Token)>, ParseError> {
+    let mut tokens = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' => {
+                tokens.push((i, Token::Open));
+                i += 1;
+            }
+            b')' => {
+                tokens.push((i, Token::Close));
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            _ => {
+                let start = i;
+                while i < bytes.len()
+                    && !bytes[i].is_ascii_whitespace()
+                    && bytes[i] != b'('
+                    && bytes[i] != b')'
+                {
+                    i += 1;
+                }
+                tokens.push((start, Token::Atom(input[start..i].to_owned())));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<(usize, Token)>,
+    pos: usize,
+    len: usize,
+}
+
+impl Parser {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        let offset = self.tokens.get(self.pos).map(|(o, _)| *o).unwrap_or(self.len);
+        Err(ParseError { offset, message: message.into() })
+    }
+
+    fn next(&mut self) -> Result<&(usize, Token), ParseError> {
+        let pos = self.pos;
+        if pos >= self.tokens.len() {
+            return Err(ParseError { offset: self.len, message: "unexpected end of input".into() });
+        }
+        self.pos += 1;
+        Ok(&self.tokens[pos])
+    }
+
+    fn expect_open(&mut self) -> Result<(), ParseError> {
+        match self.next()? {
+            (_, Token::Open) => Ok(()),
+            (o, t) => Err(ParseError { offset: *o, message: format!("expected `(`, got {t:?}") }),
+        }
+    }
+
+    fn expect_close(&mut self) -> Result<(), ParseError> {
+        match self.next()? {
+            (_, Token::Close) => Ok(()),
+            (o, t) => Err(ParseError { offset: *o, message: format!("expected `)`, got {t:?}") }),
+        }
+    }
+
+    fn atom(&mut self) -> Result<(usize, String), ParseError> {
+        match self.next()? {
+            (o, Token::Atom(a)) => Ok((*o, a.clone())),
+            (o, t) => Err(ParseError { offset: *o, message: format!("expected atom, got {t:?}") }),
+        }
+    }
+
+    fn ty(&mut self) -> Result<ElemType, ParseError> {
+        let (o, a) = self.atom()?;
+        ElemType::ALL
+            .into_iter()
+            .find(|t| t.name() == a)
+            .ok_or(ParseError { offset: o, message: format!("unknown element type `{a}`") })
+    }
+
+    fn int(&mut self) -> Result<i64, ParseError> {
+        let (o, a) = self.atom()?;
+        a.parse::<i64>()
+            .map_err(|_| ParseError { offset: o, message: format!("expected integer, got `{a}`") })
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.expect_open()?;
+        let (head_off, head) = self.atom()?;
+        let e = match head.as_str() {
+            "load" => {
+                let (_, buffer) = self.atom()?;
+                let ty = self.ty()?;
+                let dx = self.int()? as i32;
+                let dy = self.int()? as i32;
+                Expr::Load(Load { buffer, dx, dy, ty })
+            }
+            "bcast" => {
+                let value = self.int()?;
+                let ty = self.ty()?;
+                Expr::broadcast(value, ty).map_err(|e| ParseError {
+                    offset: head_off,
+                    message: e.to_string(),
+                })?
+            }
+            "bcast-load" => {
+                let (_, buffer) = self.atom()?;
+                let x = self.int()? as i32;
+                let dy = self.int()? as i32;
+                let ty = self.ty()?;
+                Expr::BroadcastLoad(BroadcastLoad { buffer, x, dy, ty })
+            }
+            "cast" | "sat-cast" => {
+                let to = self.ty()?;
+                let arg = self.expr()?;
+                Expr::Cast(Cast { to, saturating: head == "sat-cast", arg: Box::new(arg) })
+            }
+            "add" | "sub" | "mul" | "min" | "max" | "absd" => {
+                let op = match head.as_str() {
+                    "add" => BinOp::Add,
+                    "sub" => BinOp::Sub,
+                    "mul" => BinOp::Mul,
+                    "min" => BinOp::Min,
+                    "max" => BinOp::Max,
+                    _ => BinOp::Absd,
+                };
+                let lhs = self.expr()?;
+                let rhs = self.expr()?;
+                Expr::binary(op, lhs, rhs).map_err(|e| ParseError {
+                    offset: head_off,
+                    message: e.to_string(),
+                })?
+            }
+            "shl" | "shr" => {
+                let arg = self.expr()?;
+                let amount = self.int()? as u32;
+                let dir = if head == "shl" { ShiftDir::Left } else { ShiftDir::Right };
+                Expr::shift(dir, arg, amount).map_err(|e| ParseError {
+                    offset: head_off,
+                    message: e.to_string(),
+                })?
+            }
+            other => {
+                return Err(ParseError {
+                    offset: head_off,
+                    message: format!("unknown operator `{other}`"),
+                })
+            }
+        };
+        self.expect_close()?;
+        Ok(e)
+    }
+}
+
+/// Parse a canonical S-expression into an IR expression.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with a byte offset on malformed input, unknown
+/// operators/types, or type-rule violations.
+pub fn parse(input: &str) -> Result<Expr, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0, len: input.len() };
+    let e = p.expr()?;
+    if p.pos != p.tokens.len() {
+        return p.err("trailing input after expression");
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    fn roundtrip(e: &Expr) {
+        let text = to_sexpr(e);
+        let back = parse(&text).unwrap_or_else(|err| panic!("reparse `{text}`: {err}"));
+        assert_eq!(&back, e, "round-trip failed for `{text}`");
+    }
+
+    #[test]
+    fn roundtrips_all_node_kinds() {
+        roundtrip(&load("in", ElemType::U8, -3, 2));
+        roundtrip(&bcast(-5, ElemType::I16));
+        roundtrip(&bcast_load("w", 4, -1, ElemType::U16));
+        roundtrip(&cast(ElemType::U16, load("in", ElemType::U8, 0, 0)));
+        roundtrip(&sat_cast(ElemType::U8, load("in", ElemType::I16, 0, 0)));
+        roundtrip(&shl(load("in", ElemType::U16, 0, 0), 3));
+        roundtrip(&shr(load("in", ElemType::I32, 0, 0), 7));
+        for op in ["add", "sub", "mul", "min", "max", "absd"] {
+            let a = load("a", ElemType::I16, 0, 0);
+            let b = load("b", ElemType::I16, 1, 0);
+            let e = match op {
+                "add" => add(a, b),
+                "sub" => sub(a, b),
+                "mul" => mul(a, b),
+                "min" => min(a, b),
+                "max" => max(a, b),
+                _ => absd(a, b),
+            };
+            roundtrip(&e);
+        }
+    }
+
+    #[test]
+    fn roundtrips_workloads() {
+        for w in [
+            crate::builder::add(
+                widen(load("in", ElemType::U8, -1, 0)),
+                mul(widen(load("in", ElemType::U8, 0, 0)), bcast(2, ElemType::U16)),
+            ),
+            sat_cast(
+                ElemType::U8,
+                shr(
+                    crate::builder::add(
+                        absd(load("a", ElemType::U16, 0, 0), load("b", ElemType::U16, 0, 0)),
+                        bcast(8, ElemType::U16),
+                    ),
+                    4,
+                ),
+            ),
+        ] {
+            roundtrip(&w);
+        }
+    }
+
+    #[test]
+    fn reports_errors_with_offsets() {
+        let err = parse("(frobnicate 1 2)").unwrap_err();
+        assert!(err.message.contains("unknown operator"));
+        assert_eq!(err.offset, 1);
+
+        let err = parse("(load in u9 0 0)").unwrap_err();
+        assert!(err.message.contains("unknown element type"));
+
+        let err = parse("(add (load a u8 0 0) (load b u16 0 0))").unwrap_err();
+        assert!(err.message.contains("mismatched types"));
+
+        let err = parse("(add (load a u8 0 0)").unwrap_err();
+        assert!(err.message.contains("unexpected end of input"));
+
+        let err = parse("(bcast 300 u8)").unwrap_err();
+        assert!(err.message.contains("does not fit"));
+
+        let err = parse("(load a u8 0 0) garbage").unwrap_err();
+        assert!(err.message.contains("trailing input"));
+    }
+
+    #[test]
+    fn whitespace_is_insignificant() {
+        let e = parse("  ( add\n(load in u8 0 0)\t(load in u8 1 0) ) ").unwrap();
+        assert_eq!(e.ty(), ElemType::U8);
+    }
+}

@@ -1,0 +1,239 @@
+//! Vector registers and values as raw bytes.
+
+use std::fmt;
+
+use lanes::{ElemType, Vector};
+
+/// A vector register: raw little-endian bytes. Instructions interpret the
+/// bytes by element type, which is what makes interleave/deinterleave
+/// effects observable.
+///
+/// The byte length is not fixed: benchmarks run 128-byte (1024-bit)
+/// registers, synthesis-time verification runs narrow ones. Operations
+/// require their operands to agree in length.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct VecReg {
+    bytes: Vec<u8>,
+}
+
+impl VecReg {
+    /// A register from raw bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is empty or of odd length (every element type is
+    /// at least evenly sized, and pairs must split evenly).
+    pub fn new(bytes: Vec<u8>) -> VecReg {
+        assert!(!bytes.is_empty() && bytes.len().is_multiple_of(2), "register length must be even");
+        VecReg { bytes }
+    }
+
+    /// A zero-filled register of `len` bytes.
+    pub fn zeros(len: usize) -> VecReg {
+        VecReg::new(vec![0; len])
+    }
+
+    /// Pack typed lanes into a register.
+    pub fn from_lanes(v: &Vector) -> VecReg {
+        VecReg::new(v.to_le_bytes())
+    }
+
+    /// Interpret the register as lanes of `elem`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the byte length is not a multiple of the element size.
+    pub fn typed_lanes(&self, elem: ElemType) -> Vector {
+        Vector::from_le_bytes(elem, &self.bytes)
+    }
+
+    /// Number of lanes when viewed as `elem`.
+    pub fn lanes(&self, elem: ElemType) -> usize {
+        self.bytes.len() / elem.bytes()
+    }
+
+    /// Raw bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Byte length.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Registers are never empty; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Rotate bytes right by `n` (byte 0 becomes byte `len - n`).
+    pub fn rotate_bytes(&self, n: usize) -> VecReg {
+        let len = self.bytes.len();
+        let n = n % len;
+        let mut out = Vec::with_capacity(len);
+        out.extend_from_slice(&self.bytes[n..]);
+        out.extend_from_slice(&self.bytes[..n]);
+        VecReg::new(out)
+    }
+}
+
+impl fmt::Debug for VecReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VecReg[{}B]{:02x?}", self.bytes.len(), &self.bytes)
+    }
+}
+
+/// A value flowing through an HVX expression: a single register or a
+/// register pair.
+///
+/// A pair's *natural* typed content is `lo` lanes followed by `hi` lanes
+/// (its memory order when stored). Widening instructions instead produce
+/// pairs in *deinterleaved* layout — even result lanes in `lo`, odd in `hi`
+/// — and it takes an explicit [`crate::Op::VshuffPair`] to restore natural
+/// order. That asymmetry is the data-movement cost §5.1 of the paper is
+/// about.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// A single register.
+    Vec(VecReg),
+    /// A register pair (`lo`, `hi`).
+    Pair(VecReg, VecReg),
+}
+
+impl Value {
+    /// The single register, if this is not a pair.
+    pub fn as_vec(&self) -> Option<&VecReg> {
+        match self {
+            Value::Vec(r) => Some(r),
+            Value::Pair(..) => None,
+        }
+    }
+
+    /// The `(lo, hi)` registers, if this is a pair.
+    pub fn as_pair(&self) -> Option<(&VecReg, &VecReg)> {
+        match self {
+            Value::Vec(_) => None,
+            Value::Pair(lo, hi) => Some((lo, hi)),
+        }
+    }
+
+    /// Whether the value is a pair.
+    pub fn is_pair(&self) -> bool {
+        matches!(self, Value::Pair(..))
+    }
+
+    /// Total byte length.
+    pub fn len(&self) -> usize {
+        match self {
+            Value::Vec(r) => r.len(),
+            Value::Pair(lo, hi) => lo.len() + hi.len(),
+        }
+    }
+
+    /// Values are never empty; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Natural-order typed lanes: a vector's lanes, or a pair's `lo` lanes
+    /// followed by `hi` lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the byte length is not a multiple of the element size.
+    pub fn typed_lanes(&self, elem: ElemType) -> Vector {
+        match self {
+            Value::Vec(r) => r.typed_lanes(elem),
+            Value::Pair(lo, hi) => lo.typed_lanes(elem).concat(&hi.typed_lanes(elem)),
+        }
+    }
+
+    /// Build a value of `total_bytes` from typed lanes, splitting into a
+    /// pair when the data exceeds `reg_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data is larger than a pair of `reg_bytes` registers.
+    pub fn from_lanes(v: &Vector, reg_bytes: usize) -> Value {
+        let bytes = v.to_le_bytes();
+        if bytes.len() <= reg_bytes {
+            Value::Vec(VecReg::new(bytes))
+        } else {
+            assert!(
+                bytes.len() <= 2 * reg_bytes,
+                "value of {} bytes exceeds a register pair",
+                bytes.len()
+            );
+            let half = bytes.len() / 2;
+            Value::Pair(VecReg::new(bytes[..half].to_vec()), VecReg::new(bytes[half..].to_vec()))
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Vec(r) => write!(f, "Vec({r:?})"),
+            Value::Pair(lo, hi) => write!(f, "Pair(lo: {lo:?}, hi: {hi:?})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_lanes() {
+        let v = Vector::new(ElemType::I16, vec![-1, 2, -3, 4]);
+        let r = VecReg::from_lanes(&v);
+        assert_eq!(r.len(), 8);
+        assert_eq!(r.typed_lanes(ElemType::I16), v);
+        assert_eq!(r.lanes(ElemType::I16), 4);
+        assert_eq!(r.lanes(ElemType::U8), 8);
+    }
+
+    #[test]
+    fn reinterpretation_is_byte_level() {
+        let v = Vector::new(ElemType::U16, vec![0x0201, 0x0403]);
+        let r = VecReg::from_lanes(&v);
+        assert_eq!(r.typed_lanes(ElemType::U8).as_slice(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn rotate() {
+        let r = VecReg::new(vec![0, 1, 2, 3]);
+        assert_eq!(r.rotate_bytes(1).as_bytes(), &[1, 2, 3, 0]);
+        assert_eq!(r.rotate_bytes(4).as_bytes(), &[0, 1, 2, 3]);
+        assert_eq!(r.rotate_bytes(6).as_bytes(), &[2, 3, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn odd_register_rejected() {
+        let _ = VecReg::new(vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn pair_natural_order() {
+        let lo = VecReg::from_lanes(&Vector::new(ElemType::U16, vec![1, 2]));
+        let hi = VecReg::from_lanes(&Vector::new(ElemType::U16, vec![3, 4]));
+        let v = Value::Pair(lo, hi);
+        assert_eq!(v.typed_lanes(ElemType::U16).as_slice(), &[1, 2, 3, 4]);
+        assert!(v.is_pair());
+        assert_eq!(v.len(), 8);
+    }
+
+    #[test]
+    fn from_lanes_splits_pairs() {
+        let v = Vector::from_fn(ElemType::U16, 8, |i| i as i64);
+        let val = Value::from_lanes(&v, 8); // 16 bytes of data, 8-byte regs
+        let (lo, hi) = val.as_pair().expect("should be a pair");
+        assert_eq!(lo.typed_lanes(ElemType::U16).as_slice(), &[0, 1, 2, 3]);
+        assert_eq!(hi.typed_lanes(ElemType::U16).as_slice(), &[4, 5, 6, 7]);
+
+        let small = Value::from_lanes(&Vector::from_fn(ElemType::U8, 8, |i| i as i64), 8);
+        assert!(!small.is_pair());
+    }
+}

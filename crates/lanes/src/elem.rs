@@ -1,0 +1,241 @@
+//! Element types of vector lanes.
+
+use std::fmt;
+
+/// A fixed-point lane element type, mirroring the integer types HVX and
+/// Halide operate on.
+///
+/// The type carries a width (8/16/32 bits) and a signedness. Canonical
+/// scalar values for a type are `i64`s inside [`ElemType::min_value`]..=
+/// [`ElemType::max_value`].
+///
+/// # Example
+///
+/// ```
+/// use lanes::ElemType;
+/// assert_eq!(ElemType::I16.wrap(0x1_0005), 5);
+/// assert_eq!(ElemType::U8.saturate(-3), 0);
+/// assert_eq!(ElemType::U8.widened(), Some(ElemType::U16));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ElemType {
+    /// Unsigned byte.
+    U8,
+    /// Signed byte.
+    I8,
+    /// Unsigned halfword.
+    U16,
+    /// Signed halfword.
+    I16,
+    /// Unsigned word.
+    U32,
+    /// Signed word.
+    I32,
+}
+
+impl ElemType {
+    /// All element types, in increasing width order.
+    pub const ALL: [ElemType; 6] = [
+        ElemType::U8,
+        ElemType::I8,
+        ElemType::U16,
+        ElemType::I16,
+        ElemType::U32,
+        ElemType::I32,
+    ];
+
+    /// Width of the type in bits (8, 16 or 32).
+    pub fn bits(self) -> u32 {
+        match self {
+            ElemType::U8 | ElemType::I8 => 8,
+            ElemType::U16 | ElemType::I16 => 16,
+            ElemType::U32 | ElemType::I32 => 32,
+        }
+    }
+
+    /// Width of the type in bytes (1, 2 or 4).
+    pub fn bytes(self) -> usize {
+        (self.bits() / 8) as usize
+    }
+
+    /// Whether the type is signed.
+    pub fn is_signed(self) -> bool {
+        matches!(self, ElemType::I8 | ElemType::I16 | ElemType::I32)
+    }
+
+    /// The minimum canonical value of the type.
+    pub fn min_value(self) -> i64 {
+        if self.is_signed() {
+            -(1i64 << (self.bits() - 1))
+        } else {
+            0
+        }
+    }
+
+    /// The maximum canonical value of the type.
+    pub fn max_value(self) -> i64 {
+        if self.is_signed() {
+            (1i64 << (self.bits() - 1)) - 1
+        } else {
+            (1i64 << self.bits()) - 1
+        }
+    }
+
+    /// Reduce an arbitrary `i64` to the canonical value with two's-complement
+    /// wrap-around semantics (what a truncating cast or overflowing
+    /// arithmetic produces in hardware).
+    pub fn wrap(self, v: i64) -> i64 {
+        let bits = self.bits();
+        let masked = (v as u64) & (u64::MAX >> (64 - bits));
+        if self.is_signed() && (masked >> (bits - 1)) & 1 == 1 {
+            (masked as i64) - (1i64 << bits)
+        } else {
+            masked as i64
+        }
+    }
+
+    /// Clamp an arbitrary `i64` to the canonical range (saturating cast).
+    pub fn saturate(self, v: i64) -> i64 {
+        v.clamp(self.min_value(), self.max_value())
+    }
+
+    /// Whether `v` is already a canonical value of this type.
+    pub fn contains(self, v: i64) -> bool {
+        (self.min_value()..=self.max_value()).contains(&v)
+    }
+
+    /// The same-signedness type of double the width, if one exists.
+    pub fn widened(self) -> Option<ElemType> {
+        match self {
+            ElemType::U8 => Some(ElemType::U16),
+            ElemType::I8 => Some(ElemType::I16),
+            ElemType::U16 => Some(ElemType::U32),
+            ElemType::I16 => Some(ElemType::I32),
+            ElemType::U32 | ElemType::I32 => None,
+        }
+    }
+
+    /// The same-signedness type of half the width, if one exists.
+    pub fn narrowed(self) -> Option<ElemType> {
+        match self {
+            ElemType::U8 | ElemType::I8 => None,
+            ElemType::U16 => Some(ElemType::U8),
+            ElemType::I16 => Some(ElemType::I8),
+            ElemType::U32 => Some(ElemType::U16),
+            ElemType::I32 => Some(ElemType::I16),
+        }
+    }
+
+    /// The signed type of the same width.
+    pub fn as_signed(self) -> ElemType {
+        match self {
+            ElemType::U8 | ElemType::I8 => ElemType::I8,
+            ElemType::U16 | ElemType::I16 => ElemType::I16,
+            ElemType::U32 | ElemType::I32 => ElemType::I32,
+        }
+    }
+
+    /// The unsigned type of the same width.
+    pub fn as_unsigned(self) -> ElemType {
+        match self {
+            ElemType::U8 | ElemType::I8 => ElemType::U8,
+            ElemType::U16 | ElemType::I16 => ElemType::U16,
+            ElemType::U32 | ElemType::I32 => ElemType::U32,
+        }
+    }
+
+    /// Reinterpret the low `bits()` bits of the canonical value of this type
+    /// as an unsigned integer (the raw bit pattern).
+    pub fn to_bits(self, v: i64) -> u64 {
+        (v as u64) & (u64::MAX >> (64 - self.bits()))
+    }
+
+    /// Short Halide-style name: `u8`, `i16`, ...
+    pub fn name(self) -> &'static str {
+        match self {
+            ElemType::U8 => "u8",
+            ElemType::I8 => "i8",
+            ElemType::U16 => "u16",
+            ElemType::I16 => "i16",
+            ElemType::U32 => "u32",
+            ElemType::I32 => "i32",
+        }
+    }
+}
+
+impl fmt::Display for ElemType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_and_ranges() {
+        assert_eq!(ElemType::U8.bits(), 8);
+        assert_eq!(ElemType::I32.bytes(), 4);
+        assert_eq!(ElemType::U8.min_value(), 0);
+        assert_eq!(ElemType::U8.max_value(), 255);
+        assert_eq!(ElemType::I16.min_value(), -32768);
+        assert_eq!(ElemType::I16.max_value(), 32767);
+        assert_eq!(ElemType::U32.max_value(), u32::MAX as i64);
+    }
+
+    #[test]
+    fn wrap_matches_primitive_casts() {
+        for v in [-300i64, -1, 0, 1, 127, 128, 255, 256, 70000, -70000] {
+            assert_eq!(ElemType::U8.wrap(v), (v as u8) as i64, "u8 wrap {v}");
+            assert_eq!(ElemType::I8.wrap(v), (v as i8) as i64, "i8 wrap {v}");
+            assert_eq!(ElemType::U16.wrap(v), (v as u16) as i64, "u16 wrap {v}");
+            assert_eq!(ElemType::I16.wrap(v), (v as i16) as i64, "i16 wrap {v}");
+            assert_eq!(ElemType::U32.wrap(v), (v as u32) as i64, "u32 wrap {v}");
+            assert_eq!(ElemType::I32.wrap(v), (v as i32) as i64, "i32 wrap {v}");
+        }
+    }
+
+    #[test]
+    fn saturate_clamps() {
+        assert_eq!(ElemType::U8.saturate(300), 255);
+        assert_eq!(ElemType::U8.saturate(-5), 0);
+        assert_eq!(ElemType::I16.saturate(40000), 32767);
+        assert_eq!(ElemType::I16.saturate(-40000), -32768);
+        assert_eq!(ElemType::I16.saturate(17), 17);
+    }
+
+    #[test]
+    fn widen_narrow_roundtrip() {
+        for t in ElemType::ALL {
+            if let Some(w) = t.widened() {
+                assert_eq!(w.narrowed(), Some(t));
+                assert_eq!(w.is_signed(), t.is_signed());
+                assert_eq!(w.bits(), t.bits() * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn sign_conversion() {
+        assert_eq!(ElemType::U16.as_signed(), ElemType::I16);
+        assert_eq!(ElemType::I16.as_unsigned(), ElemType::U16);
+        assert_eq!(ElemType::I8.as_signed(), ElemType::I8);
+    }
+
+    #[test]
+    fn bit_patterns() {
+        assert_eq!(ElemType::I8.to_bits(-1), 0xff);
+        assert_eq!(ElemType::I16.to_bits(-2), 0xfffe);
+        assert_eq!(ElemType::U8.to_bits(200), 200);
+    }
+
+    #[test]
+    fn contains_checks_range() {
+        assert!(ElemType::U8.contains(0));
+        assert!(ElemType::U8.contains(255));
+        assert!(!ElemType::U8.contains(256));
+        assert!(!ElemType::U8.contains(-1));
+        assert!(ElemType::I8.contains(-128));
+    }
+}

@@ -1,0 +1,239 @@
+//! Scalar fixed-point operations over canonical values.
+//!
+//! Every function takes canonical values of `ty` (see crate docs) and
+//! returns a canonical value of the result type (`ty` unless stated
+//! otherwise). Intermediate math is done in `i64`/`i128`, which cannot
+//! overflow for operands of at most 32 bits.
+
+use crate::ElemType;
+
+/// Wrapping addition.
+pub fn add_wrap(ty: ElemType, a: i64, b: i64) -> i64 {
+    ty.wrap(a + b)
+}
+
+/// Saturating addition.
+pub fn add_sat(ty: ElemType, a: i64, b: i64) -> i64 {
+    ty.saturate(a + b)
+}
+
+/// Wrapping subtraction.
+pub fn sub_wrap(ty: ElemType, a: i64, b: i64) -> i64 {
+    ty.wrap(a - b)
+}
+
+/// Saturating subtraction.
+pub fn sub_sat(ty: ElemType, a: i64, b: i64) -> i64 {
+    ty.saturate(a - b)
+}
+
+/// Wrapping multiplication. Products of 32-bit canonical values fit in
+/// `i64`, so plain multiplication followed by a wrap is exact.
+pub fn mul_wrap(ty: ElemType, a: i64, b: i64) -> i64 {
+    ty.wrap(((a as i128) * (b as i128)) as i64)
+}
+
+/// Lane minimum.
+pub fn min(_ty: ElemType, a: i64, b: i64) -> i64 {
+    a.min(b)
+}
+
+/// Lane maximum.
+pub fn max(_ty: ElemType, a: i64, b: i64) -> i64 {
+    a.max(b)
+}
+
+/// Absolute difference, `|a - b|`, computed without overflow. The result of
+/// `absd` on unsigned operands always fits the unsigned type; on signed
+/// operands HVX (and Halide's `absd`) return the unsigned distance wrapped
+/// into the same-width type, which is what we model.
+pub fn absd(ty: ElemType, a: i64, b: i64) -> i64 {
+    ty.wrap((a - b).abs())
+}
+
+/// Averaging with optional round-up: `(a + b + round) >> 1`, matching HVX
+/// `vavg`/`vavgrnd`. The result always fits the operand type.
+pub fn avg(_ty: ElemType, a: i64, b: i64, round: bool) -> i64 {
+    (a + b + i64::from(round)) >> 1
+}
+
+/// Negative averaging: `(a - b + round) >> 1`, matching HVX `vnavg`.
+pub fn navg(ty: ElemType, a: i64, b: i64, round: bool) -> i64 {
+    ty.wrap((a - b + i64::from(round)) >> 1)
+}
+
+/// Wrapping shift left by an immediate amount in `0..ty.bits()`.
+///
+/// # Panics
+///
+/// Panics if `n >= ty.bits()`: such shifts are malformed at IR construction
+/// time, not a runtime data condition.
+pub fn shl(ty: ElemType, a: i64, n: u32) -> i64 {
+    assert!(n < ty.bits(), "shift amount {n} out of range for {ty}");
+    ty.wrap(((a as i128) << n) as i64)
+}
+
+/// Logical shift right on the raw bit pattern.
+///
+/// # Panics
+///
+/// Panics if `n >= ty.bits()`.
+pub fn lsr(ty: ElemType, a: i64, n: u32) -> i64 {
+    assert!(n < ty.bits(), "shift amount {n} out of range for {ty}");
+    ty.wrap((ty.to_bits(a) >> n) as i64)
+}
+
+/// Arithmetic shift right on the canonical (sign-carrying) value.
+///
+/// # Panics
+///
+/// Panics if `n >= ty.bits()`.
+pub fn asr(ty: ElemType, a: i64, n: u32) -> i64 {
+    assert!(n < ty.bits(), "shift amount {n} out of range for {ty}");
+    a >> n
+}
+
+/// Rounding arithmetic shift right: `(a + (1 << (n-1))) >> n` for `n > 0`,
+/// identity for `n == 0`. Matches HVX round-before-shift semantics. The
+/// rounded intermediate is wrapped back into the operand type, as hardware
+/// does.
+///
+/// # Panics
+///
+/// Panics if `n >= ty.bits()`.
+pub fn asr_rnd(ty: ElemType, a: i64, n: u32) -> i64 {
+    assert!(n < ty.bits(), "shift amount {n} out of range for {ty}");
+    if n == 0 {
+        return a;
+    }
+    ty.wrap(a + (1i64 << (n - 1))) >> n
+}
+
+/// Fused rounding shift-right with saturating narrow to `out`: the pattern
+/// implemented by HVX instructions such as `vasrhubrndsat`. The rounding add
+/// is performed at full precision (no intermediate wrap), which is the
+/// behaviour of the fused hardware instruction — this is exactly why it can
+/// replace an unfused `(x + (1<<(n-1))) >> n` sequence only when the
+/// intermediate cannot overflow.
+pub fn asr_rnd_sat(_ty: ElemType, out: ElemType, a: i64, n: u32) -> i64 {
+    let rounded = if n == 0 { a } else { (a + (1i64 << (n - 1))) >> n };
+    out.saturate(rounded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn wrapping_add_overflows() {
+        assert_eq!(add_wrap(ElemType::U8, 200, 100), 44);
+        assert_eq!(add_wrap(ElemType::I16, 32767, 1), -32768);
+    }
+
+    #[test]
+    fn saturating_add_clamps() {
+        assert_eq!(add_sat(ElemType::U8, 200, 100), 255);
+        assert_eq!(add_sat(ElemType::I16, 32767, 1), 32767);
+        assert_eq!(add_sat(ElemType::I16, -32768, -1), -32768);
+    }
+
+    #[test]
+    fn mul_wrap_matches_primitive() {
+        assert_eq!(mul_wrap(ElemType::I16, 300, 300), (300i16.wrapping_mul(300)) as i64);
+        assert_eq!(mul_wrap(ElemType::U8, 16, 16), 0);
+        assert_eq!(
+            mul_wrap(ElemType::I32, i32::MIN as i64, -1),
+            (i32::MIN).wrapping_mul(-1) as i64
+        );
+    }
+
+    #[test]
+    fn absd_is_distance() {
+        assert_eq!(absd(ElemType::U16, 10, 300), 290);
+        assert_eq!(absd(ElemType::U16, 300, 10), 290);
+        assert_eq!(absd(ElemType::I16, -5, 5), 10);
+    }
+
+    #[test]
+    fn avg_rounding() {
+        assert_eq!(avg(ElemType::U8, 3, 4, false), 3);
+        assert_eq!(avg(ElemType::U8, 3, 4, true), 4);
+        assert_eq!(navg(ElemType::I8, 3, 8, false), -3);
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(shl(ElemType::U8, 0x81, 1), 0x02);
+        assert_eq!(lsr(ElemType::I8, -2, 1), 0x7f);
+        assert_eq!(asr(ElemType::I8, -2, 1), -1);
+        assert_eq!(asr_rnd(ElemType::I16, 7, 2), 2);
+        assert_eq!(asr_rnd(ElemType::I16, 6, 2), 2);
+        assert_eq!(asr_rnd(ElemType::I16, 5, 2), 1);
+        assert_eq!(asr_rnd(ElemType::I16, 100, 0), 100);
+    }
+
+    #[test]
+    fn fused_asr_rnd_sat() {
+        // (250 + 8) >> 4 = 16 as a u8: fits.
+        assert_eq!(asr_rnd_sat(ElemType::I16, ElemType::U8, 250, 4), 16);
+        // Large value saturates at 255.
+        assert_eq!(asr_rnd_sat(ElemType::I16, ElemType::U8, 30000, 4), 255);
+        // Negative saturates at 0 for unsigned output.
+        assert_eq!(asr_rnd_sat(ElemType::I16, ElemType::U8, -100, 4), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn shift_amount_validated() {
+        let _ = shl(ElemType::U8, 1, 8);
+    }
+
+    fn canonical(ty: ElemType) -> impl Strategy<Value = i64> {
+        ty.min_value()..=ty.max_value()
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_wrap_closed_u16(a in canonical(ElemType::U16), b in canonical(ElemType::U16)) {
+            let r = add_wrap(ElemType::U16, a, b);
+            prop_assert!(ElemType::U16.contains(r));
+            prop_assert_eq!(r, ((a as u16).wrapping_add(b as u16)) as i64);
+        }
+
+        #[test]
+        fn prop_add_sat_bounds_i16(a in canonical(ElemType::I16), b in canonical(ElemType::I16)) {
+            let r = add_sat(ElemType::I16, a, b);
+            prop_assert!(ElemType::I16.contains(r));
+            prop_assert_eq!(r, ((a as i16).saturating_add(b as i16)) as i64);
+        }
+
+        #[test]
+        fn prop_absd_symmetric(a in canonical(ElemType::U8), b in canonical(ElemType::U8)) {
+            prop_assert_eq!(absd(ElemType::U8, a, b), absd(ElemType::U8, b, a));
+            prop_assert!(ElemType::U8.contains(absd(ElemType::U8, a, b)));
+        }
+
+        #[test]
+        fn prop_avg_within_operands(a in canonical(ElemType::U8), b in canonical(ElemType::U8)) {
+            let r = avg(ElemType::U8, a, b, false);
+            prop_assert!(r >= a.min(b) && r <= a.max(b));
+        }
+
+        #[test]
+        fn prop_asr_rnd_close_to_division(a in canonical(ElemType::I16), n in 1u32..8) {
+            // Rounding shift approximates division by 2^n to within 1/2 ulp,
+            // whenever the rounding add does not wrap.
+            if a + (1i64 << (n - 1)) <= ElemType::I16.max_value() {
+                let r = asr_rnd(ElemType::I16, a, n);
+                let exact = (a as f64) / f64::from(1u32 << n);
+                prop_assert!((r as f64 - exact).abs() <= 0.5 + 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_mul_wrap_closed(a in canonical(ElemType::I32), b in canonical(ElemType::I32)) {
+            prop_assert!(ElemType::I32.contains(mul_wrap(ElemType::I32, a, b)));
+        }
+    }
+}

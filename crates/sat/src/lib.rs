@@ -1,0 +1,37 @@
+//! A CDCL SAT solver.
+//!
+//! This crate is the search core under the bit-vector SMT layer that Rake's
+//! synthesis queries run on (the reproduction's stand-in for Z3, see
+//! DESIGN.md). It implements the standard conflict-driven clause-learning
+//! architecture:
+//!
+//! * two-watched-literal unit propagation,
+//! * first-UIP conflict analysis with clause minimization,
+//! * exponential VSIDS branching with phase saving,
+//! * Luby-sequence restarts,
+//! * activity-based learned-clause reduction.
+//!
+//! # Example
+//!
+//! ```
+//! use rake_sat::{Lit, SatResult, Solver};
+//!
+//! let mut s = Solver::new();
+//! let a = s.new_var();
+//! let b = s.new_var();
+//! s.add_clause([Lit::pos(a), Lit::pos(b)]);   // a ∨ b
+//! s.add_clause([Lit::neg(a)]);                // ¬a
+//! match s.solve() {
+//!     SatResult::Sat(model) => {
+//!         assert!(!model.value(a));
+//!         assert!(model.value(b));
+//!     }
+//!     SatResult::Unsat => unreachable!(),
+//! }
+//! ```
+
+mod solver;
+mod types;
+
+pub use solver::{SatResult, Solver, Stats};
+pub use types::{Lit, Model, Var};

@@ -1,0 +1,783 @@
+//! The CDCL engine.
+
+use crate::types::{Lit, Model, Var};
+
+/// Result of [`Solver::solve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable, with a witness assignment.
+    Sat(Model),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+impl SatResult {
+    /// Whether the result is [`SatResult::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+}
+
+/// Search statistics, for benchmarking and diagnostics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Conflicts encountered.
+    pub conflicts: u64,
+    /// Decisions made.
+    pub decisions: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learned clauses currently in the database.
+    pub learned: u64,
+}
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    activity: f64,
+    learned: bool,
+    deleted: bool,
+}
+
+/// Indexed binary max-heap over variable activities.
+#[derive(Debug, Default)]
+struct VarHeap {
+    heap: Vec<u32>,
+    pos: Vec<i32>, // -1 when absent
+}
+
+impl VarHeap {
+    fn grow(&mut self, n: usize) {
+        self.pos.resize(n, -1);
+    }
+
+    fn contains(&self, v: u32) -> bool {
+        self.pos[v as usize] >= 0
+    }
+
+    fn less(a: u32, b: u32, act: &[f64]) -> bool {
+        act[a as usize] > act[b as usize]
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        let v = self.heap[i];
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if Self::less(v, self.heap[parent], act) {
+                self.heap[i] = self.heap[parent];
+                self.pos[self.heap[i] as usize] = i as i32;
+                i = parent;
+            } else {
+                break;
+            }
+        }
+        self.heap[i] = v;
+        self.pos[v as usize] = i as i32;
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        let v = self.heap[i];
+        loop {
+            let left = 2 * i + 1;
+            if left >= self.heap.len() {
+                break;
+            }
+            let right = left + 1;
+            let child = if right < self.heap.len()
+                && Self::less(self.heap[right], self.heap[left], act)
+            {
+                right
+            } else {
+                left
+            };
+            if Self::less(self.heap[child], v, act) {
+                self.heap[i] = self.heap[child];
+                self.pos[self.heap[i] as usize] = i as i32;
+                i = child;
+            } else {
+                break;
+            }
+        }
+        self.heap[i] = v;
+        self.pos[v as usize] = i as i32;
+    }
+
+    fn insert(&mut self, v: u32, act: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, act);
+    }
+
+    fn update(&mut self, v: u32, act: &[f64]) {
+        if self.contains(v) {
+            self.sift_up(self.pos[v as usize] as usize, act);
+        }
+    }
+
+    fn pop(&mut self, act: &[f64]) -> Option<u32> {
+        let top = *self.heap.first()?;
+        self.pos[top as usize] = -1;
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0, act);
+        }
+        Some(top)
+    }
+}
+
+/// A CDCL SAT solver over clauses added with [`Solver::add_clause`].
+///
+/// The solver is not incremental: add all clauses, then call
+/// [`Solver::solve`]. See the crate docs for an example.
+#[derive(Debug)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<u32>>, // indexed by literal code
+    values: Vec<i8>,        // per var: 0 unassigned, 1 true, -1 false
+    level: Vec<u32>,
+    reason: Vec<Option<u32>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    phase: Vec<bool>,
+    heap: VarHeap,
+    seen: Vec<bool>,
+    unsat: bool,
+    stats: Stats,
+}
+
+impl Default for Solver {
+    fn default() -> Solver {
+        Solver::new()
+    }
+}
+
+const VAR_DECAY: f64 = 1.0 / 0.95;
+const CLA_DECAY: f64 = 1.0 / 0.999;
+const RESCALE: f64 = 1e100;
+
+impl Solver {
+    /// An empty solver.
+    pub fn new() -> Solver {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            values: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            phase: Vec::new(),
+            heap: VarHeap::default(),
+            seen: Vec::new(),
+            unsat: false,
+            stats: Stats::default(),
+        }
+    }
+
+    /// Allocate a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.values.len() as u32);
+        self.values.push(0);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap.grow(self.values.len());
+        self.heap.insert(v.0, &self.activity);
+        v
+    }
+
+    /// Number of variables allocated.
+    pub fn num_vars(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Search statistics so far.
+    pub fn stats(&self) -> Stats {
+        self.stats
+    }
+
+    fn lit_val(&self, l: Lit) -> i8 {
+        let v = self.values[l.var().index()];
+        if l.is_positive() {
+            v
+        } else {
+            -v
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Add a clause (a disjunction of literals).
+    ///
+    /// Duplicate literals are removed; tautological clauses are dropped.
+    /// Adding an empty clause (or a unit clause contradicting an earlier
+    /// one) makes the formula trivially unsatisfiable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal's variable was not created by this solver, or if
+    /// called after search has started a decision (clauses must be added at
+    /// decision level 0).
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        assert_eq!(self.decision_level(), 0, "clauses must be added at level 0");
+        if self.unsat {
+            return;
+        }
+        let mut lits: Vec<Lit> = lits.into_iter().collect();
+        for l in &lits {
+            assert!(l.var().index() < self.num_vars(), "unknown variable {}", l.var());
+        }
+        lits.sort_unstable();
+        lits.dedup();
+        // Tautology or already-satisfied-at-level-0 check; drop false lits.
+        let mut i = 0;
+        while i < lits.len() {
+            if i + 1 < lits.len() && lits[i].var() == lits[i + 1].var() {
+                return; // l and !l: tautology
+            }
+            match self.lit_val(lits[i]) {
+                1 => return, // satisfied at level 0
+                -1 => {
+                    lits.remove(i);
+                }
+                _ => i += 1,
+            }
+        }
+        match lits.len() {
+            0 => self.unsat = true,
+            1 => {
+                self.enqueue(lits[0], None);
+                if self.propagate().is_some() {
+                    self.unsat = true;
+                }
+            }
+            _ => {
+                let cref = self.clauses.len() as u32;
+                self.watches[lits[0].code()].push(cref);
+                self.watches[lits[1].code()].push(cref);
+                self.clauses.push(Clause { lits, activity: 0.0, learned: false, deleted: false });
+            }
+        }
+    }
+
+    fn enqueue(&mut self, l: Lit, from: Option<u32>) {
+        debug_assert_eq!(self.lit_val(l), 0);
+        let v = l.var().index();
+        self.values[v] = if l.is_positive() { 1 } else { -1 };
+        self.level[v] = self.decision_level();
+        self.reason[v] = from;
+        self.trail.push(l);
+    }
+
+    /// Propagate all enqueued assignments; returns a conflicting clause ref
+    /// if one arises.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let false_lit = !p;
+            let mut ws = std::mem::take(&mut self.watches[false_lit.code()]);
+            let mut i = 0;
+            while i < ws.len() {
+                let cref = ws[i];
+                if self.clauses[cref as usize].deleted {
+                    ws.swap_remove(i);
+                    continue;
+                }
+                // Ensure the false literal is at position 1.
+                {
+                    let c = &mut self.clauses[cref as usize];
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                }
+                let first = self.clauses[cref as usize].lits[0];
+                if self.lit_val(first) == 1 {
+                    i += 1;
+                    continue;
+                }
+                // Look for a replacement watch.
+                let mut moved = false;
+                let len = self.clauses[cref as usize].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[cref as usize].lits[k];
+                    if self.lit_val(lk) != -1 {
+                        self.clauses[cref as usize].lits.swap(1, k);
+                        self.watches[lk.code()].push(cref);
+                        ws.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                if self.lit_val(first) == -1 {
+                    // Conflict: restore remaining watches.
+                    self.watches[false_lit.code()] = ws;
+                    return Some(cref);
+                }
+                // Unit.
+                self.enqueue(first, Some(cref));
+                i += 1;
+            }
+            self.watches[false_lit.code()] = ws;
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: usize) {
+        self.activity[v] += self.var_inc;
+        if self.activity[v] > RESCALE {
+            for a in &mut self.activity {
+                *a /= RESCALE;
+            }
+            self.var_inc /= RESCALE;
+        }
+        self.heap.update(v as u32, &self.activity);
+    }
+
+    fn bump_clause(&mut self, cref: u32) {
+        let c = &mut self.clauses[cref as usize];
+        if !c.learned {
+            return;
+        }
+        c.activity += self.cla_inc;
+        if c.activity > RESCALE {
+            for cl in self.clauses.iter_mut().filter(|cl| cl.learned) {
+                cl.activity /= RESCALE;
+            }
+            self.cla_inc /= RESCALE;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, mut confl: u32) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)];
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut idx = self.trail.len();
+        loop {
+            self.bump_clause(confl);
+            let lits = self.clauses[confl as usize].lits.clone();
+            let start = usize::from(p.is_some());
+            for &q in &lits[start..] {
+                let v = q.var().index();
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump_var(v);
+                    if self.level[v] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Next marked literal on the trail.
+            loop {
+                idx -= 1;
+                if self.seen[self.trail[idx].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[idx];
+            p = Some(pl);
+            self.seen[pl.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                break;
+            }
+            confl = self.reason[pl.var().index()].expect("non-decision must have a reason");
+        }
+        learnt[0] = !p.expect("found UIP");
+
+        // Clause minimization: drop literals implied by the rest.
+        let keep: Vec<bool> = learnt
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| i == 0 || !self.lit_redundant(l))
+            .collect();
+        let mut minimized = Vec::with_capacity(learnt.len());
+        for (i, &l) in learnt.iter().enumerate() {
+            if keep[i] {
+                minimized.push(l);
+            }
+        }
+        for &l in &minimized {
+            self.seen[l.var().index()] = false;
+        }
+        // `learnt[1..]` marks may linger on dropped literals; clear them.
+        for &l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+        let learnt = minimized;
+
+        // Backjump level: highest level among learnt[1..].
+        let backjump = learnt[1..]
+            .iter()
+            .map(|l| self.level[l.var().index()])
+            .max()
+            .unwrap_or(0);
+        (learnt, backjump)
+    }
+
+    /// A literal is redundant in the learned clause if its reason's other
+    /// literals are all already marked (basic self-subsumption test).
+    fn lit_redundant(&self, l: Lit) -> bool {
+        let v = l.var().index();
+        let Some(r) = self.reason[v] else { return false };
+        self.clauses[r as usize].lits[1..].iter().all(|q| {
+            let qv = q.var().index();
+            self.seen[qv] || self.level[qv] == 0
+        })
+    }
+
+    fn backtrack(&mut self, target: u32) {
+        while self.decision_level() > target {
+            let lim = self.trail_lim.pop().expect("level > 0");
+            while self.trail.len() > lim {
+                let l = self.trail.pop().expect("non-empty trail");
+                let v = l.var().index();
+                self.phase[v] = l.is_positive();
+                self.values[v] = 0;
+                self.reason[v] = None;
+                self.heap.insert(v as u32, &self.activity);
+            }
+        }
+        self.qhead = self.trail.len();
+    }
+
+    fn learn(&mut self, learnt: Vec<Lit>, backjump: u32) {
+        self.backtrack(backjump);
+        if learnt.len() == 1 {
+            self.enqueue(learnt[0], None);
+            return;
+        }
+        let mut lits = learnt;
+        // Watch the asserting literal and the highest-level other literal.
+        let mut max_i = 1;
+        for i in 2..lits.len() {
+            if self.level[lits[i].var().index()] > self.level[lits[max_i].var().index()] {
+                max_i = i;
+            }
+        }
+        lits.swap(1, max_i);
+        let cref = self.clauses.len() as u32;
+        self.watches[lits[0].code()].push(cref);
+        self.watches[lits[1].code()].push(cref);
+        let asserting = lits[0];
+        self.clauses.push(Clause { lits, activity: self.cla_inc, learned: true, deleted: false });
+        self.stats.learned += 1;
+        self.enqueue(asserting, Some(cref));
+    }
+
+    fn reduce_db(&mut self) {
+        let locked: Vec<u32> = self.reason.iter().flatten().copied().collect();
+        let mut learned: Vec<u32> = (0..self.clauses.len() as u32)
+            .filter(|&i| {
+                let c = &self.clauses[i as usize];
+                c.learned && !c.deleted && c.lits.len() > 2 && !locked.contains(&i)
+            })
+            .collect();
+        learned.sort_by(|&a, &b| {
+            self.clauses[a as usize]
+                .activity
+                .partial_cmp(&self.clauses[b as usize].activity)
+                .expect("activities are finite")
+        });
+        for &cref in &learned[..learned.len() / 2] {
+            let c = &mut self.clauses[cref as usize];
+            c.deleted = true;
+            self.stats.learned -= 1;
+            let (w0, w1) = (c.lits[0], c.lits[1]);
+            self.watches[w0.code()].retain(|&x| x != cref);
+            self.watches[w1.code()].retain(|&x| x != cref);
+        }
+    }
+
+    fn luby(i: u64) -> u64 {
+        // Luby sequence: 1 1 2 1 1 2 4 ...
+        let mut k = 1u32;
+        while (1u64 << k) < i + 2 {
+            k += 1;
+        }
+        let mut i = i;
+        let mut size = (1u64 << k) - 1;
+        while size != i + 1 {
+            size = (size - 1) / 2;
+            k -= 1;
+            i %= size;
+        }
+        1u64 << (k - 1)
+    }
+
+    /// Decide satisfiability of the accumulated clauses.
+    ///
+    /// Returns [`SatResult::Sat`] with a full model or [`SatResult::Unsat`].
+    /// May be called repeatedly; each call restarts the search (the learned
+    /// clauses are kept, so re-solving is cheap).
+    pub fn solve(&mut self) -> SatResult {
+        self.solve_limited(u64::MAX).expect("unlimited solve always decides")
+    }
+
+    /// Like [`Solver::solve`], but give up after `max_conflicts` conflicts,
+    /// returning `None` ("unknown"). Clients with an independent confidence
+    /// source (e.g. differential testing) use this to bound proof effort.
+    pub fn solve_limited(&mut self, max_conflicts: u64) -> Option<SatResult> {
+        if self.unsat {
+            return Some(SatResult::Unsat);
+        }
+        self.backtrack(0);
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return Some(SatResult::Unsat);
+        }
+        let mut restart_idx: u64 = 0;
+        let mut conflicts_until_restart = Self::luby(restart_idx) * 100;
+        let mut max_learned = 2000 + self.clauses.len() as u64 / 2;
+        let mut budget = max_conflicts;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                if budget == 0 {
+                    self.backtrack(0);
+                    return None;
+                }
+                budget -= 1;
+                if self.decision_level() == 0 {
+                    self.unsat = true;
+                    return Some(SatResult::Unsat);
+                }
+                let (learnt, backjump) = self.analyze(confl);
+                self.learn(learnt, backjump);
+                self.var_inc *= VAR_DECAY;
+                self.cla_inc *= CLA_DECAY;
+                conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
+                if self.stats.learned > max_learned {
+                    self.reduce_db();
+                    max_learned += max_learned / 2;
+                }
+            } else if conflicts_until_restart == 0 {
+                self.stats.restarts += 1;
+                restart_idx += 1;
+                conflicts_until_restart = Self::luby(restart_idx) * 100;
+                self.backtrack(0);
+            } else {
+                // Decide.
+                let mut decision = None;
+                while let Some(v) = self.heap.pop(&self.activity) {
+                    if self.values[v as usize] == 0 {
+                        decision = Some(v);
+                        break;
+                    }
+                }
+                let Some(v) = decision else {
+                    // All variables assigned: SAT.
+                    let values = self.values.iter().map(|&x| x == 1).collect();
+                    return Some(SatResult::Sat(Model { values }));
+                };
+                self.stats.decisions += 1;
+                self.trail_lim.push(self.trail.len());
+                let lit = Lit::with_polarity(Var(v), self.phase[v as usize]);
+                self.enqueue(lit, None);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(s: &mut Solver, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| Lit::pos(s.new_var())).collect()
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        s.add_clause([Lit::pos(v)]);
+        assert!(s.solve().is_sat());
+
+        let mut s = Solver::new();
+        let v = s.new_var();
+        s.add_clause([Lit::pos(v)]);
+        s.add_clause([Lit::neg(v)]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        s.add_clause([]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn tautologies_are_dropped() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        s.add_clause([Lit::pos(v), Lit::neg(v)]);
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn implication_chain() {
+        // x0 ∧ (x_i → x_{i+1}) forces all true.
+        let mut s = Solver::new();
+        let xs = lits(&mut s, 20);
+        s.add_clause([xs[0]]);
+        for w in xs.windows(2) {
+            s.add_clause([!w[0], w[1]]);
+        }
+        match s.solve() {
+            SatResult::Sat(m) => {
+                for &x in &xs {
+                    assert!(m.lit_value(x));
+                }
+            }
+            SatResult::Unsat => panic!("chain should be sat"),
+        }
+    }
+
+    fn pigeonhole(pigeons: usize, holes: usize) -> Solver {
+        // var (p, h) = p*holes + h: pigeon p in hole h.
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..pigeons * holes).map(|_| s.new_var()).collect();
+        let at = |p: usize, h: usize| Lit::pos(vars[p * holes + h]);
+        for p in 0..pigeons {
+            s.add_clause((0..holes).map(|h| at(p, h)));
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in p1 + 1..pigeons {
+                    s.add_clause([!at(p1, h), !at(p2, h)]);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn pigeonhole_unsat() {
+        assert_eq!(pigeonhole(4, 3).solve(), SatResult::Unsat);
+        assert_eq!(pigeonhole(6, 5).solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_sat_when_enough_holes() {
+        assert!(pigeonhole(4, 4).solve().is_sat());
+    }
+
+    #[test]
+    fn model_satisfies_all_clauses_random() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..30u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let nvars = 30;
+            let nclauses = 120;
+            let mut s = Solver::new();
+            let vars: Vec<Var> = (0..nvars).map(|_| s.new_var()).collect();
+            let mut clauses = Vec::new();
+            for _ in 0..nclauses {
+                let c: Vec<Lit> = (0..3)
+                    .map(|_| {
+                        Lit::with_polarity(vars[rng.gen_range(0..nvars)], rng.gen_bool(0.5))
+                    })
+                    .collect();
+                clauses.push(c.clone());
+                s.add_clause(c);
+            }
+            if let SatResult::Sat(m) = s.solve() {
+                for c in &clauses {
+                    // Skip tautologies the solver dropped; they are
+                    // satisfied under any assignment anyway.
+                    assert!(
+                        c.iter().any(|&l| m.lit_value(l)),
+                        "clause {c:?} unsatisfied (seed {seed})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_brute_force() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..60u64 {
+            let mut rng = StdRng::seed_from_u64(1000 + seed);
+            let nvars = 8usize;
+            let nclauses = rng.gen_range(10..40);
+            let mut s = Solver::new();
+            let vars: Vec<Var> = (0..nvars).map(|_| s.new_var()).collect();
+            let mut clauses: Vec<Vec<(usize, bool)>> = Vec::new();
+            for _ in 0..nclauses {
+                let c: Vec<(usize, bool)> = (0..rng.gen_range(1..4))
+                    .map(|_| (rng.gen_range(0..nvars), rng.gen_bool(0.5)))
+                    .collect();
+                s.add_clause(c.iter().map(|&(v, pos)| Lit::with_polarity(vars[v], pos)));
+                clauses.push(c);
+            }
+            let brute_sat = (0..1u32 << nvars).any(|assign| {
+                clauses.iter().all(|c| {
+                    c.iter().any(|&(v, pos)| ((assign >> v) & 1 == 1) == pos)
+                })
+            });
+            assert_eq!(s.solve().is_sat(), brute_sat, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn luby_prefix() {
+        let got: Vec<u64> = (0..15).map(Solver::luby).collect();
+        assert_eq!(got, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = pigeonhole(5, 4);
+        let _ = s.solve();
+        let st = s.stats();
+        assert!(st.conflicts > 0);
+        assert!(st.decisions > 0);
+        assert!(st.propagations > 0);
+    }
+
+    #[test]
+    fn resolve_is_stable() {
+        let mut s = pigeonhole(4, 4);
+        assert!(s.solve().is_sat());
+        assert!(s.solve().is_sat());
+    }
+}

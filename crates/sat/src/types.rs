@@ -1,0 +1,145 @@
+//! Variables, literals and models.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, indexed from 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// The variable's index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation, packed as `2*var + sign`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(pub(crate) u32);
+
+impl Lit {
+    /// The positive literal of `v`.
+    pub fn pos(v: Var) -> Lit {
+        Lit(v.0 << 1)
+    }
+
+    /// The negative literal of `v`.
+    pub fn neg(v: Var) -> Lit {
+        Lit((v.0 << 1) | 1)
+    }
+
+    /// A literal of `v` with the given polarity (`true` = positive).
+    pub fn with_polarity(v: Var, positive: bool) -> Lit {
+        if positive {
+            Lit::pos(v)
+        } else {
+            Lit::neg(v)
+        }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether the literal is positive.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    pub(crate) fn code(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "{}", self.var())
+        } else {
+            write!(f, "!{}", self.var())
+        }
+    }
+}
+
+/// A satisfying assignment returned by the solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Model {
+    pub(crate) values: Vec<bool>,
+}
+
+impl Model {
+    /// The value assigned to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` was not created by the solver that produced this model.
+    pub fn value(&self, v: Var) -> bool {
+        self.values[v.index()]
+    }
+
+    /// The truth value of a literal under the model.
+    pub fn lit_value(&self, l: Lit) -> bool {
+        self.value(l.var()) == l.is_positive()
+    }
+
+    /// Number of variables in the model.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the model covers zero variables.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_packing() {
+        let v = Var(3);
+        assert_eq!(Lit::pos(v).var(), v);
+        assert_eq!(Lit::neg(v).var(), v);
+        assert!(Lit::pos(v).is_positive());
+        assert!(!Lit::neg(v).is_positive());
+        assert_eq!(!Lit::pos(v), Lit::neg(v));
+        assert_eq!(!!Lit::pos(v), Lit::pos(v));
+        assert_eq!(Lit::with_polarity(v, true), Lit::pos(v));
+        assert_eq!(Lit::with_polarity(v, false), Lit::neg(v));
+    }
+
+    #[test]
+    fn model_lookup() {
+        let m = Model { values: vec![true, false] };
+        assert!(m.value(Var(0)));
+        assert!(!m.value(Var(1)));
+        assert!(m.lit_value(Lit::neg(Var(1))));
+        assert!(!m.lit_value(Lit::neg(Var(0))));
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Lit::pos(Var(2)).to_string(), "v2");
+        assert_eq!(Lit::neg(Var(2)).to_string(), "!v2");
+    }
+}

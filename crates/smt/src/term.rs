@@ -1,0 +1,517 @@
+//! Hash-consed bit-vector terms with constant folding.
+
+use std::collections::HashMap;
+
+/// A handle to a term in a [`Context`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub(crate) u32);
+
+/// Internal term node. Booleans are width-1 bit-vectors.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) enum Node {
+    Const { width: u32, value: u64 },
+    Var { width: u32, name: String },
+    Add(TermId, TermId),
+    Sub(TermId, TermId),
+    Mul(TermId, TermId),
+    And(TermId, TermId),
+    Or(TermId, TermId),
+    Xor(TermId, TermId),
+    Not(TermId),
+    /// Shift left by a constant amount.
+    Shl(TermId, u32),
+    /// Logical shift right by a constant amount.
+    Lshr(TermId, u32),
+    /// Arithmetic shift right by a constant amount.
+    Ashr(TermId, u32),
+    ZeroExt(TermId, u32),
+    SignExt(TermId, u32),
+    /// Bits `hi..=lo` (inclusive), LSB-indexed.
+    Extract(TermId, u32, u32),
+    /// `hi ++ lo` — `hi` occupies the most-significant bits.
+    Concat(TermId, TermId),
+    Eq(TermId, TermId),
+    Ult(TermId, TermId),
+    Slt(TermId, TermId),
+    /// `cond ? then : else`; `cond` has width 1.
+    Ite(TermId, TermId, TermId),
+}
+
+fn mask(width: u32) -> u64 {
+    if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+fn sext_val(v: u64, width: u32) -> i64 {
+    let shift = 64 - width;
+    ((v << shift) as i64) >> shift
+}
+
+/// A term-building context. Terms are immutable, hash-consed and
+/// constant-folded at construction.
+///
+/// # Panics
+///
+/// All constructors panic on width mismatches or out-of-range widths — a
+/// malformed query is a bug in the encoder, not a runtime condition.
+#[derive(Debug, Default)]
+pub struct Context {
+    pub(crate) nodes: Vec<Node>,
+    widths: Vec<u32>,
+    dedup: HashMap<Node, TermId>,
+}
+
+impl Context {
+    /// An empty context.
+    pub fn new() -> Context {
+        Context::default()
+    }
+
+    /// Number of distinct terms created.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no terms have been created.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The width in bits of a term.
+    pub fn width(&self, t: TermId) -> u32 {
+        self.widths[t.0 as usize]
+    }
+
+    pub(crate) fn node(&self, t: TermId) -> &Node {
+        &self.nodes[t.0 as usize]
+    }
+
+    fn intern(&mut self, node: Node, width: u32) -> TermId {
+        assert!((1..=64).contains(&width), "width {width} out of range");
+        if let Some(&id) = self.dedup.get(&node) {
+            return id;
+        }
+        let id = TermId(self.nodes.len() as u32);
+        self.nodes.push(node.clone());
+        self.widths.push(width);
+        self.dedup.insert(node, id);
+        id
+    }
+
+    fn const_of(&self, t: TermId) -> Option<u64> {
+        match self.node(t) {
+            Node::Const { value, .. } => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// A constant of the given width (value is masked).
+    pub fn constant(&mut self, value: u64, width: u32) -> TermId {
+        self.intern(Node::Const { width, value: value & mask(width) }, width)
+    }
+
+    /// A signed constant of the given width (two's-complement wrapped).
+    pub fn constant_signed(&mut self, value: i64, width: u32) -> TermId {
+        self.constant(value as u64, width)
+    }
+
+    /// The width-1 constant 1.
+    pub fn tt(&mut self) -> TermId {
+        self.constant(1, 1)
+    }
+
+    /// The width-1 constant 0.
+    pub fn ff(&mut self) -> TermId {
+        self.constant(0, 1)
+    }
+
+    /// A free variable. Variables are identified by name: asking twice for
+    /// the same `(name, width)` returns the same term.
+    pub fn var(&mut self, name: &str, width: u32) -> TermId {
+        self.intern(Node::Var { width, name: name.to_owned() }, width)
+    }
+
+    fn bin_width(&self, a: TermId, b: TermId, what: &str) -> u32 {
+        let (wa, wb) = (self.width(a), self.width(b));
+        assert_eq!(wa, wb, "{what}: operand widths {wa} and {wb} differ");
+        wa
+    }
+
+    /// Wrapping addition.
+    pub fn add(&mut self, a: TermId, b: TermId) -> TermId {
+        let w = self.bin_width(a, b, "add");
+        if let (Some(x), Some(y)) = (self.const_of(a), self.const_of(b)) {
+            return self.constant(x.wrapping_add(y), w);
+        }
+        self.intern(Node::Add(a, b), w)
+    }
+
+    /// Wrapping subtraction.
+    pub fn sub(&mut self, a: TermId, b: TermId) -> TermId {
+        let w = self.bin_width(a, b, "sub");
+        if let (Some(x), Some(y)) = (self.const_of(a), self.const_of(b)) {
+            return self.constant(x.wrapping_sub(y), w);
+        }
+        self.intern(Node::Sub(a, b), w)
+    }
+
+    /// Wrapping multiplication.
+    pub fn mul(&mut self, a: TermId, b: TermId) -> TermId {
+        let w = self.bin_width(a, b, "mul");
+        if let (Some(x), Some(y)) = (self.const_of(a), self.const_of(b)) {
+            return self.constant(x.wrapping_mul(y), w);
+        }
+        self.intern(Node::Mul(a, b), w)
+    }
+
+    /// Bitwise and.
+    pub fn and(&mut self, a: TermId, b: TermId) -> TermId {
+        let w = self.bin_width(a, b, "and");
+        if let (Some(x), Some(y)) = (self.const_of(a), self.const_of(b)) {
+            return self.constant(x & y, w);
+        }
+        self.intern(Node::And(a, b), w)
+    }
+
+    /// Bitwise or.
+    pub fn or(&mut self, a: TermId, b: TermId) -> TermId {
+        let w = self.bin_width(a, b, "or");
+        if let (Some(x), Some(y)) = (self.const_of(a), self.const_of(b)) {
+            return self.constant(x | y, w);
+        }
+        self.intern(Node::Or(a, b), w)
+    }
+
+    /// Bitwise xor.
+    pub fn xor(&mut self, a: TermId, b: TermId) -> TermId {
+        let w = self.bin_width(a, b, "xor");
+        if let (Some(x), Some(y)) = (self.const_of(a), self.const_of(b)) {
+            return self.constant(x ^ y, w);
+        }
+        self.intern(Node::Xor(a, b), w)
+    }
+
+    /// Bitwise not.
+    pub fn not(&mut self, a: TermId) -> TermId {
+        let w = self.width(a);
+        if let Some(x) = self.const_of(a) {
+            return self.constant(!x, w);
+        }
+        self.intern(Node::Not(a), w)
+    }
+
+    /// Shift left by a constant; `n` must be `< width`.
+    pub fn shl(&mut self, a: TermId, n: u32) -> TermId {
+        let w = self.width(a);
+        assert!(n < w, "shift amount {n} out of range for width {w}");
+        if n == 0 {
+            return a;
+        }
+        if let Some(x) = self.const_of(a) {
+            return self.constant(x << n, w);
+        }
+        self.intern(Node::Shl(a, n), w)
+    }
+
+    /// Logical shift right by a constant; `n` must be `< width`.
+    pub fn lshr(&mut self, a: TermId, n: u32) -> TermId {
+        let w = self.width(a);
+        assert!(n < w, "shift amount {n} out of range for width {w}");
+        if n == 0 {
+            return a;
+        }
+        if let Some(x) = self.const_of(a) {
+            return self.constant(x >> n, w);
+        }
+        self.intern(Node::Lshr(a, n), w)
+    }
+
+    /// Arithmetic shift right by a constant; `n` must be `< width`.
+    pub fn ashr(&mut self, a: TermId, n: u32) -> TermId {
+        let w = self.width(a);
+        assert!(n < w, "shift amount {n} out of range for width {w}");
+        if n == 0 {
+            return a;
+        }
+        if let Some(x) = self.const_of(a) {
+            return self.constant((sext_val(x, w) >> n) as u64, w);
+        }
+        self.intern(Node::Ashr(a, n), w)
+    }
+
+    /// Zero-extend by `extra` bits.
+    pub fn zero_ext(&mut self, a: TermId, extra: u32) -> TermId {
+        if extra == 0 {
+            return a;
+        }
+        let w = self.width(a) + extra;
+        if let Some(x) = self.const_of(a) {
+            return self.constant(x, w);
+        }
+        self.intern(Node::ZeroExt(a, extra), w)
+    }
+
+    /// Sign-extend by `extra` bits.
+    pub fn sign_ext(&mut self, a: TermId, extra: u32) -> TermId {
+        if extra == 0 {
+            return a;
+        }
+        let aw = self.width(a);
+        let w = aw + extra;
+        if let Some(x) = self.const_of(a) {
+            return self.constant(sext_val(x, aw) as u64, w);
+        }
+        self.intern(Node::SignExt(a, extra), w)
+    }
+
+    /// Bits `hi..=lo` (LSB-indexed, inclusive).
+    pub fn extract(&mut self, a: TermId, hi: u32, lo: u32) -> TermId {
+        let aw = self.width(a);
+        assert!(lo <= hi && hi < aw, "extract [{hi}:{lo}] out of range for width {aw}");
+        if lo == 0 && hi == aw - 1 {
+            return a;
+        }
+        let w = hi - lo + 1;
+        if let Some(x) = self.const_of(a) {
+            return self.constant(x >> lo, w);
+        }
+        self.intern(Node::Extract(a, hi, lo), w)
+    }
+
+    /// Concatenation `hi ++ lo`; `hi` becomes the most-significant bits.
+    pub fn concat(&mut self, hi: TermId, lo: TermId) -> TermId {
+        let w = self.width(hi) + self.width(lo);
+        if let (Some(h), Some(l)) = (self.const_of(hi), self.const_of(lo)) {
+            return self.constant((h << self.width(lo)) | l, w);
+        }
+        self.intern(Node::Concat(hi, lo), w)
+    }
+
+    /// Equality (width-1 result).
+    pub fn eq(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bin_width(a, b, "eq");
+        if a == b {
+            return self.tt();
+        }
+        if let (Some(x), Some(y)) = (self.const_of(a), self.const_of(b)) {
+            return self.constant(u64::from(x == y), 1);
+        }
+        self.intern(Node::Eq(a, b), 1)
+    }
+
+    /// Disequality (width-1 result).
+    pub fn ne(&mut self, a: TermId, b: TermId) -> TermId {
+        let e = self.eq(a, b);
+        self.not(e)
+    }
+
+    /// Unsigned less-than (width-1 result).
+    pub fn ult(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bin_width(a, b, "ult");
+        if let (Some(x), Some(y)) = (self.const_of(a), self.const_of(b)) {
+            return self.constant(u64::from(x < y), 1);
+        }
+        self.intern(Node::Ult(a, b), 1)
+    }
+
+    /// Signed less-than (width-1 result).
+    pub fn slt(&mut self, a: TermId, b: TermId) -> TermId {
+        let w = self.bin_width(a, b, "slt");
+        if let (Some(x), Some(y)) = (self.const_of(a), self.const_of(b)) {
+            return self.constant(u64::from(sext_val(x, w) < sext_val(y, w)), 1);
+        }
+        self.intern(Node::Slt(a, b), 1)
+    }
+
+    /// `cond ? then : else`; `cond` must have width 1.
+    pub fn ite(&mut self, cond: TermId, then: TermId, els: TermId) -> TermId {
+        assert_eq!(self.width(cond), 1, "ite condition must have width 1");
+        let w = self.bin_width(then, els, "ite");
+        if let Some(c) = self.const_of(cond) {
+            return if c == 1 { then } else { els };
+        }
+        if then == els {
+            return then;
+        }
+        self.intern(Node::Ite(cond, then, els), w)
+    }
+
+    // ---- Derived constructors -------------------------------------------
+
+    /// Signed minimum.
+    pub fn smin(&mut self, a: TermId, b: TermId) -> TermId {
+        let c = self.slt(a, b);
+        self.ite(c, a, b)
+    }
+
+    /// Signed maximum.
+    pub fn smax(&mut self, a: TermId, b: TermId) -> TermId {
+        let c = self.slt(a, b);
+        self.ite(c, b, a)
+    }
+
+    /// Unsigned minimum.
+    pub fn umin(&mut self, a: TermId, b: TermId) -> TermId {
+        let c = self.ult(a, b);
+        self.ite(c, a, b)
+    }
+
+    /// Unsigned maximum.
+    pub fn umax(&mut self, a: TermId, b: TermId) -> TermId {
+        let c = self.ult(a, b);
+        self.ite(c, b, a)
+    }
+
+    /// Signed clamp of `a` to `[lo, hi]` given as signed i64 constants.
+    pub fn sclamp(&mut self, a: TermId, lo: i64, hi: i64) -> TermId {
+        let w = self.width(a);
+        let lo_t = self.constant_signed(lo, w);
+        let hi_t = self.constant_signed(hi, w);
+        let m = self.smax(a, lo_t);
+        self.smin(m, hi_t)
+    }
+
+    /// Evaluate a term under an assignment of variable names to values
+    /// (used to validate counterexamples and for differential testing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable is missing from `env`.
+    pub fn eval(&self, t: TermId, env: &HashMap<String, u64>) -> u64 {
+        let w = self.width(t);
+        let v = match self.node(t) {
+            Node::Const { value, .. } => *value,
+            Node::Var { name, .. } => {
+                *env.get(name).unwrap_or_else(|| panic!("unbound variable `{name}`"))
+            }
+            Node::Add(a, b) => self.eval(*a, env).wrapping_add(self.eval(*b, env)),
+            Node::Sub(a, b) => self.eval(*a, env).wrapping_sub(self.eval(*b, env)),
+            Node::Mul(a, b) => self.eval(*a, env).wrapping_mul(self.eval(*b, env)),
+            Node::And(a, b) => self.eval(*a, env) & self.eval(*b, env),
+            Node::Or(a, b) => self.eval(*a, env) | self.eval(*b, env),
+            Node::Xor(a, b) => self.eval(*a, env) ^ self.eval(*b, env),
+            Node::Not(a) => !self.eval(*a, env),
+            Node::Shl(a, n) => self.eval(*a, env) << n,
+            Node::Lshr(a, n) => (self.eval(*a, env) & mask(self.width(*a))) >> n,
+            Node::Ashr(a, n) => (sext_val(self.eval(*a, env), self.width(*a)) >> n) as u64,
+            Node::ZeroExt(a, _) => self.eval(*a, env) & mask(self.width(*a)),
+            Node::SignExt(a, _) => sext_val(self.eval(*a, env), self.width(*a)) as u64,
+            Node::Extract(a, _, lo) => self.eval(*a, env) >> lo,
+            Node::Concat(hi, lo) => {
+                let lw = self.width(*lo);
+                ((self.eval(*hi, env)) << lw) | (self.eval(*lo, env) & mask(lw))
+            }
+            Node::Eq(a, b) => {
+                let w = self.width(*a);
+                u64::from(self.eval(*a, env) & mask(w) == self.eval(*b, env) & mask(w))
+            }
+            Node::Ult(a, b) => {
+                let w = self.width(*a);
+                u64::from((self.eval(*a, env) & mask(w)) < (self.eval(*b, env) & mask(w)))
+            }
+            Node::Slt(a, b) => {
+                let w = self.width(*a);
+                u64::from(sext_val(self.eval(*a, env), w) < sext_val(self.eval(*b, env), w))
+            }
+            Node::Ite(c, a, b) => {
+                if self.eval(*c, env) & 1 == 1 {
+                    self.eval(*a, env)
+                } else {
+                    self.eval(*b, env)
+                }
+            }
+        };
+        v & mask(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_consing_dedupes() {
+        let mut ctx = Context::new();
+        let x = ctx.var("x", 8);
+        let y = ctx.var("y", 8);
+        let a = ctx.add(x, y);
+        let b = ctx.add(x, y);
+        assert_eq!(a, b);
+        assert_ne!(a, ctx.add(y, x));
+    }
+
+    #[test]
+    fn constant_folding() {
+        let mut ctx = Context::new();
+        let a = ctx.constant(250, 8);
+        let b = ctx.constant(10, 8);
+        let sum = ctx.add(a, b);
+        assert_eq!(ctx.node(sum), &Node::Const { width: 8, value: 4 });
+        let prod = ctx.mul(a, b);
+        assert_eq!(ctx.node(prod), &Node::Const { width: 8, value: (250u64 * 10) & 0xff });
+    }
+
+    #[test]
+    fn signed_folding() {
+        let mut ctx = Context::new();
+        let a = ctx.constant_signed(-1, 8);
+        let b = ctx.constant_signed(-2, 8);
+        let lt = ctx.slt(b, a);
+        assert_eq!(ctx.node(lt), &Node::Const { width: 1, value: 1 });
+        let ext = ctx.sign_ext(a, 8);
+        assert_eq!(ctx.node(ext), &Node::Const { width: 16, value: 0xffff });
+        let sh = ctx.ashr(b, 1);
+        assert_eq!(ctx.node(sh), &Node::Const { width: 8, value: 0xff });
+    }
+
+    #[test]
+    fn widths_propagate() {
+        let mut ctx = Context::new();
+        let x = ctx.var("x", 8);
+        let z = ctx.zero_ext(x, 8);
+        assert_eq!(ctx.width(z), 16);
+        let hi = ctx.extract(x, 7, 4);
+        assert_eq!(ctx.width(hi), 4);
+        let cc = ctx.concat(x, x);
+        assert_eq!(ctx.width(cc), 16);
+        let e = ctx.eq(x, x);
+        assert_eq!(ctx.width(e), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "widths 8 and 16 differ")]
+    fn mismatched_widths_panic() {
+        let mut ctx = Context::new();
+        let x = ctx.var("x", 8);
+        let y = ctx.var("y", 16);
+        let _ = ctx.add(x, y);
+    }
+
+    #[test]
+    fn eval_matches_semantics() {
+        let mut ctx = Context::new();
+        let x = ctx.var("x", 8);
+        let y = ctx.var("y", 8);
+        let t1 = ctx.mul(x, y);
+        let t2 = ctx.sub(t1, x);
+        let env: HashMap<String, u64> = [("x".into(), 7u64), ("y".into(), 40u64)].into();
+        assert_eq!(ctx.eval(t2, &env), (7u64 * 40 - 7) & 0xff);
+        let c = ctx.slt(x, y);
+        let m = ctx.ite(c, x, y);
+        assert_eq!(ctx.eval(m, &env), 7);
+    }
+
+    #[test]
+    fn derived_min_max_clamp() {
+        let mut ctx = Context::new();
+        let a = ctx.constant_signed(-5, 8);
+        let b = ctx.constant(3, 8);
+        let m = ctx.smin(a, b);
+        assert_eq!(ctx.node(m), &Node::Const { width: 8, value: 0xfb });
+        let clamped = ctx.sclamp(a, 0, 100);
+        assert_eq!(ctx.node(clamped), &Node::Const { width: 8, value: 0 });
+    }
+}

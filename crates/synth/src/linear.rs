@@ -1,0 +1,320 @@
+//! An exact linear-form decision procedure.
+//!
+//! Most lifting queries compare two *linear combinations* of input cells
+//! (widening multiply-add chains against `vs-mpy-add` candidates). When
+//! both sides are provably wrap-free — interval analysis over the cell
+//! types shows no intermediate overflows — their semantics are exact
+//! integer linear forms `Σ cᵢ·cellᵢ + k`, and equivalence reduces to
+//! coefficient equality. This decides the big queries instantly and leaves
+//! only genuinely non-linear ones (min/max/absd/saturation/shifts) to the
+//! bit-blasting solver.
+
+use std::collections::BTreeMap;
+
+use halide_ir::{BinOp, Expr, ShiftDir};
+use lanes::ElemType;
+use uber_ir::{ScalarSource, UberExpr};
+
+use crate::encode::{cell_var, scalar_var};
+
+/// An exact integer linear form over named cells, plus its value interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinForm {
+    /// Cell-variable name → coefficient.
+    pub coeffs: BTreeMap<String, i128>,
+    /// Constant term.
+    pub constant: i128,
+    lo: i128,
+    hi: i128,
+}
+
+impl LinForm {
+    fn constant_form(v: i128) -> LinForm {
+        LinForm { coeffs: BTreeMap::new(), constant: v, lo: v, hi: v }
+    }
+
+    fn cell(name: String, ty: ElemType) -> LinForm {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(name, 1);
+        LinForm {
+            coeffs,
+            constant: 0,
+            lo: ty.min_value() as i128,
+            hi: ty.max_value() as i128,
+        }
+    }
+
+    fn is_constant(&self) -> Option<i128> {
+        if self.coeffs.is_empty() {
+            Some(self.constant)
+        } else {
+            None
+        }
+    }
+
+    /// `self + sign * other`, or `None` if the result might not fit `ty`.
+    fn combine(&self, other: &LinForm, sign: i128, ty: ElemType) -> Option<LinForm> {
+        let (olo, ohi) = if sign >= 0 { (other.lo, other.hi) } else { (-other.hi, -other.lo) };
+        let mut out = LinForm {
+            coeffs: self.coeffs.clone(),
+            constant: self.constant + sign * other.constant,
+            lo: self.lo + olo * sign.abs(),
+            hi: self.hi + ohi * sign.abs(),
+        };
+        // sign is ±1 here, so scaling the interval is just the swap above.
+        for (k, v) in &other.coeffs {
+            *out.coeffs.entry(k.clone()).or_insert(0) += sign * v;
+        }
+        out.check_fits(ty)
+    }
+
+    /// `self * c`, or `None` on potential overflow of `ty`.
+    fn scale(&self, c: i128, ty: ElemType) -> Option<LinForm> {
+        let (a, b) = (self.lo * c, self.hi * c);
+        let out = LinForm {
+            coeffs: self.coeffs.iter().map(|(k, v)| (k.clone(), v * c)).collect(),
+            constant: self.constant * c,
+            lo: a.min(b),
+            hi: a.max(b),
+        };
+        out.check_fits(ty)
+    }
+
+    fn check_fits(self, ty: ElemType) -> Option<LinForm> {
+        if self.lo >= ty.min_value() as i128 && self.hi <= ty.max_value() as i128 {
+            Some(self)
+        } else {
+            None
+        }
+    }
+
+    /// Re-bound an exact value into a (wider or equal) type without
+    /// changing the form — extension casts are the identity on canonical
+    /// values.
+    fn rebound(self, ty: ElemType) -> Option<LinForm> {
+        self.check_fits(ty)
+    }
+}
+
+/// Exact linear form of a Halide expression's lane 0, if wrap-free.
+pub fn linear_halide(e: &Expr) -> Option<LinForm> {
+    match e {
+        Expr::Load(l) => {
+            Some(LinForm::cell(cell_var(&l.buffer, i64::from(l.dx), l.dy), l.ty))
+        }
+        Expr::Broadcast(b) => Some(LinForm::constant_form(b.value as i128)),
+        Expr::BroadcastLoad(b) => {
+            Some(LinForm::cell(scalar_var(&b.buffer, b.x, b.dy), b.ty))
+        }
+        Expr::Cast(c) => linear_halide(&c.arg)?.rebound(c.to),
+        Expr::Binary(b) => {
+            let ty = e.ty();
+            match b.op {
+                BinOp::Add | BinOp::Sub => {
+                    let (la, lb) = (linear_halide(&b.lhs)?, linear_halide(&b.rhs)?);
+                    la.combine(&lb, if b.op == BinOp::Add { 1 } else { -1 }, ty)
+                }
+                BinOp::Mul => {
+                    let (la, lb) = (linear_halide(&b.lhs)?, linear_halide(&b.rhs)?);
+                    if let Some(c) = lb.is_constant() {
+                        la.scale(c, ty)
+                    } else if let Some(c) = la.is_constant() {
+                        lb.scale(c, ty)
+                    } else {
+                        None
+                    }
+                }
+                BinOp::Min | BinOp::Max | BinOp::Absd => None,
+            }
+        }
+        Expr::Shift(s) => match s.dir {
+            ShiftDir::Left => linear_halide(&s.arg)?.scale(1i128 << s.amount, e.ty()),
+            ShiftDir::Right => None,
+        },
+    }
+}
+
+/// Exact linear form of an uber-expression's lane 0, if wrap-free.
+pub fn linear_uber(u: &UberExpr) -> Option<LinForm> {
+    match u {
+        UberExpr::Data(l) => {
+            Some(LinForm::cell(cell_var(&l.buffer, i64::from(l.dx), l.dy), l.ty))
+        }
+        UberExpr::Bcast { value, ty } => match value {
+            ScalarSource::Imm(v) => Some(LinForm::constant_form(*v as i128)),
+            ScalarSource::Scalar { buffer, x, dy } => {
+                Some(LinForm::cell(scalar_var(buffer, *x, *dy), *ty))
+            }
+        },
+        UberExpr::VsMpyAdd(v) => {
+            let mut acc = LinForm::constant_form(0);
+            for (input, &w) in v.inputs.iter().zip(&v.kernel) {
+                let li = linear_uber(input)?;
+                // Scale without an intermediate type bound; the final
+                // accumulation is range-checked against the output type.
+                let (a, b) = (li.lo * i128::from(w), li.hi * i128::from(w));
+                let scaled = LinForm {
+                    coeffs: li.coeffs.iter().map(|(k, c)| (k.clone(), c * i128::from(w))).collect(),
+                    constant: li.constant * i128::from(w),
+                    lo: a.min(b),
+                    hi: a.max(b),
+                };
+                acc = LinForm {
+                    constant: acc.constant + scaled.constant,
+                    lo: acc.lo + scaled.lo,
+                    hi: acc.hi + scaled.hi,
+                    coeffs: {
+                        let mut m = acc.coeffs;
+                        for (k, c) in scaled.coeffs {
+                            *m.entry(k).or_insert(0) += c;
+                        }
+                        m
+                    },
+                };
+            }
+            // Saturation is a no-op when the exact range fits the type.
+            acc.check_fits(v.out)
+        }
+        UberExpr::VvMpyAdd(v) => {
+            let mut acc = LinForm::constant_form(0);
+            for (a, b) in &v.pairs {
+                let (la, lb) = (linear_uber(a)?, linear_uber(b)?);
+                let scaled = if let Some(c) = lb.is_constant() {
+                    la.scale(c, v.out)?
+                } else if let Some(c) = la.is_constant() {
+                    lb.scale(c, v.out)?
+                } else {
+                    return None;
+                };
+                acc = acc.combine(&scaled, 1, v.out)?;
+            }
+            Some(acc)
+        }
+        UberExpr::Widen { arg, out } => linear_uber(arg)?.rebound(*out),
+        UberExpr::Shl { arg, amount } => linear_uber(arg)?.scale(1i128 << amount, u.ty()),
+        UberExpr::Narrow { arg, shift, saturating, out, .. } => {
+            if *shift != 0 {
+                return None;
+            }
+            let l = linear_uber(arg)?;
+            // Both truncation and saturation are the identity when the
+            // exact range already fits.
+            let _ = saturating;
+            l.rebound(*out)
+        }
+        UberExpr::AbsDiff(..)
+        | UberExpr::Min(..)
+        | UberExpr::Max(..)
+        | UberExpr::Average { .. } => None,
+    }
+}
+
+/// Decide equivalence of a Halide expression and an uber-expression by
+/// exact linear forms. `Some(eq)` when both sides are wrap-free linear;
+/// `None` when the query needs the solver.
+pub fn decide_linear(h: &Expr, u: &UberExpr) -> Option<bool> {
+    let (lh, lu) = (linear_halide(h)?, linear_uber(u)?);
+    let mut eq = lh.constant == lu.constant;
+    if eq {
+        // Compare sparse maps, ignoring explicit zeros.
+        let nz = |m: &BTreeMap<String, i128>| -> BTreeMap<String, i128> {
+            m.iter().filter(|(_, &v)| v != 0).map(|(k, &v)| (k.clone(), v)).collect()
+        };
+        eq = nz(&lh.coeffs) == nz(&lu.coeffs);
+    }
+    Some(eq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halide_ir::builder as hb;
+    use lanes::ElemType::{U16, U8};
+
+    #[test]
+    fn conv_row_is_linear_and_equal() {
+        let t = |dx| hb::widen(hb::load("in", U8, dx, 0));
+        let h = hb::add(hb::add(t(-1), hb::mul(t(0), hb::bcast(2, U16))), t(1));
+        let u = UberExpr::conv("in", U8, -1, 0, &[1, 2, 1], U16);
+        assert_eq!(decide_linear(&h, &u), Some(true));
+        let wrong = UberExpr::conv("in", U8, -1, 0, &[1, 1, 2], U16);
+        assert_eq!(decide_linear(&h, &wrong), Some(false));
+    }
+
+    #[test]
+    fn overflowing_sum_is_not_linear() {
+        // 255 * 255 exceeds u8: wrapping breaks exactness.
+        let h = hb::mul(hb::load("in", U8, 0, 0), hb::bcast(255, U8));
+        assert!(linear_halide(&h).is_none());
+    }
+
+    #[test]
+    fn min_defeats_linearity() {
+        let h = hb::min(hb::load("in", U8, 0, 0), hb::bcast(5, U8));
+        assert!(linear_halide(&h).is_none());
+        let u = UberExpr::Min(
+            Box::new(UberExpr::conv("in", U8, 0, 0, &[1], U8)),
+            Box::new(UberExpr::Bcast { value: ScalarSource::Imm(5), ty: U8 }),
+        );
+        assert!(linear_uber(&u).is_none());
+    }
+
+    #[test]
+    fn big_gaussian_column_decides_instantly() {
+        // 25-term weighted sum — the query shape that is hard for plain
+        // CDCL but trivial as a linear form.
+        let taps: [i64; 5] = [1, 4, 6, 4, 1];
+        let row = |dy: i32| {
+            let mut acc: Option<Expr> = None;
+            for (k, &t) in taps.iter().enumerate() {
+                let w = hb::widen(hb::load("in", U8, k as i32 - 2, dy));
+                let term = if t == 1 { w } else { hb::mul(w, hb::bcast(t, U16)) };
+                acc = Some(match acc {
+                    None => term,
+                    Some(a) => hb::add(a, term),
+                });
+            }
+            acc.expect("taps")
+        };
+        let mut sum: Option<Expr> = None;
+        for (k, &t) in taps.iter().enumerate() {
+            let r = row(k as i32 - 2);
+            let term = if t == 1 { r } else { hb::mul(r, hb::bcast(t, U16)) };
+            sum = Some(match sum {
+                None => term,
+                Some(a) => hb::add(a, term),
+            });
+        }
+        let h = sum.expect("rows");
+        // Matching uber form: 25 loads with the outer-product kernel.
+        let mut inputs = Vec::new();
+        let mut kernel = Vec::new();
+        for (j, &tj) in taps.iter().enumerate() {
+            for (i, &ti) in taps.iter().enumerate() {
+                inputs.push(UberExpr::Data(halide_ir::Load {
+                    buffer: "in".into(),
+                    dx: i as i32 - 2,
+                    dy: j as i32 - 2,
+                    ty: U8,
+                }));
+                kernel.push(ti * tj);
+            }
+        }
+        let u = UberExpr::VsMpyAdd(uber_ir::VsMpyAdd {
+            inputs,
+            kernel,
+            saturating: false,
+            out: U16,
+        });
+        assert_eq!(decide_linear(&h, &u), Some(true));
+    }
+
+    #[test]
+    fn runtime_scalars_are_cells() {
+        let h = hb::mul(
+            hb::widen(hb::load("x", U8, 0, 0)),
+            hb::widen(hb::bcast_load("w", 1, 0, U8)),
+        );
+        assert!(linear_halide(&h).is_none(), "product of two cells is non-linear");
+    }
+}

@@ -1,0 +1,59 @@
+//! Per-stage synthesis statistics (the columns of Table 1).
+
+use std::time::Duration;
+
+/// Query counts and wall-clock time per synthesis stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SynthStats {
+    /// Equivalence queries issued while lifting (update/replace/extend
+    /// candidates checked).
+    pub lifting_queries: u64,
+    /// Sketch candidates checked while lowering compute.
+    pub sketching_queries: u64,
+    /// Data-movement candidates checked while concretizing swizzles.
+    pub swizzling_queries: u64,
+    /// Wall-clock time in lifting.
+    pub lifting_time: Duration,
+    /// Wall-clock time in sketch synthesis.
+    pub sketching_time: Duration,
+    /// Wall-clock time in swizzle synthesis.
+    pub swizzling_time: Duration,
+}
+
+impl SynthStats {
+    /// Total synthesis time across stages.
+    pub fn total_time(&self) -> Duration {
+        self.lifting_time + self.sketching_time + self.swizzling_time
+    }
+
+    /// Accumulate another stats record into this one.
+    pub fn merge(&mut self, other: &SynthStats) {
+        self.lifting_queries += other.lifting_queries;
+        self.sketching_queries += other.sketching_queries;
+        self.swizzling_queries += other.swizzling_queries;
+        self.lifting_time += other.lifting_time;
+        self.sketching_time += other.sketching_time;
+        self.swizzling_time += other.swizzling_time;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = SynthStats {
+            lifting_queries: 2,
+            sketching_queries: 3,
+            swizzling_queries: 4,
+            lifting_time: Duration::from_millis(10),
+            sketching_time: Duration::from_millis(20),
+            swizzling_time: Duration::from_millis(30),
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.lifting_queries, 4);
+        assert_eq!(a.swizzling_queries, 8);
+        assert_eq!(a.total_time(), Duration::from_millis(120));
+    }
+}

@@ -1,0 +1,137 @@
+//! Swizzle synthesis: concretizing abstract data movement (§5).
+//!
+//! Swizzle-free sketches leave three kinds of holes: *where a load's window
+//! comes from* (`??load`), *how a pair's layout is fixed up* between the
+//! deinterleaved order widening instructions produce and the natural order
+//! stores need (`??swizzle`), and *how register halves are assembled*.
+//! This module fills them with concrete `vmem` / `valign` / `vshuffvdd` /
+//! `vdealvdd` / `vcombine` instructions, counting each materialization as
+//! one swizzling query (Table 1).
+
+use hvx::{HvxExpr, Op};
+use lanes::ElemType;
+
+use crate::lower::Layout;
+use crate::stats::SynthStats;
+
+/// Materialize a `??load` hole: a window of `lanes` elements at `(dx, dy)`.
+///
+/// With `aligned_loads` set, vector memory operations may only target
+/// register-aligned addresses (as on real HVX fast paths), so an unaligned
+/// window is synthesized as two aligned loads joined by a `valign` — the
+/// shape of the synthesized data movement in the paper's Figure 8.
+pub fn load_window(
+    buffer: &str,
+    elem: ElemType,
+    dx: i32,
+    dy: i32,
+    lanes: usize,
+    aligned_loads: bool,
+    stats: &mut SynthStats,
+) -> HvxExpr {
+    stats.swizzling_queries += 1;
+    if !aligned_loads || dx.rem_euclid(lanes as i32) == 0 {
+        return HvxExpr::vmem(buffer, elem, dx, dy);
+    }
+    let lo_base = dx.div_euclid(lanes as i32) * lanes as i32;
+    let off_lanes = (dx - lo_base) as u32;
+    stats.swizzling_queries += 1;
+    HvxExpr::op(
+        Op::Valign { bytes: off_lanes * elem.bytes() as u32 },
+        vec![
+            HvxExpr::vmem(buffer, elem, lo_base + lanes as i32, dy),
+            HvxExpr::vmem(buffer, elem, lo_base, dy),
+        ],
+    )
+}
+
+/// Convert a pair value between layouts, inserting the permute that undoes
+/// (or introduces) the implicit deinterleaving of widening instructions.
+pub fn to_layout(
+    e: HvxExpr,
+    from: Layout,
+    to: Layout,
+    wide_elem: ElemType,
+    stats: &mut SynthStats,
+) -> HvxExpr {
+    if from == to {
+        return e;
+    }
+    stats.swizzling_queries += 1;
+    match to {
+        Layout::Natural => HvxExpr::op(Op::VshuffPair { elem: wide_elem }, vec![e]),
+        Layout::Deinterleaved => HvxExpr::op(Op::VdealPair { elem: wide_elem }, vec![e]),
+    }
+}
+
+/// Assemble a pair from explicitly-computed halves (`vcombine`).
+pub fn combine(hi: HvxExpr, lo: HvxExpr, stats: &mut SynthStats) -> HvxExpr {
+    stats.swizzling_queries += 1;
+    HvxExpr::op(Op::Vcombine, vec![hi, lo])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halide_ir::{Buffer2D, Env};
+
+    fn env() -> Env {
+        let mut env = Env::new();
+        env.insert(Buffer2D::from_fn("in", ElemType::U8, 64, 2, |x, _| x as i64));
+        env
+    }
+
+    #[test]
+    fn aligned_window_is_plain_load() {
+        let mut stats = SynthStats::default();
+        let e = load_window("in", ElemType::U8, 8, 0, 8, true, &mut stats);
+        assert!(matches!(e.root(), Op::Vmem { dx: 8, .. }));
+        assert_eq!(stats.swizzling_queries, 1);
+    }
+
+    #[test]
+    fn unaligned_window_synthesizes_valign() {
+        let mut stats = SynthStats::default();
+        let e = load_window("in", ElemType::U8, -1, 0, 8, true, &mut stats);
+        assert!(matches!(e.root(), Op::Valign { bytes: 7 }));
+        assert_eq!(stats.swizzling_queries, 2);
+        // Semantics: the valign'd window equals the direct unaligned load.
+        let env = env();
+        let direct = HvxExpr::vmem("in", ElemType::U8, -1, 0).eval(&env, 16, 0, 8).unwrap();
+        let synth = e.eval(&env, 16, 0, 8).unwrap();
+        assert_eq!(direct, synth);
+    }
+
+    #[test]
+    fn unaligned_mode_off_uses_direct_load() {
+        let mut stats = SynthStats::default();
+        let e = load_window("in", ElemType::U8, -1, 0, 8, false, &mut stats);
+        assert!(matches!(e.root(), Op::Vmem { dx: -1, .. }));
+    }
+
+    #[test]
+    fn layout_conversion_inserts_shuffle() {
+        let mut stats = SynthStats::default();
+        let wide = HvxExpr::op(
+            Op::Vzxt { elem: ElemType::U8 },
+            vec![HvxExpr::vmem("in", ElemType::U8, 0, 0)],
+        );
+        let nat = to_layout(
+            wide.clone(),
+            Layout::Deinterleaved,
+            Layout::Natural,
+            ElemType::U16,
+            &mut stats,
+        );
+        assert!(matches!(nat.root(), Op::VshuffPair { .. }));
+        // Natural order after the shuffle matches the widened input.
+        let env = env();
+        let v = nat.eval(&env, 4, 0, 8).unwrap();
+        let lanes = v.typed_lanes(ElemType::U16);
+        assert_eq!(lanes.as_slice(), &[4, 5, 6, 7, 8, 9, 10, 11]);
+        // Identity conversion is free.
+        let same =
+            to_layout(wide, Layout::Natural, Layout::Natural, ElemType::U16, &mut stats);
+        assert!(matches!(same.root(), Op::Vzxt { .. }));
+    }
+}

@@ -1,0 +1,315 @@
+//! Enumerative swizzle synthesis (§5).
+//!
+//! Given target values (what a `??load`/`??swizzle` hole must hold) and a
+//! set of source expressions, search bottom-up over sequences of concrete
+//! data-movement instructions — `valign`, `vror`, `vshuffvdd`, `vdealvdd`,
+//! `vcombine`, `lo`/`hi` — for one that produces the target on every test
+//! environment. Candidates are deduplicated by *observational equivalence*
+//! (their outputs on the test environments), the standard bottom-up
+//! enumerative-synthesis trick, and the search is bounded by depth and by
+//! the remaining cost budget β of Algorithm 2.
+//!
+//! This is the search engine behind the aligned-load mode: the closed-form
+//! `valign` recipe of [`crate::swizzle::load_window`] is replaced by an
+//! actual synthesis query whose solution is discovered, not computed.
+
+use std::collections::HashMap;
+
+use halide_ir::Env;
+use hvx::{CostModel, ExecCtx, HvxExpr, Op, Value};
+use lanes::ElemType;
+
+use crate::stats::SynthStats;
+
+/// Geometry of the search: where candidates are evaluated.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchCtx {
+    /// Loop origin (lane 0) used during evaluation.
+    pub x0: i64,
+    /// Loop row.
+    pub y0: i64,
+    /// Vectorization width in lanes.
+    pub lanes: usize,
+    /// Register width in bytes.
+    pub vec_bytes: usize,
+}
+
+/// The enumerative searcher.
+pub struct SwizzleSearch<'a> {
+    envs: &'a [Env],
+    ctx: SearchCtx,
+    /// Maximum chain depth (number of stacked swizzle ops).
+    pub max_depth: usize,
+    /// Cost ceiling (total instruction units) for a solution.
+    pub max_units: u32,
+    /// Hard cap on distinct intermediate values kept (the search gives up
+    /// beyond it — Algorithm 2 treats that as "not within budget").
+    pub max_pool: usize,
+    /// Hard cap on candidate evaluations.
+    pub max_queries: u64,
+}
+
+impl<'a> SwizzleSearch<'a> {
+    /// A searcher evaluating candidates on the given environments.
+    pub fn new(envs: &'a [Env], ctx: SearchCtx) -> SwizzleSearch<'a> {
+        SwizzleSearch { envs, ctx, max_depth: 3, max_units: 6, max_pool: 300, max_queries: 20_000 }
+    }
+
+    fn eval_all(&self, e: &HvxExpr) -> Option<Vec<Value>> {
+        self.envs
+            .iter()
+            .map(|env| {
+                e.eval_ctx(&ExecCtx {
+                    env,
+                    x0: self.ctx.x0,
+                    y0: self.ctx.y0,
+                    lanes: self.ctx.lanes,
+                    vec_bytes: self.ctx.vec_bytes,
+                })
+                .ok()
+            })
+            .collect()
+    }
+
+    fn units(&self, e: &HvxExpr) -> u32 {
+        CostModel::new(self.ctx.lanes, self.ctx.vec_bytes).count(&e.to_program()).total()
+    }
+
+    /// Unary swizzles applicable to a value of byte length `len`.
+    fn unary_ops(&self, elem: ElemType, is_pair: bool) -> Vec<Op> {
+        let mut ops = Vec::new();
+        if is_pair {
+            ops.push(Op::Lo);
+            ops.push(Op::Hi);
+            ops.push(Op::VshuffPair { elem });
+            ops.push(Op::VdealPair { elem });
+            if elem.widened().is_some() {
+                let w = elem.widened().expect("checked");
+                ops.push(Op::VshuffPair { elem: w });
+                ops.push(Op::VdealPair { elem: w });
+            }
+        } else {
+            for b in [1usize, elem.bytes(), self.ctx.vec_bytes / 2] {
+                if b > 0 && b < self.ctx.vec_bytes {
+                    ops.push(Op::Vror { bytes: b as u32 });
+                }
+            }
+        }
+        ops
+    }
+
+    /// Find an expression over `sources` (plus swizzle ops) whose value
+    /// equals `target`'s on every environment. Each candidate evaluation
+    /// counts as one swizzling query.
+    pub fn synthesize(
+        &self,
+        target: &HvxExpr,
+        sources: &[HvxExpr],
+        elem: ElemType,
+        stats: &mut SynthStats,
+    ) -> Option<HvxExpr> {
+        let want = self.eval_all(target)?;
+        if want.iter().any(|v| v.is_empty()) {
+            return None;
+        }
+
+        // Bottom-up enumeration with observational-equivalence dedup.
+        let mut seen: HashMap<Vec<Value>, usize> = HashMap::new();
+        let mut pool: Vec<(HvxExpr, Vec<Value>)> = Vec::new();
+        let mut frontier: Vec<usize> = Vec::new();
+
+        let start_queries = stats.swizzling_queries;
+        let admit = |e: HvxExpr,
+                         pool: &mut Vec<(HvxExpr, Vec<Value>)>,
+                         seen: &mut HashMap<Vec<Value>, usize>,
+                         stats: &mut SynthStats|
+         -> Option<Result<HvxExpr, usize>> {
+            if pool.len() >= self.max_pool
+                || stats.swizzling_queries - start_queries >= self.max_queries
+            {
+                return None;
+            }
+            stats.swizzling_queries += 1;
+            if self.units(&e) > self.max_units {
+                return None;
+            }
+            let outs = self.eval_all(&e)?;
+            if outs == want {
+                return Some(Ok(e));
+            }
+            if seen.contains_key(&outs) {
+                return None; // observationally equivalent to a known value
+            }
+            let idx = pool.len();
+            seen.insert(outs.clone(), idx);
+            pool.push((e, outs));
+            Some(Err(idx))
+        };
+
+        for s in sources {
+            match admit(s.clone(), &mut pool, &mut seen, stats) {
+                Some(Ok(found)) => return Some(found),
+                Some(Err(idx)) => frontier.push(idx),
+                None => {}
+            }
+        }
+
+        for _depth in 0..self.max_depth {
+            let mut next = Vec::new();
+            // Unary expansions of the frontier.
+            for &i in &frontier {
+                let (e, outs) = &pool[i];
+                let e = e.clone();
+                let is_pair = outs[0].is_pair();
+                for op in self.unary_ops(elem, is_pair) {
+                    let cand = HvxExpr::op(op, vec![e.clone()]);
+                    match admit(cand, &mut pool, &mut seen, stats) {
+                        Some(Ok(found)) => return Some(found),
+                        Some(Err(idx)) => next.push(idx),
+                        None => {}
+                    }
+                }
+            }
+            // Binary expansions: valign windows and pair assembly over
+            // everything seen so far (frontier × pool).
+            let pool_len = pool.len();
+            for &i in &frontier {
+                for j in 0..pool_len {
+                    let (a, aouts) = (&pool[i].0.clone(), pool[i].1.clone());
+                    let (b, bouts) = (&pool[j].0.clone(), pool[j].1.clone());
+                    if aouts[0].is_pair() || bouts[0].is_pair() {
+                        continue;
+                    }
+                    if aouts[0].len() != bouts[0].len() {
+                        continue;
+                    }
+                    let mut cands =
+                        vec![HvxExpr::op(Op::Vcombine, vec![a.clone(), b.clone()])];
+                    for off in 1..aouts[0].len() {
+                        cands.push(HvxExpr::op(
+                            Op::Valign { bytes: off as u32 },
+                            vec![a.clone(), b.clone()],
+                        ));
+                    }
+                    for cand in cands {
+                        match admit(cand, &mut pool, &mut seen, stats) {
+                            Some(Ok(found)) => return Some(found),
+                            Some(Err(idx)) => next.push(idx),
+                            None => {}
+                        }
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halide_ir::Buffer2D;
+
+    fn envs() -> Vec<Env> {
+        (0..3u64)
+            .map(|seed| {
+                let mut env = Env::new();
+                env.insert(Buffer2D::from_fn("in", ElemType::U8, 64, 2, |x, y| {
+                    ((x as u64 * 37 + y as u64 * 11 + seed * 101) % 251) as i64
+                }));
+                env
+            })
+            .collect()
+    }
+
+    fn ctx() -> SearchCtx {
+        SearchCtx { x0: 16, y0: 0, lanes: 8, vec_bytes: 8 }
+    }
+
+    #[test]
+    fn rediscovers_valign_for_unaligned_window() {
+        // Target: the unaligned window at dx = -1. Sources: the aligned
+        // registers around it. The searcher must synthesize the valign.
+        let envs = envs();
+        let search = SwizzleSearch::new(&envs, ctx());
+        let target = HvxExpr::vmem("in", ElemType::U8, -1, 0);
+        let sources =
+            vec![HvxExpr::vmem("in", ElemType::U8, -8, 0), HvxExpr::vmem("in", ElemType::U8, 0, 0)];
+        let mut stats = SynthStats::default();
+        let found = search
+            .synthesize(&target, &sources, ElemType::U8, &mut stats)
+            .expect("must synthesize the window");
+        assert!(found.to_string().contains("valign"), "got:\n{found}");
+        assert!(stats.swizzling_queries > 2, "search must have explored candidates");
+    }
+
+    #[test]
+    fn rediscovers_interleave_fixup() {
+        // Target: the natural-order widened pair. Source: the raw
+        // deinterleaved vzxt. Solution: one vshuffvdd.
+        let envs = envs();
+        let search = SwizzleSearch::new(&envs, ctx());
+        let zxt = HvxExpr::op(
+            Op::Vzxt { elem: ElemType::U8 },
+            vec![HvxExpr::vmem("in", ElemType::U8, 0, 0)],
+        );
+        let target = HvxExpr::op(Op::VshuffPair { elem: ElemType::U16 }, vec![zxt.clone()]);
+        let mut stats = SynthStats::default();
+        let found = search
+            .synthesize(&target, &[zxt], ElemType::U16, &mut stats)
+            .expect("must synthesize the shuffle");
+        assert!(matches!(found.root(), Op::VshuffPair { .. }), "got:\n{found}");
+    }
+
+    #[test]
+    fn rediscovers_figure8_combine() {
+        // Figure 8's shape: assemble a pair from two computed registers.
+        let envs = envs();
+        let search = SwizzleSearch::new(&envs, ctx());
+        let a = HvxExpr::vmem("in", ElemType::U8, 0, 0);
+        let b = HvxExpr::vmem("in", ElemType::U8, 8, 0);
+        let target = HvxExpr::op(Op::Vcombine, vec![a.clone(), b.clone()]);
+        let mut stats = SynthStats::default();
+        let found = search
+            .synthesize(&target, &[a, b], ElemType::U8, &mut stats)
+            .expect("must synthesize the combine");
+        assert!(matches!(found.root(), Op::Vcombine), "got:\n{found}");
+    }
+
+    #[test]
+    fn reports_infeasible_within_budget() {
+        // Target window far outside what the sources plus three swizzles
+        // can reach: the search must exhaust its budget and decline
+        // (Algorithm 2's "cannot be implemented within budget" outcome).
+        let envs = envs();
+        let search = SwizzleSearch::new(&envs, ctx());
+        let target = HvxExpr::vmem("in", ElemType::U8, 29, 1); // other row
+        let sources = vec![HvxExpr::vmem("in", ElemType::U8, 0, 0)];
+        let mut stats = SynthStats::default();
+        assert!(search.synthesize(&target, &sources, ElemType::U8, &mut stats).is_none());
+        assert!(stats.swizzling_queries > 10, "must have searched before giving up");
+    }
+
+    #[test]
+    fn observational_dedup_bounds_the_pool() {
+        // rot by 1 eight times cycles back: the dedup must keep the pool
+        // finite and the query count well under the naive bound.
+        let envs = envs();
+        let mut search = SwizzleSearch::new(&envs, ctx());
+        search.max_depth = 6;
+        search.max_pool = 150;
+        let target = HvxExpr::vmem("in", ElemType::U8, 40, 0); // unreachable
+        let sources = vec![HvxExpr::vmem("in", ElemType::U8, 0, 0)];
+        let mut stats = SynthStats::default();
+        assert!(search.synthesize(&target, &sources, ElemType::U8, &mut stats).is_none());
+        assert!(
+            stats.swizzling_queries <= search.max_queries + 16,
+            "runaway search: {} queries",
+            stats.swizzling_queries
+        );
+    }
+}

@@ -1,0 +1,408 @@
+//! S-expression serialization of the Uber-Instruction IR.
+//!
+//! The paper's toolchain passes the synthesizer's intermediate results
+//! between processes as S-expressions (§6). This is the Uber-IR side of
+//! that bridge: a canonical machine-readable form (distinct from the
+//! pretty [`std::fmt::Display`] rendering of Figure 5) with an exact
+//! round-tripping parser.
+//!
+//! # Grammar
+//!
+//! ```text
+//! expr   := (data <buffer> <ty> <dx> <dy>)
+//!         | (bcast <scalar> <ty>)
+//!         | (vs-mpy-add <sat?> <ty> (<w> expr)...)
+//!         | (vv-mpy-add <sat?> <ty> (expr expr)...)
+//!         | (abs-diff expr expr) | (min expr expr) | (max expr expr)
+//!         | (avg <round?> expr expr)
+//!         | (narrow <shift> <round?> <sat?> <ty> expr)
+//!         | (widen <ty> expr)
+//!         | (shl <n> expr)
+//! scalar := <int> | (scal <buffer> <x> <dy>)
+//! flag   := #t | #f
+//! ```
+
+use std::fmt;
+
+use halide_ir::Load;
+use lanes::ElemType;
+
+use crate::expr::{ScalarSource, UberExpr, VsMpyAdd, VvMpyAdd};
+
+/// Serialize to the canonical S-expression.
+pub fn to_sexpr(e: &UberExpr) -> String {
+    let mut s = String::new();
+    write_expr(e, &mut s);
+    s
+}
+
+fn flag(b: bool) -> &'static str {
+    if b {
+        "#t"
+    } else {
+        "#f"
+    }
+}
+
+fn write_expr(e: &UberExpr, out: &mut String) {
+    use std::fmt::Write;
+    match e {
+        UberExpr::Data(l) => {
+            let _ = write!(out, "(data {} {} {} {})", l.buffer, l.ty, l.dx, l.dy);
+        }
+        UberExpr::Bcast { value, ty } => {
+            let _ = match value {
+                ScalarSource::Imm(v) => write!(out, "(bcast {v} {ty})"),
+                ScalarSource::Scalar { buffer, x, dy } => {
+                    write!(out, "(bcast (scal {buffer} {x} {dy}) {ty})")
+                }
+            };
+        }
+        UberExpr::VsMpyAdd(v) => {
+            let _ = write!(out, "(vs-mpy-add {} {}", flag(v.saturating), v.out);
+            for (input, w) in v.inputs.iter().zip(&v.kernel) {
+                let _ = write!(out, " ({w} ");
+                write_expr(input, out);
+                out.push(')');
+            }
+            out.push(')');
+        }
+        UberExpr::VvMpyAdd(v) => {
+            let _ = write!(out, "(vv-mpy-add {} {}", flag(v.saturating), v.out);
+            for (a, b) in &v.pairs {
+                out.push_str(" (");
+                write_expr(a, out);
+                out.push(' ');
+                write_expr(b, out);
+                out.push(')');
+            }
+            out.push(')');
+        }
+        UberExpr::AbsDiff(a, b) => write_call(out, "abs-diff", &[a, b]),
+        UberExpr::Min(a, b) => write_call(out, "min", &[a, b]),
+        UberExpr::Max(a, b) => write_call(out, "max", &[a, b]),
+        UberExpr::Average { a, b, round } => {
+            let _ = write!(out, "(avg {} ", flag(*round));
+            write_expr(a, out);
+            out.push(' ');
+            write_expr(b, out);
+            out.push(')');
+        }
+        UberExpr::Narrow { arg, shift, round, saturating, out: oty } => {
+            let _ = write!(out, "(narrow {shift} {} {} {oty} ", flag(*round), flag(*saturating));
+            write_expr(arg, out);
+            out.push(')');
+        }
+        UberExpr::Widen { arg, out: oty } => {
+            let _ = write!(out, "(widen {oty} ");
+            write_expr(arg, out);
+            out.push(')');
+        }
+        UberExpr::Shl { arg, amount } => {
+            let _ = write!(out, "(shl {amount} ");
+            write_expr(arg, out);
+            out.push(')');
+        }
+    }
+}
+
+fn write_call(out: &mut String, head: &str, args: &[&UberExpr]) {
+    out.push('(');
+    out.push_str(head);
+    for a in args {
+        out.push(' ');
+        write_expr(a, out);
+    }
+    out.push(')');
+}
+
+/// A parse failure with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct P<'s> {
+    input: &'s str,
+    pos: usize,
+}
+
+impl<'s> P<'s> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { offset: self.pos, message: message.into() })
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len()
+            && self.input.as_bytes()[self.pos].is_ascii_whitespace()
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.input.as_bytes().get(self.pos) == Some(&c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected `{}`", c as char))
+        }
+    }
+
+    fn peek_open(&mut self) -> bool {
+        self.skip_ws();
+        self.input.as_bytes().get(self.pos) == Some(&b'(')
+    }
+
+    fn atom(&mut self) -> Result<&'s str, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.input.len() {
+            let b = self.input.as_bytes()[self.pos];
+            if b.is_ascii_whitespace() || b == b'(' || b == b')' {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("expected atom");
+        }
+        Ok(&self.input[start..self.pos])
+    }
+
+    fn int(&mut self) -> Result<i64, ParseError> {
+        let a = self.atom()?;
+        a.parse().map_err(|_| ParseError {
+            offset: self.pos,
+            message: format!("expected integer, got `{a}`"),
+        })
+    }
+
+    fn flag(&mut self) -> Result<bool, ParseError> {
+        match self.atom()? {
+            "#t" => Ok(true),
+            "#f" => Ok(false),
+            other => self.err(format!("expected #t or #f, got `{other}`")),
+        }
+    }
+
+    fn ty(&mut self) -> Result<ElemType, ParseError> {
+        let a = self.atom()?;
+        ElemType::ALL.into_iter().find(|t| t.name() == a).ok_or(ParseError {
+            offset: self.pos,
+            message: format!("unknown element type `{a}`"),
+        })
+    }
+
+    fn expr(&mut self) -> Result<UberExpr, ParseError> {
+        self.eat(b'(')?;
+        let head = self.atom()?.to_owned();
+        let e = match head.as_str() {
+            "data" => {
+                let buffer = self.atom()?.to_owned();
+                let ty = self.ty()?;
+                let dx = self.int()? as i32;
+                let dy = self.int()? as i32;
+                UberExpr::Data(Load { buffer, dx, dy, ty })
+            }
+            "bcast" => {
+                let value = if self.peek_open() {
+                    self.eat(b'(')?;
+                    let tag = self.atom()?;
+                    if tag != "scal" {
+                        return self.err(format!("expected `scal`, got `{tag}`"));
+                    }
+                    let buffer = self.atom()?.to_owned();
+                    let x = self.int()? as i32;
+                    let dy = self.int()? as i32;
+                    self.eat(b')')?;
+                    ScalarSource::Scalar { buffer, x, dy }
+                } else {
+                    ScalarSource::Imm(self.int()?)
+                };
+                let ty = self.ty()?;
+                UberExpr::Bcast { value, ty }
+            }
+            "vs-mpy-add" => {
+                let saturating = self.flag()?;
+                let out = self.ty()?;
+                let mut inputs = Vec::new();
+                let mut kernel = Vec::new();
+                while self.peek_open() {
+                    self.eat(b'(')?;
+                    kernel.push(self.int()?);
+                    inputs.push(self.expr()?);
+                    self.eat(b')')?;
+                }
+                UberExpr::VsMpyAdd(VsMpyAdd { inputs, kernel, saturating, out })
+            }
+            "vv-mpy-add" => {
+                let saturating = self.flag()?;
+                let out = self.ty()?;
+                let mut pairs = Vec::new();
+                while self.peek_open() {
+                    self.eat(b'(')?;
+                    let a = self.expr()?;
+                    let b = self.expr()?;
+                    self.eat(b')')?;
+                    pairs.push((a, b));
+                }
+                UberExpr::VvMpyAdd(VvMpyAdd { pairs, saturating, out })
+            }
+            "abs-diff" | "min" | "max" => {
+                let a = Box::new(self.expr()?);
+                let b = Box::new(self.expr()?);
+                match head.as_str() {
+                    "abs-diff" => UberExpr::AbsDiff(a, b),
+                    "min" => UberExpr::Min(a, b),
+                    _ => UberExpr::Max(a, b),
+                }
+            }
+            "avg" => {
+                let round = self.flag()?;
+                let a = Box::new(self.expr()?);
+                let b = Box::new(self.expr()?);
+                UberExpr::Average { a, b, round }
+            }
+            "narrow" => {
+                let shift = self.int()? as u32;
+                let round = self.flag()?;
+                let saturating = self.flag()?;
+                let out = self.ty()?;
+                let arg = Box::new(self.expr()?);
+                UberExpr::Narrow { arg, shift, round, saturating, out }
+            }
+            "widen" => {
+                let out = self.ty()?;
+                let arg = Box::new(self.expr()?);
+                UberExpr::Widen { arg, out }
+            }
+            "shl" => {
+                let amount = self.int()? as u32;
+                let arg = Box::new(self.expr()?);
+                UberExpr::Shl { arg, amount }
+            }
+            other => return self.err(format!("unknown uber-instruction `{other}`")),
+        };
+        self.eat(b')')?;
+        Ok(e)
+    }
+}
+
+/// Parse a canonical Uber-IR S-expression.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input.
+pub fn parse(input: &str) -> Result<UberExpr, ParseError> {
+    let mut p = P { input, pos: 0 };
+    let e = p.expr()?;
+    p.skip_ws();
+    if p.pos != input.len() {
+        return p.err("trailing input after expression");
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lanes::ElemType::{I16, U16, U8};
+
+    fn roundtrip(e: &UberExpr) {
+        let text = to_sexpr(e);
+        let back = parse(&text).unwrap_or_else(|err| panic!("reparse `{text}`: {err}"));
+        assert_eq!(&back, e, "round-trip failed for `{text}`");
+    }
+
+    fn d(dx: i32) -> UberExpr {
+        UberExpr::Data(Load { buffer: "in".into(), dx, dy: 0, ty: U8 })
+    }
+
+    #[test]
+    fn roundtrips_every_node_kind() {
+        roundtrip(&d(-2));
+        roundtrip(&UberExpr::Bcast { value: ScalarSource::Imm(-5), ty: I16 });
+        roundtrip(&UberExpr::Bcast {
+            value: ScalarSource::Scalar { buffer: "w".into(), x: 3, dy: -1 },
+            ty: U8,
+        });
+        roundtrip(&UberExpr::conv("in", U8, -1, 0, &[1, 2, 1], U16));
+        roundtrip(&UberExpr::VvMpyAdd(VvMpyAdd {
+            pairs: vec![(d(0), d(1)), (d(2), d(3))],
+            saturating: false,
+            out: U16,
+        }));
+        roundtrip(&UberExpr::AbsDiff(Box::new(d(0)), Box::new(d(1))));
+        roundtrip(&UberExpr::Min(Box::new(d(0)), Box::new(d(1))));
+        roundtrip(&UberExpr::Max(Box::new(d(0)), Box::new(d(1))));
+        roundtrip(&UberExpr::Average { a: Box::new(d(0)), b: Box::new(d(1)), round: true });
+        roundtrip(&UberExpr::Narrow {
+            arg: Box::new(UberExpr::conv("in", U8, 0, 0, &[1, 1], U16)),
+            shift: 4,
+            round: true,
+            saturating: true,
+            out: U8,
+        });
+        roundtrip(&UberExpr::Widen { arg: Box::new(d(0)), out: U16 });
+        roundtrip(&UberExpr::Shl {
+            arg: Box::new(UberExpr::conv("in", U8, 0, 0, &[1], U16)),
+            amount: 3,
+        });
+    }
+
+    #[test]
+    fn canonical_form_is_stable() {
+        let e = UberExpr::conv("in", U8, -1, 0, &[1, 2, 1], U16);
+        assert_eq!(
+            to_sexpr(&e),
+            "(vs-mpy-add #f u16 (1 (data in u8 -1 0)) (2 (data in u8 0 0)) (1 (data in u8 1 0)))"
+        );
+    }
+
+    #[test]
+    fn errors_are_located() {
+        let err = parse("(frob 1)").unwrap_err();
+        assert!(err.message.contains("unknown uber-instruction"));
+        let err = parse("(narrow 4 #t maybe u8 (data in u8 0 0))").unwrap_err();
+        assert!(err.message.contains("expected #t or #f"));
+        let err = parse("(data in u8 0 0) junk").unwrap_err();
+        assert!(err.message.contains("trailing input"));
+        assert!(parse("(data in u8 0").is_err());
+    }
+
+    #[test]
+    fn nested_deep_roundtrip() {
+        // The full sobel-like shape: narrow(sat) of min of adds of absdiffs.
+        let row = UberExpr::conv("in", U8, -1, -1, &[1, 2, 1], U16);
+        let col = UberExpr::conv("in", U8, -1, 1, &[1, 2, 1], U16);
+        let sum = UberExpr::VsMpyAdd(VsMpyAdd {
+            inputs: vec![
+                UberExpr::AbsDiff(Box::new(row.clone()), Box::new(col.clone())),
+                UberExpr::AbsDiff(Box::new(col), Box::new(row)),
+            ],
+            kernel: vec![1, 1],
+            saturating: false,
+            out: U16,
+        });
+        roundtrip(&UberExpr::Narrow {
+            arg: Box::new(sum),
+            shift: 0,
+            round: false,
+            saturating: true,
+            out: U8,
+        });
+    }
+}

@@ -1,0 +1,227 @@
+//! Image-processing and camera-pipeline benchmarks.
+
+use halide_ir::builder::*;
+use halide_ir::Expr;
+use lanes::ElemType::{I16, I32, U16, U8};
+
+use crate::{Category, Workload};
+
+fn img(name: &'static str, lanes: usize, exprs: Vec<Expr>) -> Workload {
+    Workload {
+        name,
+        category: Category::ImageProcessing,
+        lanes,
+        exprs,
+        buffers: vec![("input", U8, false)],
+        rake_layout_penalty: 0,
+    }
+}
+
+/// `u16` 3-tap horizontal row `[1, 2, 1]` at row offset `dy`.
+fn row121(dy: i32) -> Expr {
+    let w = |dx| widen(load("input", U8, dx, dy));
+    add(add(w(-1), mul(w(0), bcast(2, U16))), w(1))
+}
+
+/// The Sobel filter (Figures 2–4): gradient magnitude approximation with a
+/// saturating narrow.
+pub fn sobel() -> Workload {
+    let col121 = |dx: i32| {
+        let w = |dy| widen(load("input", U8, dx, dy));
+        add(add(w(-1), mul(w(0), bcast(2, U16))), w(1))
+    };
+    let sobel_x = absd(row121(-1), row121(1));
+    let sobel_y = absd(col121(-1), col121(1));
+    let sum = add(sobel_x, sobel_y);
+    let out = cast(U8, max(min(sum, bcast(255, U16)), bcast(0, U16)));
+    img("sobel", 128, vec![out])
+}
+
+/// 3×3 grayscale dilation: max over the neighborhood.
+pub fn dilate() -> Workload {
+    let mut m = load("input", U8, -1, -1);
+    for (dx, dy) in [(0, -1), (1, -1), (-1, 0), (0, 0), (1, 0), (-1, 1), (0, 1), (1, 1)] {
+        m = max(m, load("input", U8, dx, dy));
+    }
+    img("dilate", 128, vec![m])
+}
+
+/// 2×2 box blur via cascaded rounding averages.
+pub fn box_blur() -> Workload {
+    let p = |dx, dy| load("input", U8, dx, dy);
+    let h0 = avg_halide(p(0, 0), p(1, 0));
+    let h1 = avg_halide(p(0, 1), p(1, 1));
+    let out = avg_halide_narrowed(h0, h1);
+    img("box_blur", 128, vec![out])
+}
+
+/// `u8` rounding average written as Halide lowers it:
+/// `u8((u16(a) + u16(b) + 1) >> 1)`.
+fn avg_halide(a: Expr, b: Expr) -> Expr {
+    cast(U8, shr(add(add(widen(a.clone()), widen(b.clone())), bcast(1, U16)), 1))
+}
+
+fn avg_halide_narrowed(a: Expr, b: Expr) -> Expr {
+    avg_halide(a, b)
+}
+
+/// 3×3 median via the classic min/max network.
+pub fn median() -> Workload {
+    let p = |dx: i32, dy: i32| load("input", U8, dx, dy);
+    let min3 = |a: Expr, b: Expr, c: Expr| min(min(a, b), c);
+    let max3 = |a: Expr, b: Expr, c: Expr| max(max(a, b), c);
+    let med3 = |a: Expr, b: Expr, c: Expr| max(min(max(a.clone(), b.clone()), c), min(a, b));
+    let col = |dx: i32| (p(dx, -1), p(dx, 0), p(dx, 1));
+    let (a0, a1, a2) = col(-1);
+    let (b0, b1, b2) = col(0);
+    let (c0, c1, c2) = col(1);
+    let mins = max3(
+        min3(a0.clone(), a1.clone(), a2.clone()),
+        min3(b0.clone(), b1.clone(), b2.clone()),
+        min3(c0.clone(), c1.clone(), c2.clone()),
+    );
+    let meds = med3(
+        med3(a0.clone(), a1.clone(), a2.clone()),
+        med3(b0.clone(), b1.clone(), b2.clone()),
+        med3(c0.clone(), c1.clone(), c2.clone()),
+    );
+    let maxs = min3(max3(a0, a1, a2), max3(b0, b1, b2), max3(c0, c1, c2));
+    img("median", 128, vec![med3(mins, meds, maxs)])
+}
+
+/// 3×3 Gaussian blur: `[1,2,1]` rows and columns with a rounding shift —
+/// the paper's biggest Rake win (the fused `vasr-rnd-sat`).
+pub fn gaussian3x3() -> Workload {
+    let sum = add(add(row121(-1), mul(row121(0), bcast(2, U16))), row121(1));
+    let out = cast(U8, shr(add(sum, bcast(8, U16)), 4));
+    img("gaussian3x3", 128, vec![out])
+}
+
+/// 5×5 Gaussian blur: `[1,4,6,4,1]` separable kernel, `>> 8` with rounding.
+pub fn gaussian5x5() -> Workload {
+    let taps: [i64; 5] = [1, 4, 6, 4, 1];
+    let row = |dy: i32| {
+        let mut acc: Option<Expr> = None;
+        for (k, &t) in taps.iter().enumerate() {
+            let w = widen(load("input", U8, k as i32 - 2, dy));
+            let term = if t == 1 { w } else { mul(w, bcast(t, U16)) };
+            acc = Some(match acc {
+                None => term,
+                Some(a) => add(a, term),
+            });
+        }
+        acc.expect("non-empty kernel")
+    };
+    let mut sum: Option<Expr> = None;
+    for (k, &t) in taps.iter().enumerate() {
+        let r = row(k as i32 - 2);
+        let term = if t == 1 { r } else { mul(r, bcast(t, U16)) };
+        sum = Some(match sum {
+            None => term,
+            Some(a) => add(a, term),
+        });
+    }
+    let out = cast(U8, shr(add(sum.expect("non-empty"), bcast(128, U16)), 8));
+    img("gaussian5x5", 128, vec![out])
+}
+
+/// 7×7 Gaussian blur in 16-bit fixed point: rows are rescaled by a
+/// rounding shift so the column accumulation stays in `u16` (the standard
+/// DSP formulation that avoids 32-bit intermediates).
+pub fn gaussian7x7() -> Workload {
+    let taps: [i64; 7] = [1, 6, 15, 20, 15, 6, 1];
+    let row = |dy: i32| {
+        let mut acc: Option<Expr> = None;
+        for (k, &t) in taps.iter().enumerate() {
+            let w = widen(load("input", U8, k as i32 - 3, dy));
+            let term = if t == 1 { w } else { mul(w, bcast(t, U16)) };
+            acc = Some(match acc {
+                None => term,
+                Some(a) => add(a, term),
+            });
+        }
+        // Rescale: row <= 16320, (row + 8) >> 4 <= 1020.
+        shr(add(acc.expect("non-empty kernel"), bcast(8, U16)), 4)
+    };
+    let mut sum: Option<Expr> = None;
+    for (k, &t) in taps.iter().enumerate() {
+        let r = row(k as i32 - 3);
+        let term = if t == 1 { r } else { mul(r, bcast(t, U16)) };
+        sum = Some(match sum {
+            None => term,
+            Some(a) => add(a, term),
+        });
+    }
+    // sum <= 1020 * 64 = 65280: fits u16; final rounding narrow to u8.
+    let out = cast(U8, shr(add(sum.expect("non-empty"), bcast(128, U16)), 8));
+    img("gaussian7x7", 128, vec![out])
+}
+
+/// General 3×3 convolution with signed weights and a 16-bit accumulator.
+pub fn conv3x3a16() -> Workload {
+    let kernel: [[i64; 3]; 3] = [[1, -2, 3], [-4, 5, -4], [3, -2, 1]];
+    let mut acc: Option<Expr> = None;
+    for (j, krow) in kernel.iter().enumerate() {
+        for (i, &k) in krow.iter().enumerate() {
+            let w = cast(I16, load("input", U8, i as i32 - 1, j as i32 - 1));
+            let term = if k == 1 { w } else { mul(w, bcast(k, I16)) };
+            acc = Some(match acc {
+                None => term,
+                Some(a) => add(a, term),
+            });
+        }
+    }
+    let out = sat_cast(U8, shr(add(acc.expect("non-empty"), bcast(8, I16)), 4));
+    img("conv3x3a16", 128, vec![out])
+}
+
+/// General 3×3 convolution over 16-bit samples with a 32-bit accumulator,
+/// vectorized at 64 lanes so the `i32` accumulator fills a register pair.
+pub fn conv3x3a32() -> Workload {
+    let kernel: [[i64; 3]; 3] = [[7, -12, 5], [-11, 16, -11], [5, -12, 7]];
+    let mut sum: Option<Expr> = None;
+    for (j, krow) in kernel.iter().enumerate() {
+        for (i, &k) in krow.iter().enumerate() {
+            let w = cast(I32, load("input", I16, i as i32 - 1, j as i32 - 1));
+            let term = if k == 1 { w } else { mul(w, bcast(k, I32)) };
+            sum = Some(match sum {
+                None => term,
+                Some(a) => add(a, term),
+            });
+        }
+    }
+    // 16-bit output (the a32 variant keeps wide samples end to end).
+    let out = sat_cast(I16, shr(add(sum.expect("non-empty"), bcast(32, I32)), 6));
+    Workload {
+        name: "conv3x3a32",
+        category: Category::ImageProcessing,
+        lanes: 64,
+        exprs: vec![out],
+        buffers: vec![("input", I16, false)],
+        rake_layout_penalty: 0,
+    }
+}
+
+/// One representative camera-pipeline stage: color correction into the
+/// inexact-clamp narrowing of Figure 12 (`min` against 127, `max` against
+/// 0 — the saturating pack makes the `max` redundant, which only Rake
+/// discovers).
+pub fn camera_pipe() -> Workload {
+    let c = |name: &str, dx| cast(I16, load(name, U8, dx, 0));
+    let corrected = shr(
+        add(
+            add(mul(c("r", 0), bcast(3, I16)), mul(c("g", 0), bcast(2, I16))),
+            mul(c("b", 0), bcast(-1, I16)),
+        ),
+        2,
+    );
+    let out = cast(U8, max(min(corrected, bcast(127, I16)), bcast(0, I16)));
+    Workload {
+        name: "camera_pipe",
+        category: Category::CameraPipeline,
+        lanes: 128,
+        exprs: vec![out],
+        buffers: vec![("r", U8, false), ("g", U8, false), ("b", U8, false)],
+        rake_layout_penalty: 0,
+    }
+}

@@ -1,0 +1,173 @@
+//! The 21 evaluation benchmarks of the Rake paper (§7, Table 1), expressed
+//! as lowered Halide IR vector expressions.
+//!
+//! Each [`Workload`] carries the qualifying vector expressions of its
+//! innermost loop bodies (what Rake extracts from the scheduled pipeline),
+//! the vectorization width its schedule picks, and a deterministic input
+//! generator. Benchmarks whose accumulators are 32-bit vectorize at 64
+//! lanes so a tile still fits an HVX register pair — mirroring how real
+//! Halide HVX schedules choose vector sizes by byte width.
+//!
+//! `depthwise_conv` additionally carries the paper's §7.3 limitation
+//! marker: Rake optimizes each expression in isolation and cannot change
+//! intermediate buffer layouts across expressions, so the harness charges
+//! it the re-layout permutes the production backend avoids — reproducing
+//! the one benchmark where Rake loses.
+
+mod image;
+mod ml;
+
+use halide_ir::{Buffer2D, Env, Expr};
+use lanes::ElemType;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Benchmark category (the grouping of §7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// Blurs, edge detection, dilation, general convolutions.
+    ImageProcessing,
+    /// TensorFlow operator kernels.
+    MachineLearning,
+    /// The Frankencamera raw-processing pipeline.
+    CameraPipeline,
+    /// Quantized matrix multiplication.
+    MatrixMultiply,
+}
+
+/// One evaluation benchmark.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Benchmark name (Table 1's first column).
+    pub name: &'static str,
+    /// Category.
+    pub category: Category,
+    /// Vectorization width in lanes.
+    pub lanes: usize,
+    /// The qualifying vector expressions of the loop bodies.
+    pub exprs: Vec<Expr>,
+    /// Input buffers: `(name, element type, is_scalar_table)`. Scalar
+    /// tables hold runtime broadcast operands and stay small.
+    pub buffers: Vec<(&'static str, ElemType, bool)>,
+    /// Extra permute units charged to Rake per tile: models the §7.3
+    /// cross-expression layout limitation (non-zero only for
+    /// `depthwise_conv`).
+    pub rake_layout_penalty: u32,
+}
+
+impl Workload {
+    /// Deterministic input environment covering a `width`×`height` tile
+    /// sweep (plus halo).
+    pub fn env(&self, width: usize, height: usize, seed: u64) -> Env {
+        let mut env = Env::new();
+        for (i, (name, ty, scalar_table)) in self.buffers.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37).wrapping_add(i as u64));
+            let (w, h) = if *scalar_table { (16, height + 16) } else { (width, height) };
+            env.insert(Buffer2D::from_fn(name, *ty, w, h, |_, _| {
+                rng.gen_range(ty.min_value()..=ty.max_value())
+            }));
+        }
+        env
+    }
+}
+
+/// All 21 benchmarks, in the paper's Table 1 order.
+pub fn all() -> Vec<Workload> {
+    vec![
+        image::sobel(),
+        image::dilate(),
+        image::box_blur(),
+        image::median(),
+        image::gaussian3x3(),
+        image::gaussian5x5(),
+        image::gaussian7x7(),
+        image::conv3x3a16(),
+        image::conv3x3a32(),
+        image::camera_pipe(),
+        ml::matmul(),
+        ml::add_op(),
+        ml::mul_op(),
+        ml::mean(),
+        ml::l2norm(),
+        ml::softmax(),
+        ml::average_pool(),
+        ml::max_pool(),
+        ml::fully_connected(),
+        ml::conv_nn(),
+        ml::depthwise_conv(),
+    ]
+}
+
+/// Look up one benchmark by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halide_ir::EvalCtx;
+
+    #[test]
+    fn twenty_one_benchmarks() {
+        let ws = all();
+        assert_eq!(ws.len(), 21);
+        let names: Vec<&str> = ws.iter().map(|w| w.name).collect();
+        assert!(names.contains(&"sobel"));
+        assert!(names.contains(&"depthwise_conv"));
+        // Names are unique.
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 21);
+    }
+
+    #[test]
+    fn every_workload_evaluates() {
+        for w in all() {
+            let env = w.env(w.lanes + 64, 16, 1);
+            for (i, e) in w.exprs.iter().enumerate() {
+                let ctx = EvalCtx { env: &env, x0: 16, y0: 8, lanes: w.lanes };
+                let v = halide_ir::eval(e, &ctx)
+                    .unwrap_or_else(|err| panic!("{}[{i}]: {err}", w.name));
+                assert_eq!(v.lanes(), w.lanes);
+                assert_eq!(v.ty(), e.ty());
+            }
+        }
+    }
+
+    #[test]
+    fn every_expression_qualifies() {
+        for w in all() {
+            for e in &w.exprs {
+                assert!(
+                    halide_ir::analysis::is_qualifying(e),
+                    "{}: trivial expression {e}",
+                    w.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn only_depthwise_has_layout_penalty() {
+        for w in all() {
+            if w.name == "depthwise_conv" {
+                assert!(w.rake_layout_penalty > 0);
+            } else {
+                assert_eq!(w.rake_layout_penalty, 0, "{}", w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn env_is_deterministic() {
+        let w = by_name("sobel").unwrap();
+        let a = w.env(64, 8, 42);
+        let b = w.env(64, 8, 42);
+        let (ba, bb) = (a.get("input").unwrap(), b.get("input").unwrap());
+        for x in 0..64 {
+            assert_eq!(ba.get(x, 3), bb.get(x, 3));
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Machine-learning (TensorFlow operator) and matrix-multiply benchmarks.
+
+use halide_ir::builder::*;
+use halide_ir::Expr;
+use lanes::ElemType::{I16, I32, U16, U32, U8};
+
+use crate::{Category, Workload};
+
+fn ml(
+    name: &'static str,
+    lanes: usize,
+    exprs: Vec<Expr>,
+    buffers: Vec<(&'static str, lanes::ElemType, bool)>,
+) -> Workload {
+    Workload {
+        name,
+        category: Category::MachineLearning,
+        lanes,
+        exprs,
+        buffers,
+        rake_layout_penalty: 0,
+    }
+}
+
+/// Quantized matrix multiply: a two-tap dot-product accumulation over the
+/// unrolled reduction (`C += A[y,k] * B[k,x]`) followed by requantization.
+pub fn matmul() -> Workload {
+    let prod = |k: i32| {
+        mul(
+            widen(load("b", U8, 0, k)),
+            widen(bcast_load("a", k, 0, U8)),
+        )
+    };
+    let acc = add(prod(0), prod(1));
+    let requant = sat_cast(U8, shr(add(acc.clone(), bcast(128, U16)), 8));
+    Workload {
+        name: "matmul",
+        category: Category::MatrixMultiply,
+        lanes: 128,
+        exprs: vec![acc.clone(), requant],
+        buffers: vec![("b", U8, false), ("a", U8, true)],
+        rake_layout_penalty: 0,
+    }
+}
+
+/// TFLite `add`: the Figure 12 pattern — a shifted widening plus a
+/// precomputed runtime offset, foldable into one `vmpy-acc`.
+pub fn add_op() -> Workload {
+    let e = add(
+        shl(cast(I16, load("input", U8, 0, 0)), 6),
+        bcast_load("offset", 0, 0, I16),
+    );
+    ml("add", 128, vec![e], vec![("input", U8, false), ("offset", I16, true)])
+}
+
+/// TFLite `mul`: widening multiply with a saturating requantization.
+pub fn mul_op() -> Workload {
+    let prod = mul(
+        widen(load("a", U8, 0, 0)),
+        widen(load("b", U8, 0, 0)),
+    );
+    let e = sat_cast(U8, shr(add(prod, bcast(64, U16)), 7));
+    ml("mul", 128, vec![e], vec![("a", U8, false), ("b", U8, false)])
+}
+
+/// Mean over a 4-wide window with rounding.
+pub fn mean() -> Workload {
+    let w = |dx| widen(load("input", U8, dx, 0));
+    let sum = add(add(add(w(0), w(1)), w(2)), w(3));
+    let e = cast(U8, shr(add(sum, bcast(2, U16)), 2));
+    ml("mean", 128, vec![e], vec![("input", U8, false)])
+}
+
+/// L2 normalization: the Figure 12 word×halfword pattern. The operand is
+/// provably non-negative (a clamped magnitude), which licenses `vmpyie`.
+pub fn l2norm() -> Workload {
+    let magnitude = max(load("mag", I16, 0, 0), bcast(0, I16));
+    let e = mul(cast(I32, magnitude), bcast_load("inv_norm", 0, 0, I32));
+    ml("l2norm", 64, vec![e], vec![("mag", I16, false), ("inv_norm", I32, true)])
+}
+
+/// Softmax requantization stage: exponent table value times a runtime
+/// reciprocal, narrowed with saturation.
+pub fn softmax() -> Workload {
+    let prod = mul(
+        cast(U32, load("exp", U16, 0, 0)),
+        cast(U32, bcast_load("recip", 0, 0, U16)),
+    );
+    let e = sat_cast(U16, shr(add(prod, bcast(1 << 14, U32)), 15));
+    ml("softmax", 64, vec![e], vec![("exp", U16, false), ("recip", U16, true)])
+}
+
+/// Average pooling: the Figure 12 accumulation step (`u16 + widen(u8)` —
+/// one `vmpy-acc` for Rake) plus the rounding narrow.
+pub fn average_pool() -> Workload {
+    let accumulate = add(
+        load("acc", U16, 0, 0),
+        widen(load("input", U8, 0, 0)),
+    );
+    let finish = cast(U8, shr(add(load("acc", U16, 0, 0), bcast(2, U16)), 2));
+    ml(
+        "average_pool",
+        128,
+        vec![accumulate, finish],
+        vec![("acc", U16, false), ("input", U8, false)],
+    )
+}
+
+/// Max pooling over a 2×2 window.
+pub fn max_pool() -> Workload {
+    let p = |dx, dy| load("input", U8, dx, dy);
+    let e = max(max(p(0, 0), p(1, 0)), max(p(0, 1), p(1, 1)));
+    ml("max_pool", 128, vec![e], vec![("input", U8, false)])
+}
+
+/// Fully connected layer: four-tap runtime-weight dot product plus bias,
+/// requantized.
+pub fn fully_connected() -> Workload {
+    let prod = |k: i32| {
+        mul(
+            widen(load("x", U8, 0, k)),
+            widen(bcast_load("w", k, 0, U8)),
+        )
+    };
+    let acc = add(
+        add(add(prod(0), prod(1)), add(prod(2), prod(3))),
+        bcast_load("bias", 0, 0, U16),
+    );
+    let e = sat_cast(U8, shr(add(acc, bcast(128, U16)), 8));
+    ml(
+        "fully_connected",
+        128,
+        vec![e],
+        vec![("x", U8, false), ("w", U8, true), ("bias", U16, true)],
+    )
+}
+
+/// Convolutional layer: a 3-tap runtime-weight row convolution with a
+/// saturating requantization.
+pub fn conv_nn() -> Workload {
+    let prod = |k: i32| {
+        mul(
+            widen(load("x", U8, k, 0)),
+            widen(bcast_load("w", k, 0, U8)),
+        )
+    };
+    let acc = add(add(prod(0), prod(1)), prod(2));
+    let e = sat_cast(U8, shr(add(acc, bcast(32, U16)), 6));
+    ml("conv_nn", 128, vec![e], vec![("x", U8, false), ("w", U8, true)])
+}
+
+/// Depthwise convolution: same compute shape as `conv_nn`, but split in
+/// two stages through an intermediate buffer. The production backend
+/// coordinates the intermediate layout across both stages; Rake optimizes
+/// each expression in isolation (§7.3), which the harness models with a
+/// per-tile permute penalty.
+pub fn depthwise_conv() -> Workload {
+    let prod = |k: i32| {
+        mul(
+            widen(load("x", U8, k, 0)),
+            widen(bcast_load("w", k, 0, U8)),
+        )
+    };
+    let stage1 = add(add(prod(0), prod(1)), prod(2));
+    let stage2 = sat_cast(U8, shr(add(load("acc16", U16, 0, 0), bcast(32, U16)), 6));
+    Workload {
+        name: "depthwise_conv",
+        category: Category::MachineLearning,
+        lanes: 128,
+        exprs: vec![stage1, stage2],
+        buffers: vec![("x", U8, false), ("w", U8, true), ("acc16", U16, false)],
+        rake_layout_penalty: 2,
+    }
+}

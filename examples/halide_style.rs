@@ -1,0 +1,66 @@
+//! The paper's Figure 2, end to end: write the Sobel filter as a Halide
+//! algorithm (pure stages), apply a schedule (vectorize), lower to the
+//! Figure-3 vector expression, and run Rake's instruction selection on it.
+//!
+//! ```sh
+//! cargo run --release --example halide_style
+//! ```
+
+use halide_ir::builder::{absd, add, bcast, cast, max, min, mul, widen};
+use halide_ir::pipeline::{Func, Pipeline};
+use lanes::ElemType::{U16, U8};
+use rake::{Rake, Target};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // -- The algorithm (Figure 2, lines 6-15) -----------------------------
+    let input = Func::input("input", U8);
+    let in16 = Func::define({
+        let input = input.clone();
+        move |x, y| widen(input.at(x, y))
+    });
+    let x_avg = Func::define({
+        let in16 = in16.clone();
+        move |x, y| add(add(in16.at(x - 1, y), mul(in16.at(x, y), bcast(2, U16))), in16.at(x + 1, y))
+    });
+    let y_avg = Func::define({
+        let in16 = in16.clone();
+        move |x, y| add(add(in16.at(x, y - 1), mul(in16.at(x, y), bcast(2, U16))), in16.at(x, y + 1))
+    });
+    let sobel_x = Func::define({
+        let x_avg = x_avg.clone();
+        move |x, y| absd(x_avg.at(x, y - 1), x_avg.at(x, y + 1))
+    });
+    let sobel_y = Func::define({
+        let y_avg = y_avg.clone();
+        move |x, y| absd(y_avg.at(x - 1, y), y_avg.at(x + 1, y))
+    });
+    let output = Func::define({
+        let (sx, sy) = (sobel_x.clone(), sobel_y.clone());
+        move |x, y| {
+            cast(
+                U8,
+                max(min(add(sx.at(x, y), sy.at(x, y)), bcast(255, U16)), bcast(0, U16)),
+            )
+        }
+    });
+
+    // -- The schedule (Figure 2, lines 18-21) -----------------------------
+    // output.hexagon().tile(...).vectorize(xi): only the vector width
+    // matters to instruction selection; we scale it down to run fast here.
+    let pipeline = Pipeline::new(output).vectorize(16);
+
+    // -- Lowering (Figure 3) ----------------------------------------------
+    let expr = pipeline.lower();
+    println!("Lowered loop-body expression (Figure 3):\n  {expr}\n");
+
+    // -- Instruction selection (Rake) --------------------------------------
+    let compiled = Rake::new(Target::hvx_small(pipeline.lanes())).compile(&expr)?;
+    println!("Synthesized HVX ({} instructions):\n{}", compiled.program.len(), compiled.program);
+    println!(
+        "queries: {} lift, {} sketch, {} swizzle",
+        compiled.stats.lifting_queries,
+        compiled.stats.sketching_queries,
+        compiled.stats.swizzling_queries
+    );
+    Ok(())
+}

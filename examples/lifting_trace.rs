@@ -1,0 +1,33 @@
+//! Reproduces the paper's Figure 9: the step-by-step bottom-up lifting of
+//! a Sobel filter row from Halide IR to the Uber-Instruction IR, with the
+//! rule (update / replace / extend) each step used.
+//!
+//! ```sh
+//! cargo run --example lifting_trace
+//! ```
+
+use halide_ir::builder::*;
+use lanes::ElemType;
+use rake::{Rake, Target};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Figure 9's input: u16(in(x-1,y-1)) + u16(in(x,y-1))*2 + u16(in(x+1,y-1)).
+    let tap = |dx| widen(load("input", ElemType::U8, dx, -1));
+    let expr = add(add(tap(-1), mul(tap(0), bcast(2, ElemType::U16))), tap(1));
+
+    let rake = Rake::new(Target::hvx_small(8));
+    let compiled = rake.compile(&expr)?;
+
+    println!("Lifting `{expr}`:\n");
+    for (i, step) in compiled.trace.steps.iter().enumerate() {
+        println!("step {:>2} [{:?}]", i + 1, step.rule);
+        println!("  halide: {}", step.halide);
+        for line in step.lifted.lines() {
+            println!("  {line}");
+        }
+        println!();
+    }
+    println!("final Uber-Instruction IR:\n{}", compiled.uber);
+    println!("lifting queries issued: {}", compiled.stats.lifting_queries);
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Quickstart: compile one vector expression with Rake and run it.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use halide_ir::builder::*;
+use halide_ir::{Buffer2D, Env, EvalCtx};
+use lanes::ElemType;
+use rake::{Rake, Target};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A lowered Halide IR vector expression: a 3-tap [1,2,1] filter row
+    //    with a rounding shift back to u8 (the gaussian3x3 inner loop).
+    let tap = |dx| widen(load("image", ElemType::U8, dx, 0));
+    let row = add(add(tap(-1), mul(tap(0), bcast(2, ElemType::U16))), tap(1));
+    let expr = cast(ElemType::U8, shr(add(row, bcast(2, ElemType::U16)), 2));
+    println!("Halide IR:\n  {expr}\n");
+
+    // 2. Synthesize an HVX implementation.
+    let rake = Rake::new(Target::hvx_small(16));
+    let compiled = rake.compile(&expr)?;
+
+    println!("Lifted to Uber-Instruction IR:\n{}", compiled.uber);
+    println!("Synthesized HVX program:\n{}", compiled.program);
+    println!(
+        "Synthesis effort: {} lifting, {} sketching, {} swizzling queries\n",
+        compiled.stats.lifting_queries,
+        compiled.stats.sketching_queries,
+        compiled.stats.swizzling_queries
+    );
+
+    // 3. Execute the synthesized program on an image tile and check it
+    //    against the IR interpreter.
+    let mut env = Env::new();
+    env.insert(Buffer2D::from_fn("image", ElemType::U8, 64, 1, |x, _| {
+        ((x * 37) % 256) as i64
+    }));
+    let got = compiled.program.run(&env, 8, 0, 16)?;
+    let want = halide_ir::eval(&expr, &EvalCtx { env: &env, x0: 8, y0: 0, lanes: 16 })?;
+    assert_eq!(got.typed_lanes(ElemType::U8), want);
+    println!("Output lanes: {want}");
+    println!("Synthesized code matches the reference interpreter.");
+    Ok(())
+}

@@ -1,0 +1,124 @@
+//! Integration across the solver stack: lifting queries discharged by the
+//! linear decision procedure and by the bit-blasting solver must agree,
+//! and the end-to-end verifier must be sound on engineered near-misses.
+
+use halide_ir::builder::*;
+use halide_ir::Expr;
+use lanes::ElemType::{I16, U16, U8};
+use proptest::prelude::*;
+use synth::linear::{decide_linear, linear_halide};
+use synth::Verifier;
+use uber_ir::UberExpr;
+
+fn v() -> Verifier {
+    Verifier::fast()
+}
+
+#[test]
+fn linear_and_solver_agree_on_small_kernels() {
+    // For 2-tap kernels over u8 cells, compare decide_linear against the
+    // full oracle for every weight pair in a small grid.
+    for w0 in 1..4i64 {
+        for w1 in 1..4i64 {
+            let h = add(
+                mul(widen(load("in", U8, 0, 0)), bcast(w0, U16)),
+                mul(widen(load("in", U8, 1, 0)), bcast(w1, U16)),
+            );
+            for c0 in 1..4i64 {
+                for c1 in 1..4i64 {
+                    let u = UberExpr::conv("in", U8, 0, 0, &[c0, c1], U16);
+                    let lin = decide_linear(&h, &u).expect("both sides linear");
+                    let full = v().equiv_halide_uber(&h, &u);
+                    assert_eq!(
+                        lin, full,
+                        "disagreement at weights ({w0},{w1}) vs kernel ({c0},{c1})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn near_miss_candidates_are_rejected() {
+    let t = |dx| widen(load("in", U8, dx, 0));
+    let h = add(add(t(-1), mul(t(0), bcast(2, U16))), t(1));
+    // Right kernel, shifted window.
+    let u = UberExpr::conv("in", U8, 0, 0, &[1, 2, 1], U16);
+    assert!(!v().equiv_halide_uber(&h, &u));
+    // Right window, permuted kernel.
+    let u = UberExpr::conv("in", U8, -1, 0, &[2, 1, 1], U16);
+    assert!(!v().equiv_halide_uber(&h, &u));
+    // Wrong output type.
+    let u = UberExpr::conv("in", U8, -1, 0, &[1, 2, 1], I16);
+    assert!(!v().equiv_halide_uber(&h, &u));
+}
+
+#[test]
+fn saturation_vs_wrap_distinguished_by_nonlinear_path() {
+    // u8(x + y) vs sat_u8(x + y) over u16 sums that can exceed 255: the
+    // linear path bails (wrap) and the solver must find a counterexample.
+    let x = add(widen(load("a", U8, 0, 0)), widen(load("b", U8, 0, 0)));
+    let truncating = cast(U8, x.clone());
+    assert!(linear_halide(&truncating).is_none());
+    let u_sat = UberExpr::Narrow {
+        arg: Box::new(lift_of(&x)),
+        shift: 0,
+        round: false,
+        saturating: true,
+        out: U8,
+    };
+    assert!(!v().equiv_halide_uber(&truncating, &u_sat));
+    let u_wrap = UberExpr::Narrow {
+        arg: Box::new(lift_of(&x)),
+        shift: 0,
+        round: false,
+        saturating: false,
+        out: U8,
+    };
+    assert!(v().equiv_halide_uber(&truncating, &u_wrap));
+}
+
+/// The known-correct lift of `widen(a(0)) + widen(b(0))`.
+fn lift_of(_x: &Expr) -> UberExpr {
+    UberExpr::VsMpyAdd(uber_ir::VsMpyAdd {
+        inputs: vec![
+            UberExpr::Data(halide_ir::Load { buffer: "a".into(), dx: 0, dy: 0, ty: U8 }),
+            UberExpr::Data(halide_ir::Load { buffer: "b".into(), dx: 0, dy: 0, ty: U8 }),
+        ],
+        kernel: vec![1, 1],
+        saturating: false,
+        out: U16,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random wrap-free weighted sums: the linear path must accept the
+    /// true lift and reject a perturbed kernel.
+    #[test]
+    fn prop_linear_path_correct(
+        k in proptest::collection::vec(1i64..8, 2..5),
+        perturb in 0usize..4,
+    ) {
+        let mut h: Option<Expr> = None;
+        for (i, &w) in k.iter().enumerate() {
+            let t = widen(load("in", U8, i as i32, 0));
+            let term = if w == 1 { t } else { mul(t, bcast(w, U16)) };
+            h = Some(match h {
+                None => term,
+                Some(a) => add(a, term),
+            });
+        }
+        let h = h.expect("non-empty");
+        let u = UberExpr::conv("in", U8, 0, 0, &k, U16);
+        prop_assert_eq!(decide_linear(&h, &u), Some(true));
+
+        let mut k2 = k.clone();
+        let idx = perturb % k2.len();
+        k2[idx] += 1;
+        let u2 = UberExpr::conv("in", U8, 0, 0, &k2, U16);
+        prop_assert_eq!(decide_linear(&h, &u2), Some(false));
+    }
+}
