@@ -1,10 +1,10 @@
-//! Criterion micro-benchmarks of the HVX model: program execution
-//! throughput and VLIW scheduling.
+//! Micro-benchmarks of the HVX model: program execution throughput and
+//! VLIW scheduling.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use halide_ir::{Buffer2D, Env};
 use hvx::{ExecCtx, HvxExpr, Op, SlotBudget};
 use lanes::ElemType;
+use rake_bench::microbench::bench;
 
 fn conv_program() -> hvx::Program {
     // vtmpy row + fused narrow: a realistic loop body.
@@ -22,30 +22,22 @@ fn conv_program() -> hvx::Program {
     out.to_program()
 }
 
-fn bench_execute(c: &mut Criterion) {
+fn main() {
     let p = conv_program();
     let mut env = Env::new();
     env.insert(Buffer2D::from_fn("in", ElemType::U8, 512, 1, |x, _| (x % 256) as i64));
     let ctx = ExecCtx { env: &env, x0: 128, y0: 0, lanes: 128, vec_bytes: 128 };
-    c.bench_function("simulator/execute_tile_128", |b| {
-        b.iter(|| p.run_ctx(&ctx).expect("runs"))
+    bench("simulator/execute_tile_128", || {
+        p.run_ctx(&ctx).expect("runs");
     });
-}
 
-fn bench_schedule(c: &mut Criterion) {
-    let p = conv_program();
-    c.bench_function("simulator/schedule", |b| {
-        b.iter(|| p.schedule(128, 128, SlotBudget::hvx()))
+    bench("simulator/schedule", || {
+        p.schedule(128, 128, SlotBudget::hvx());
     });
-}
 
-fn bench_baseline_select(c: &mut Criterion) {
     let sobel = workloads::by_name("sobel").expect("registered");
     let e = sobel.exprs[0].clone();
-    c.bench_function("baseline/select_sobel", |b| {
-        b.iter(|| halide_opt::select(&e, halide_opt::BaselineOptions::hvx()).expect("selects"))
+    bench("baseline/select_sobel", || {
+        halide_opt::select(&e, halide_opt::BaselineOptions::hvx()).expect("selects");
     });
 }
-
-criterion_group!(benches, bench_execute, bench_schedule, bench_baseline_select);
-criterion_main!(benches);

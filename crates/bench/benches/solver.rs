@@ -1,6 +1,6 @@
-//! Criterion micro-benchmarks of the SAT/SMT substrate.
+//! Micro-benchmarks of the SAT/SMT substrate.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rake_bench::microbench::bench;
 use sat::{Lit, Solver, Var};
 use smt::{check_equivalent, Context};
 
@@ -21,46 +21,35 @@ fn pigeonhole(pigeons: usize, holes: usize) -> Solver {
     s
 }
 
-fn bench_sat(c: &mut Criterion) {
-    c.bench_function("sat/pigeonhole_7_6", |b| {
-        b.iter(|| {
-            let mut s = pigeonhole(7, 6);
-            assert!(!s.solve().is_sat());
-        })
+fn main() {
+    bench("sat/pigeonhole_7_6", || {
+        let mut s = pigeonhole(7, 6);
+        assert!(!s.solve().is_sat());
+    });
+
+    bench("smt/mul_add_equiv_16bit", || {
+        let mut ctx = Context::new();
+        let x = ctx.var("x", 16);
+        let y = ctx.var("y", 16);
+        let three = ctx.constant(3, 16);
+        let l = {
+            let xy = ctx.add(x, y);
+            ctx.mul(xy, three)
+        };
+        let r = {
+            let x3 = ctx.mul(x, three);
+            let y3 = ctx.mul(y, three);
+            ctx.add(x3, y3)
+        };
+        assert!(check_equivalent(&mut ctx, l, r).is_ok());
+    });
+
+    bench("smt/counterexample_16bit", || {
+        let mut ctx = Context::new();
+        let x = ctx.var("x", 16);
+        let one = ctx.constant(1, 16);
+        let l = ctx.add(x, one);
+        let r = ctx.sub(x, one);
+        assert!(check_equivalent(&mut ctx, l, r).is_err());
     });
 }
-
-fn bench_smt_equivalence(c: &mut Criterion) {
-    c.bench_function("smt/mul_add_equiv_16bit", |b| {
-        b.iter(|| {
-            let mut ctx = Context::new();
-            let x = ctx.var("x", 16);
-            let y = ctx.var("y", 16);
-            let three = ctx.constant(3, 16);
-            let l = {
-                let xy = ctx.add(x, y);
-                ctx.mul(xy, three)
-            };
-            let r = {
-                let x3 = ctx.mul(x, three);
-                let y3 = ctx.mul(y, three);
-                ctx.add(x3, y3)
-            };
-            assert!(check_equivalent(&mut ctx, l, r).is_ok());
-        })
-    });
-
-    c.bench_function("smt/counterexample_16bit", |b| {
-        b.iter(|| {
-            let mut ctx = Context::new();
-            let x = ctx.var("x", 16);
-            let one = ctx.constant(1, 16);
-            let l = ctx.add(x, one);
-            let r = ctx.sub(x, one);
-            assert!(check_equivalent(&mut ctx, l, r).is_err());
-        })
-    });
-}
-
-criterion_group!(benches, bench_sat, bench_smt_equivalence);
-criterion_main!(benches);

@@ -1,10 +1,10 @@
-//! Criterion micro-benchmarks of the three synthesis stages (the cost
-//! structure behind Table 1's timing split).
+//! Micro-benchmarks of the three synthesis stages (the cost structure
+//! behind Table 1's timing split).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use halide_ir::builder::*;
 use lanes::ElemType::{U16, U8};
 use rake::{Rake, Target};
+use rake_bench::microbench::bench;
 use synth::{lift_expr, lower_expr, LoweringOptions, SynthStats, Verifier};
 
 fn sobel_row() -> halide_ir::Expr {
@@ -23,43 +23,28 @@ fn verifier() -> Verifier {
     }
 }
 
-fn bench_lift(c: &mut Criterion) {
+fn main() {
     let e = sobel_row();
     let v = verifier();
-    c.bench_function("lift/sobel_row", |b| {
-        b.iter(|| {
-            let mut stats = SynthStats::default();
-            lift_expr(&e, &v, &mut stats).expect("lifts")
-        })
+    bench("lift/sobel_row", || {
+        let mut stats = SynthStats::default();
+        lift_expr(&e, &v, &mut stats).expect("lifts");
     });
-}
 
-fn bench_lower(c: &mut Criterion) {
-    let e = sobel_row();
-    let v = verifier();
     let mut stats = SynthStats::default();
     let (u, _) = lift_expr(&e, &v, &mut stats).expect("lifts");
     let opts = LoweringOptions { lanes: 16, vec_bytes: 16, ..LoweringOptions::default() };
-    c.bench_function("lower/sobel_row", |b| {
-        b.iter(|| {
-            let mut stats = SynthStats::default();
-            lower_expr(&u, &v, opts, &mut stats).expect("lowers")
-        })
+    bench("lower/sobel_row", || {
+        let mut stats = SynthStats::default();
+        lower_expr(&u, &v, opts, &mut stats).expect("lowers");
+    });
+
+    let rake = Rake::new(Target::hvx_small(16)).with_verifier(verifier());
+    bench("compile/sobel_row", || {
+        rake.compile(&e).expect("compiles");
+    });
+    let g = workloads::by_name("gaussian3x3").expect("registered").exprs[0].clone();
+    bench("compile/gaussian3x3", || {
+        rake.compile(&g).expect("compiles");
     });
 }
-
-fn bench_compile(c: &mut Criterion) {
-    let e = sobel_row();
-    let rake = Rake::new(Target::hvx_small(16)).with_verifier(verifier());
-    c.bench_function("compile/sobel_row", |b| b.iter(|| rake.compile(&e).expect("compiles")));
-
-    let g = workloads::by_name("gaussian3x3").expect("registered").exprs[0].clone();
-    c.bench_function("compile/gaussian3x3", |b| b.iter(|| rake.compile(&g).expect("compiles")));
-}
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_lift, bench_lower, bench_compile
-}
-criterion_main!(benches);

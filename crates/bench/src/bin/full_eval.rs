@@ -3,17 +3,39 @@
 //! statistics (the data EXPERIMENTS.md records). Prints progress per
 //! benchmark; pass `--quick` for the scaled-down configuration.
 //!
+//! Compilations go through the `rake-driver` service layer:
+//!
+//!   --cache DIR    persistent synthesis cache (second runs start warm)
+//!   --log FILE     append the JSONL driver event stream to FILE
+//!   --jobs N       worker threads per workload batch (default: auto)
+//!   --timeout SEC  per-expression synthesis budget
+//!
 //! ```sh
-//! cargo run --release -p rake-bench --bin full_eval
+//! cargo run --release -p rake-bench --bin full_eval -- --cache .rake-cache
 //! ```
 
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use rake_bench::{run_workload, RunConfig};
+use rake_bench::{run_workload_with, RunConfig, ServiceOptions};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut svc = ServiceOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--cache" => svc.cache_dir = it.next().map(Into::into),
+            "--log" => svc.log_path = it.next().map(Into::into),
+            "--jobs" => svc.workers = it.next().and_then(|v| v.parse().ok()),
+            "--timeout" => {
+                svc.job_timeout =
+                    it.next().and_then(|v| v.parse().ok()).map(Duration::from_secs_f64);
+            }
+            _ => {}
+        }
+    }
     let mut fig11 = String::new();
     let mut table1 = String::new();
     let _ = writeln!(
@@ -31,14 +53,15 @@ fn main() {
     for w in workloads::all() {
         let cfg = if quick { RunConfig::quick(&w) } else { RunConfig::full(&w) };
         let t0 = Instant::now();
-        let run = run_workload(&w, cfg);
+        let run = run_workload_with(&w, cfg, &svc);
         let ok = run.all_verified();
         eprintln!(
-            "{:<16} speedup {:>5.2}x  {}  ({:.1?})",
+            "{:<16} speedup {:>5.2}x  {}  ({:.1?}, {} cache hits)",
             run.name,
             run.speedup(),
             if ok { "verified" } else { "MISMATCH" },
-            t0.elapsed()
+            t0.elapsed(),
+            run.stats.cache_hits
         );
         assert!(ok, "{}: output mismatch against the reference interpreter", run.name);
         speedups.push(run.speedup());

@@ -12,16 +12,20 @@
 //! ```
 //!
 //! Options:
-//!   --lanes N     vectorization width (default 128)
-//!   --baseline    also print the pattern-matching baseline's code
-//!   --trace       print the lifting trace (Figure 9 style)
-//!   --uber        print the lifted Uber-Instruction IR
+//!   --lanes N      vectorization width (default 128)
+//!   --baseline     also print the pattern-matching baseline's code
+//!   --trace        print the lifting trace (Figure 9 style)
+//!   --uber         print the lifted Uber-Instruction IR
+//!   --cache DIR    persistent synthesis cache (via the rake-driver layer)
+//!   --timeout SEC  wall-clock synthesis budget
 
 use std::io::Read as _;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use hvx::SlotBudget;
 use rake::{Rake, Target};
+use driver::{Driver, DriverConfig, JobOutcome};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,6 +33,8 @@ fn main() -> ExitCode {
     let mut baseline = false;
     let mut trace = false;
     let mut uber = false;
+    let mut cache_dir: Option<std::path::PathBuf> = None;
+    let mut timeout: Option<Duration> = None;
     let mut path: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -40,6 +46,14 @@ fn main() -> ExitCode {
             "--baseline" => baseline = true,
             "--trace" => trace = true,
             "--uber" => uber = true,
+            "--cache" => match it.next() {
+                Some(dir) => cache_dir = Some(dir.into()),
+                None => return usage("--cache needs a directory"),
+            },
+            "--timeout" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(secs) => timeout = Some(Duration::from_secs_f64(secs)),
+                None => return usage("--timeout needs seconds"),
+            },
             "--help" | "-h" => return usage(""),
             other if !other.starts_with('-') => path = Some(other.to_owned()),
             other => return usage(&format!("unknown option `{other}`")),
@@ -75,8 +89,19 @@ fn main() -> ExitCode {
 
     let vec_bytes = 128.min(lanes.max(8));
     let target = Target { lanes, vec_bytes };
-    match Rake::new(target).compile(&expr) {
-        Ok(c) => {
+    let driver = Driver::new(Rake::new(target)).with_config(DriverConfig {
+        workers: 1,
+        job_timeout: timeout,
+        cache_dir,
+        ..DriverConfig::default()
+    });
+    let report = driver.compile_batch(&[expr.clone()]);
+    let result = &report.results[0];
+    if result.cache_hit {
+        println!("; served from synthesis cache ({})", result.key);
+    }
+    match &result.outcome {
+        JobOutcome::Compiled(c) => {
             if trace {
                 println!("\n; lifting trace");
                 for (i, s) in c.trace.steps.iter().enumerate() {
@@ -114,10 +139,33 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        Err(e) => {
+        JobOutcome::Failed(e) => {
             eprintln!("rakec: {e}");
             ExitCode::FAILURE
         }
+        JobOutcome::TimedOut => {
+            eprintln!("rakec: synthesis budget exhausted; rerun with a larger --timeout");
+            print_fallback(result, lanes, vec_bytes);
+            ExitCode::FAILURE
+        }
+        JobOutcome::Panicked(msg) => {
+            eprintln!("rakec: selector panicked ({msg}); falling back to baseline");
+            print_fallback(result, lanes, vec_bytes);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// For degraded outcomes, print the baseline program the driver fell back
+/// to (when the baseline covers the expression).
+fn print_fallback(result: &driver::JobResult, lanes: usize, vec_bytes: usize) {
+    if let Some(p) = &result.fallback {
+        println!("\n; baseline fallback codegen");
+        print!("{p}");
+        println!(
+            "; cycles/tile: {}",
+            p.schedule(lanes, vec_bytes, SlotBudget::hvx()).cycles
+        );
     }
 }
 
@@ -125,7 +173,10 @@ fn usage(err: &str) -> ExitCode {
     if !err.is_empty() {
         eprintln!("rakec: {err}");
     }
-    eprintln!("usage: rakec [--lanes N] [--baseline] [--trace] [--uber] [file.sexp]");
+    eprintln!(
+        "usage: rakec [--lanes N] [--baseline] [--trace] [--uber] \
+         [--cache DIR] [--timeout SEC] [file.sexp]"
+    );
     if err.is_empty() {
         ExitCode::SUCCESS
     } else {

@@ -1,23 +1,36 @@
 //! Table 1: compilation statistics per benchmark — expressions optimized,
 //! query counts and wall-clock time per synthesis stage.
 //!
+//! Compilations go through the `rake-driver` service layer; pass
+//! `--cache DIR` to reuse (and grow) a persistent synthesis cache — a warm
+//! second run reports zero queries and all cache hits.
+//!
 //! ```sh
-//! cargo run --release -p rake-bench --bin table1_compile_stats [--quick]
+//! cargo run --release -p rake-bench --bin table1_compile_stats [--quick] [--cache DIR]
 //! ```
 
-use rake_bench::{run_workload, RunConfig};
+use rake_bench::{run_workload_with, RunConfig, ServiceOptions};
 use synth::SynthStats;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut svc = ServiceOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--cache" {
+            svc.cache_dir = it.next().map(Into::into);
+        }
+    }
     println!("Table 1 — compilation statistics (this reproduction's scale)\n");
     println!(
-        "{:<16} {:>5} {:>8} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9}",
+        "{:<16} {:>5} {:>8} {:>8} {:>8} {:>5} {:>9} {:>9} {:>9} {:>9}",
         "benchmark",
         "exprs",
         "lift-q",
         "sketch-q",
         "swizl-q",
+        "hits",
         "lift-s",
         "sketch-s",
         "swizl-s",
@@ -27,17 +40,18 @@ fn main() {
     let mut total_exprs = 0;
     for w in workloads::all() {
         let cfg = if quick { RunConfig::quick(&w) } else { RunConfig::full(&w) };
-        let run = run_workload(&w, cfg);
+        let run = run_workload_with(&w, cfg, &svc);
         let s = &run.stats;
         suite.merge(s);
         total_exprs += run.optimized();
         println!(
-            "{:<16} {:>5} {:>8} {:>8} {:>8} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+            "{:<16} {:>5} {:>8} {:>8} {:>8} {:>5} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
             run.name,
             run.optimized(),
             s.lifting_queries,
             s.sketching_queries,
             s.swizzling_queries,
+            s.cache_hits,
             s.lifting_time.as_secs_f64(),
             s.sketching_time.as_secs_f64(),
             s.swizzling_time.as_secs_f64(),
@@ -45,10 +59,11 @@ fn main() {
         );
     }
     println!(
-        "\nsuite: {total_exprs} expressions optimized; {} lifting, {} sketching, {} swizzling queries; {:.2}s total synthesis",
+        "\nsuite: {total_exprs} expressions optimized; {} lifting, {} sketching, {} swizzling queries; {} cache hits; {:.2}s total synthesis",
         suite.lifting_queries,
         suite.sketching_queries,
         suite.swizzling_queries,
+        suite.cache_hits,
         suite.total_time().as_secs_f64()
     );
     println!("paper scale: 450 expressions, ~62 min mean compile time per benchmark (Rosette/Z3).");

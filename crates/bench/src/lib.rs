@@ -3,11 +3,41 @@
 //! Halide IR interpreter over a tile sweep, and reports simulated cycle
 //! counts — regenerating the data behind every table and figure of §7.
 
+use driver::{Driver, DriverConfig, JobOutcome};
 use halide_ir::{Env, EvalCtx, Expr};
 use hvx::{ExecCtx, Program, SlotBudget};
 use rake::{Rake, Target};
 use synth::{SynthStats, Verifier};
 use workloads::Workload;
+
+pub mod microbench;
+
+/// Service-layer knobs for harness runs, forwarded to [`driver::Driver`].
+/// The default is a cold in-memory cache and an auto-sized pool.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceOptions {
+    /// Persistent synthesis-cache directory (warm starts across runs).
+    pub cache_dir: Option<std::path::PathBuf>,
+    /// JSONL event log to append to.
+    pub log_path: Option<std::path::PathBuf>,
+    /// Worker threads; `None` auto-sizes.
+    pub workers: Option<usize>,
+    /// Per-expression wall-clock budget.
+    pub job_timeout: Option<std::time::Duration>,
+}
+
+impl ServiceOptions {
+    /// Build the driver for one workload run.
+    pub fn driver(&self, rake: Rake) -> Driver {
+        let defaults = DriverConfig::default();
+        Driver::new(rake).with_config(DriverConfig {
+            workers: self.workers.unwrap_or(defaults.workers),
+            job_timeout: self.job_timeout,
+            cache_dir: self.cache_dir.clone(),
+            log_path: self.log_path.clone(),
+        })
+    }
+}
 
 /// Geometry of one harness run.
 #[derive(Debug, Clone, Copy)]
@@ -104,35 +134,54 @@ pub fn bench_verifier(cfg: RunConfig) -> Verifier {
     }
 }
 
-/// Run one workload through both code generators and the simulator.
+/// Run one workload through both code generators and the simulator, with
+/// default service options (in-memory cache, auto-sized pool).
 ///
 /// # Panics
 ///
 /// Panics if the baseline selector fails to cover a workload expression —
 /// the baseline must be total over the benchmark suite.
 pub fn run_workload(w: &Workload, cfg: RunConfig) -> WorkloadRun {
+    run_workload_with(w, cfg, &ServiceOptions::default())
+}
+
+/// Like [`run_workload`], but Rake compilations go through the
+/// [`driver::Driver`] service layer configured by `svc`: batched over a
+/// worker pool, deduplicated, cached (persistently when `cache_dir` is
+/// set), with per-job deadlines and panic isolation.
+///
+/// # Panics
+///
+/// Panics if the baseline selector fails to cover a workload expression —
+/// the baseline must be total over the benchmark suite.
+pub fn run_workload_with(w: &Workload, cfg: RunConfig, svc: &ServiceOptions) -> WorkloadRun {
     let target = Target { lanes: cfg.lanes, vec_bytes: cfg.vec_bytes };
     let rake = Rake::new(target).with_verifier(bench_verifier(cfg));
     let bopts = halide_opt::BaselineOptions { lanes: cfg.lanes, vec_bytes: cfg.vec_bytes };
     let env = w.env(cfg.lanes * (cfg.tiles_x + 2), cfg.rows + 16, 0xC0FFEE);
     let slots = SlotBudget::hvx();
 
-    let mut stats = SynthStats::default();
+    let report = svc.driver(rake).compile_batch_named(
+        w.exprs
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (format!("{}[{i}]", w.name), e.clone()))
+            .collect(),
+    );
+    let stats = report.stats;
+
     let mut exprs = Vec::new();
     let mut baseline_total = 0u64;
     let mut rake_total = 0u64;
-    for e in &w.exprs {
+    for (e, result) in w.exprs.iter().zip(&report.results) {
         let baseline =
             halide_opt::select(e, bopts).unwrap_or_else(|err| {
                 panic!("baseline must cover {}: {err}", w.name)
             });
         let baseline_program = baseline.to_program();
-        let (rake_program, rake_optimized) = match rake.compile(e) {
-            Ok(c) => {
-                stats.merge(&c.stats);
-                (Some(c.program), true)
-            }
-            Err(_) => (None, false),
+        let (rake_program, rake_optimized) = match &result.outcome {
+            JobOutcome::Compiled(c) => (Some(c.program.clone()), true),
+            _ => (None, false),
         };
 
         let verified = verify_sweep(e, &baseline_program, rake_program.as_ref(), &env, cfg);

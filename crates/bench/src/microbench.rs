@@ -1,0 +1,47 @@
+//! A minimal self-contained micro-benchmark harness: wall-clock timing
+//! with warmup and median-of-samples reporting. Replaces an external
+//! benchmarking dependency so `cargo bench` works in offline builds.
+
+use std::time::{Duration, Instant};
+
+/// Run `f` repeatedly and print `name: median per-iter time` over a set of
+/// samples. Each sample times a batch sized so one batch takes ~10ms,
+/// bounded to keep total runtime per benchmark under a second or so.
+pub fn bench(name: &str, mut f: impl FnMut()) {
+    // Warmup + batch sizing.
+    let start = Instant::now();
+    let mut warmup_iters = 0u32;
+    while start.elapsed() < Duration::from_millis(50) && warmup_iters < 1_000_000 {
+        f();
+        warmup_iters += 1;
+    }
+    let per_iter = start.elapsed() / warmup_iters.max(1);
+    let batch = (Duration::from_millis(10).as_nanos() / per_iter.as_nanos().max(1))
+        .clamp(1, 1_000_000) as u32;
+
+    const SAMPLES: usize = 11;
+    let mut samples: Vec<Duration> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            t.elapsed() / batch
+        })
+        .collect();
+    samples.sort();
+    println!("{name:<40} {:>12}  ({batch} iters/sample)", fmt_duration(samples[SAMPLES / 2]));
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}

@@ -31,11 +31,12 @@
 //! # Ok::<(), rake::CompileError>(())
 //! ```
 
+use std::collections::HashMap;
 use std::fmt;
 
 use halide_ir::Expr;
 use hvx::{HvxExpr, Program};
-use synth::{lift_expr, lower_expr, LiftTrace, LoweringOptions, SynthStats, Verifier};
+use synth::{lift_expr_with_deadline, lower_expr, LiftTrace, LoweringOptions, SynthStats, Verifier};
 use uber_ir::UberExpr;
 
 /// The compilation target: vector geometry of the HVX-style machine.
@@ -79,6 +80,11 @@ pub enum CompileError {
     /// The final end-to-end equivalence check failed (would indicate a bug
     /// in the synthesis engine; surfaced rather than silently miscompiled).
     FinalCheckFailed,
+    /// Synthesis was cut short by the configured wall-clock deadline
+    /// ([`LoweringOptions::deadline`]). Unlike [`CompileError::LiftFailed`]
+    /// and [`CompileError::LowerFailed`], this does not prove the
+    /// expression uncompilable — a retry with more time may succeed.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for CompileError {
@@ -89,6 +95,9 @@ impl fmt::Display for CompileError {
             CompileError::LowerFailed => write!(f, "no verified lowering found"),
             CompileError::FinalCheckFailed => {
                 write!(f, "final end-to-end equivalence check failed")
+            }
+            CompileError::DeadlineExceeded => {
+                write!(f, "synthesis deadline exceeded before a result was found")
             }
         }
     }
@@ -161,6 +170,11 @@ impl Rake {
         self.target
     }
 
+    /// The lowering search options in effect.
+    pub fn options(&self) -> LoweringOptions {
+        self.options
+    }
+
     /// Compile one qualifying Halide IR vector expression to HVX.
     ///
     /// # Errors
@@ -173,16 +187,24 @@ impl Rake {
             return Err(CompileError::NotQualifying);
         }
         let mut stats = SynthStats::default();
-        let (uber, trace) =
-            lift_expr(e, &self.verifier, &mut stats).ok_or(CompileError::LiftFailed)?;
-        let hvx = lower_expr(&uber, &self.verifier, self.options, &mut stats)
-            .ok_or(CompileError::LowerFailed)?;
-        let verifier = Verifier {
-            lanes: self.target.lanes,
-            vec_bytes: self.target.vec_bytes,
-            ..self.verifier.clone()
+        let lifted = lift_expr_with_deadline(e, &self.verifier, self.options.deadline, &mut stats);
+        let Some((uber, trace)) = lifted else {
+            return Err(if stats.deadline_exceeded {
+                CompileError::DeadlineExceeded
+            } else {
+                CompileError::LiftFailed
+            });
         };
-        if !verifier.equiv_halide_hvx(e, &hvx) {
+        let Some(hvx) = lower_expr(&uber, &self.verifier, self.options, &mut stats) else {
+            return Err(if stats.deadline_exceeded {
+                CompileError::DeadlineExceeded
+            } else {
+                CompileError::LowerFailed
+            });
+        };
+        // The verifier's geometry was pinned to the target in the
+        // constructors, so it is used directly for the final check.
+        if !self.verifier.equiv_halide_hvx(e, &hvx) {
             return Err(CompileError::FinalCheckFailed);
         }
         let program = hvx.to_program();
@@ -192,14 +214,30 @@ impl Rake {
     /// Compile every qualifying expression of a pipeline, collecting the
     /// per-expression outcomes and merged statistics — Rake's "patch the
     /// lowered program" step (§2.2).
+    ///
+    /// Structurally identical expressions are synthesized once: repeats
+    /// reuse the first outcome and count as [`SynthStats::cache_hits`].
+    /// The per-expression outcomes and skip/fail counts are unaffected.
     pub fn compile_pipeline(&self, exprs: &[Expr]) -> PipelineReport {
         let mut report = PipelineReport::default();
+        let mut memo: HashMap<&Expr, Result<Compiled, CompileError>> = HashMap::new();
         for e in exprs {
-            match self.compile(e) {
-                Ok(c) => {
-                    report.stats.merge(&c.stats);
-                    report.compiled.push((e.clone(), Some(c)));
+            let (outcome, hit) = match memo.get(e) {
+                Some(cached) => (cached.clone(), true),
+                None => {
+                    let fresh = self.compile(e);
+                    memo.insert(e, fresh.clone());
+                    (fresh, false)
                 }
+            };
+            if hit {
+                // Reused outcome: no new queries, just a cache hit.
+                report.stats.cache_hits += 1;
+            } else if let Ok(ref c) = outcome {
+                report.stats.merge(&c.stats);
+            }
+            match outcome {
+                Ok(c) => report.compiled.push((e.clone(), Some(c))),
                 Err(err) => {
                     report.skipped += usize::from(err == CompileError::NotQualifying);
                     report.failed += usize::from(err != CompileError::NotQualifying);
@@ -292,6 +330,38 @@ mod tests {
         assert_eq!(report.skipped, 1);
         assert_eq!(report.failed, 0);
         assert!(report.stats.lifting_queries > 0);
+    }
+
+    #[test]
+    fn pipeline_dedupes_identical_exprs() {
+        let t = |dx| widen(load("in", ElemType::U8, dx, 0));
+        let e1 = add(t(0), t(1));
+        let e2 = absd(load("a", ElemType::U8, 0, 0), load("b", ElemType::U8, 0, 0));
+        let exprs = vec![e1.clone(), e1.clone(), e2, e1];
+        let report = rake8().compile_pipeline(&exprs);
+        assert_eq!(report.optimized(), 4);
+        assert_eq!(report.stats.cache_hits, 2);
+        // The duplicates reuse the first compilation's result verbatim.
+        let texts: Vec<String> = report
+            .compiled
+            .iter()
+            .filter(|(e, _)| *e == exprs[0])
+            .map(|(_, c)| c.as_ref().unwrap().hvx.to_string())
+            .collect();
+        assert_eq!(texts.len(), 3);
+        assert!(texts.iter().all(|t| t == &texts[0]));
+    }
+
+    #[test]
+    fn expired_deadline_reports_deadline_exceeded() {
+        let opts = LoweringOptions {
+            deadline: Some(std::time::Instant::now()),
+            ..LoweringOptions::default()
+        };
+        let rake = rake8().with_options(opts);
+        let t = |dx| widen(load("in", ElemType::U8, dx, 0));
+        let e = add(add(t(-1), mul(t(0), bcast(2, ElemType::U16))), t(1));
+        assert_eq!(rake.compile(&e).unwrap_err(), CompileError::DeadlineExceeded);
     }
 
     #[test]

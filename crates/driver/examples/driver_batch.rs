@@ -1,0 +1,81 @@
+//! Compile every workload of the evaluation suite through the driver
+//! service layer: one deduplicated, cached, fault-isolated batch per
+//! workload (each workload has its own vectorization width, hence its own
+//! target and driver).
+//!
+//! ```sh
+//! cargo run --release -p rake-driver --example driver_batch -- .rake-cache
+//! ```
+//!
+//! Run it twice with the same cache directory: the second run answers
+//! every expression from the persistent cache with zero synthesis queries.
+
+use std::time::Instant;
+
+use rake::{Rake, Target};
+use rake_driver::{Driver, DriverConfig};
+use synth::Verifier;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cache_dir: std::path::PathBuf =
+        args.first().map_or_else(|| ".rake-cache".into(), Into::into);
+    // Scale the suite's targets down (like the harness's --quick mode) so
+    // the example finishes in seconds while exercising the full driver
+    // stack: canonical cache keys, the worker pool, JSONL events.
+    let scale = |lanes: usize| (16 * lanes / 128).max(4);
+
+    let suite = workloads::all();
+    println!("{} workloads -> pool, cache at {}", suite.len(), cache_dir.display());
+    let t0 = Instant::now();
+    let mut total_exprs = 0;
+    let mut total_hits = 0;
+    let mut total_queries = 0;
+    for w in &suite {
+        let lanes = scale(w.lanes);
+        let rake = Rake::new(Target::hvx_small(lanes)).with_verifier(Verifier {
+            lanes,
+            vec_bytes: lanes,
+            ..Verifier::fast()
+        });
+        let driver = Driver::new(rake).with_config(DriverConfig {
+            workers: 4,
+            job_timeout: Some(std::time::Duration::from_secs(30)),
+            cache_dir: Some(cache_dir.clone()),
+            log_path: Some(cache_dir.join("events.jsonl")),
+        });
+        let report = driver.compile_batch_named(
+            w.exprs
+                .iter()
+                .enumerate()
+                .map(|(i, e)| (format!("{}[{i}]", w.name), e.clone()))
+                .collect(),
+        );
+        let queries = report.stats.lifting_queries
+            + report.stats.sketching_queries
+            + report.stats.swizzling_queries;
+        total_exprs += report.results.len();
+        total_hits += report.stats.cache_hits;
+        total_queries += queries;
+        println!(
+            "{:<16} {:>2}/{:<2} compiled  {:>4} hits  {:>6} queries  {:>8.1?}",
+            w.name,
+            report.compiled(),
+            report.results.len(),
+            report.stats.cache_hits,
+            queries,
+            report.wall
+        );
+    }
+    println!(
+        "\n{total_exprs} expressions, {total_hits} cache hits, {total_queries} queries \
+         in {:.1?}",
+        t0.elapsed()
+    );
+    println!("events appended to {}", cache_dir.join("events.jsonl").display());
+    if total_queries == 0 {
+        println!("warm start: the whole suite was served from the synthesis cache.");
+    } else {
+        println!("run again with the same cache directory for a warm start.");
+    }
+}

@@ -1,0 +1,381 @@
+//! The content-addressed synthesis cache.
+//!
+//! Keys are canonical-form S-expressions (see [`crate::canon`]) combined
+//! with a fingerprint of the target geometry and search options — two
+//! batches compiled for different machines or under different ablations
+//! never share entries. Values are either the synthesized artifacts (in
+//! canonical buffer names, renamed on the way out) or a *negative* entry
+//! recording a deterministic failure, so known-unliftable tiles are not
+//! re-searched. Timeouts and panics are never negative-cached: they do not
+//! prove anything about the tile.
+//!
+//! The cache has two layers: a process-wide in-memory map, and an optional
+//! JSON file (`synthcache.json` in the configured directory) giving warm
+//! starts across processes. A corrupted or unreadable file is reported to
+//! stderr and treated as a cold start — it never aborts compilation.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use rake::CompileError;
+use synth::{LiftRule, LiftStep, LiftTrace};
+
+use crate::json::{self, Json};
+
+/// File name of the persistent layer inside the cache directory.
+pub const CACHE_FILE: &str = "synthcache.json";
+
+/// Synthesized artifacts stored under a canonical key. Buffer names inside
+/// are canonical (`b0, b1, …`); [`crate::canon::rename_uber`] /
+/// [`crate::canon::rename_hvx`] map them back per requesting tile.
+#[derive(Debug, Clone)]
+pub struct CachedArtifacts {
+    /// The lifted Uber-IR expression.
+    pub uber: uber_ir::UberExpr,
+    /// The synthesized HVX expression.
+    pub hvx: hvx::HvxExpr,
+    /// The lifting trace (rendered with canonical buffer names).
+    pub trace: LiftTrace,
+}
+
+/// One cache entry.
+#[derive(Debug, Clone)]
+pub enum CacheEntry {
+    /// A successful compilation.
+    Compiled(CachedArtifacts),
+    /// A deterministic failure (e.g. no verified lifting exists).
+    Failed(CompileError),
+}
+
+/// Running cache-effectiveness counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries loaded from the persistent layer at startup.
+    pub loaded: u64,
+    /// Entries (or whole files) dropped as corrupted at startup.
+    pub corrupted: u64,
+}
+
+/// The two-layer synthesis cache. All methods take `&self`; the cache is
+/// shared across worker threads behind an `Arc`.
+#[derive(Debug)]
+pub struct SynthCache {
+    mem: Mutex<HashMap<String, CacheEntry>>,
+    path: Option<PathBuf>,
+    stats: Mutex<CacheStats>,
+}
+
+impl SynthCache {
+    /// A purely in-memory cache.
+    pub fn in_memory() -> SynthCache {
+        SynthCache { mem: Mutex::new(HashMap::new()), path: None, stats: Mutex::default() }
+    }
+
+    /// A cache backed by `dir/synthcache.json`, loaded now if present.
+    /// A corrupted file warns and starts cold; it never panics.
+    pub fn persistent(dir: &Path) -> SynthCache {
+        let path = dir.join(CACHE_FILE);
+        let mut stats = CacheStats::default();
+        let mem = match std::fs::read_to_string(&path) {
+            Ok(text) => match load_entries(&text, &mut stats) {
+                Ok(map) => map,
+                Err(err) => {
+                    eprintln!(
+                        "warning: synthesis cache {} is corrupted ({err}); starting cold",
+                        path.display()
+                    );
+                    stats.corrupted += 1;
+                    HashMap::new()
+                }
+            },
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => HashMap::new(),
+            Err(err) => {
+                eprintln!(
+                    "warning: synthesis cache {} is unreadable ({err}); starting cold",
+                    path.display()
+                );
+                stats.corrupted += 1;
+                HashMap::new()
+            }
+        };
+        SynthCache { mem: Mutex::new(mem), path: Some(path), stats: Mutex::new(stats) }
+    }
+
+    /// Look up a key, counting the hit or miss.
+    pub fn lookup(&self, key: &str) -> Option<CacheEntry> {
+        let found = self.mem.lock().unwrap().get(key).cloned();
+        let mut stats = self.stats.lock().unwrap();
+        match found {
+            Some(_) => stats.hits += 1,
+            None => stats.misses += 1,
+        }
+        found
+    }
+
+    /// Insert an entry. Deadline failures are rejected (they are not
+    /// deterministic verdicts) — the call is a no-op for them.
+    pub fn store(&self, key: &str, entry: CacheEntry) {
+        if matches!(entry, CacheEntry::Failed(CompileError::DeadlineExceeded)) {
+            return;
+        }
+        self.mem.lock().unwrap().insert(key.to_owned(), entry);
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.mem.lock().unwrap().len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current hit/miss/load counters.
+    pub fn stats(&self) -> CacheStats {
+        *self.stats.lock().unwrap()
+    }
+
+    /// Write the persistent layer (if configured) atomically: serialize to
+    /// `<file>.tmp`, then rename over the target.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures (the caller decides whether they are fatal).
+    pub fn persist(&self) -> std::io::Result<()> {
+        let Some(path) = &self.path else { return Ok(()) };
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let doc = dump_entries(&self.mem.lock().unwrap());
+        let tmp = path.with_extension("json.tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(doc.to_string().as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+}
+
+fn rule_name(rule: LiftRule) -> &'static str {
+    match rule {
+        LiftRule::Update => "update",
+        LiftRule::Replace => "replace",
+        LiftRule::Extend => "extend",
+    }
+}
+
+fn rule_from(name: &str) -> Option<LiftRule> {
+    match name {
+        "update" => Some(LiftRule::Update),
+        "replace" => Some(LiftRule::Replace),
+        "extend" => Some(LiftRule::Extend),
+        _ => None,
+    }
+}
+
+fn error_name(err: &CompileError) -> &'static str {
+    match err {
+        CompileError::NotQualifying => "not_qualifying",
+        CompileError::LiftFailed => "lift_failed",
+        CompileError::LowerFailed => "lower_failed",
+        CompileError::FinalCheckFailed => "final_check_failed",
+        CompileError::DeadlineExceeded => "deadline_exceeded",
+    }
+}
+
+fn error_from(name: &str) -> Option<CompileError> {
+    match name {
+        "not_qualifying" => Some(CompileError::NotQualifying),
+        "lift_failed" => Some(CompileError::LiftFailed),
+        "lower_failed" => Some(CompileError::LowerFailed),
+        "final_check_failed" => Some(CompileError::FinalCheckFailed),
+        _ => None,
+    }
+}
+
+fn dump_entries(map: &HashMap<String, CacheEntry>) -> Json {
+    // Sort keys so the file is deterministic (easy to diff and to test).
+    let mut keys: Vec<&String> = map.keys().collect();
+    keys.sort();
+    let entries = keys
+        .into_iter()
+        .map(|key| {
+            let mut obj = vec![("key".to_owned(), Json::Str(key.clone()))];
+            match &map[key] {
+                CacheEntry::Compiled(a) => {
+                    obj.push(("kind".to_owned(), "compiled".into()));
+                    obj.push(("uber".to_owned(), uber_ir::sexpr::to_sexpr(&a.uber).into()));
+                    obj.push(("hvx".to_owned(), hvx::sexpr::to_sexpr(&a.hvx).into()));
+                    let steps = a
+                        .trace
+                        .steps
+                        .iter()
+                        .map(|s| {
+                            Json::obj([
+                                ("rule", rule_name(s.rule).into()),
+                                ("halide", s.halide.as_str().into()),
+                                ("lifted", s.lifted.as_str().into()),
+                            ])
+                        })
+                        .collect();
+                    obj.push(("trace".to_owned(), Json::Arr(steps)));
+                }
+                CacheEntry::Failed(err) => {
+                    obj.push(("kind".to_owned(), "failed".into()));
+                    obj.push(("error".to_owned(), error_name(err).into()));
+                }
+            }
+            Json::Obj(obj)
+        })
+        .collect();
+    Json::obj([("version", 1u64.into()), ("entries", Json::Arr(entries))])
+}
+
+fn load_entries(text: &str, stats: &mut CacheStats) -> Result<HashMap<String, CacheEntry>, String> {
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    if doc.get("version").and_then(Json::as_i64) != Some(1) {
+        return Err("unsupported cache version".to_owned());
+    }
+    let entries = doc
+        .get("entries")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "missing `entries` array".to_owned())?;
+    let mut map = HashMap::new();
+    for entry in entries {
+        match load_entry(entry) {
+            Some((key, value)) => {
+                stats.loaded += 1;
+                map.insert(key, value);
+            }
+            None => {
+                stats.corrupted += 1;
+                eprintln!("warning: skipping malformed synthesis cache entry");
+            }
+        }
+    }
+    Ok(map)
+}
+
+fn load_entry(entry: &Json) -> Option<(String, CacheEntry)> {
+    let key = entry.get("key")?.as_str()?.to_owned();
+    let value = match entry.get("kind")?.as_str()? {
+        "compiled" => {
+            let uber = uber_ir::sexpr::parse(entry.get("uber")?.as_str()?).ok()?;
+            let hvx = hvx::sexpr::parse(entry.get("hvx")?.as_str()?).ok()?;
+            let mut trace = LiftTrace::default();
+            for step in entry.get("trace")?.as_arr()? {
+                trace.steps.push(LiftStep {
+                    rule: rule_from(step.get("rule")?.as_str()?)?,
+                    halide: step.get("halide")?.as_str()?.to_owned(),
+                    lifted: step.get("lifted")?.as_str()?.to_owned(),
+                });
+            }
+            CacheEntry::Compiled(CachedArtifacts { uber, hvx, trace })
+        }
+        "failed" => CacheEntry::Failed(error_from(entry.get("error")?.as_str()?)?),
+        _ => return None,
+    };
+    Some((key, value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lanes::ElemType::{U16, U8};
+
+    fn artifacts() -> CachedArtifacts {
+        let hvx = hvx::HvxExpr::op(
+            hvx::Op::Vtmpy { elem: U8, w0: 1, w1: 2 },
+            vec![hvx::HvxExpr::vmem("b0", U8, -1, 0), hvx::HvxExpr::vmem("b0", U8, 7, 0)],
+        );
+        let uber = uber_ir::UberExpr::conv("b0", U8, -1, 0, &[1, 2, 1], U16);
+        let mut trace = LiftTrace::default();
+        trace.steps.push(LiftStep {
+            rule: LiftRule::Update,
+            halide: "u16(b0(x-1, y))".to_owned(),
+            lifted: "(vs-mpy-add ...)".to_owned(),
+        });
+        CachedArtifacts { uber, hvx, trace }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_entries() {
+        let dir = std::env::temp_dir().join("rake-driver-cache-roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let cache = SynthCache::persistent(&dir);
+        cache.store("k1|hvx128", CacheEntry::Compiled(artifacts()));
+        cache.store("k2|hvx128", CacheEntry::Failed(CompileError::LiftFailed));
+        // Deadline failures must not be persisted.
+        cache.store("k3|hvx128", CacheEntry::Failed(CompileError::DeadlineExceeded));
+        cache.persist().unwrap();
+
+        let warm = SynthCache::persistent(&dir);
+        assert_eq!(warm.len(), 2);
+        assert_eq!(warm.stats().loaded, 2);
+        let Some(CacheEntry::Compiled(a)) = warm.lookup("k1|hvx128") else {
+            panic!("expected compiled entry");
+        };
+        let orig = artifacts();
+        assert_eq!(a.uber, orig.uber);
+        assert_eq!(a.hvx, orig.hvx);
+        assert_eq!(a.trace.steps.len(), 1);
+        assert_eq!(a.trace.steps[0].rule, LiftRule::Update);
+        let Some(CacheEntry::Failed(err)) = warm.lookup("k2|hvx128") else {
+            panic!("expected failed entry");
+        };
+        assert_eq!(err, CompileError::LiftFailed);
+        assert!(warm.lookup("k3|hvx128").is_none());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_file_warns_and_starts_cold() {
+        let dir = std::env::temp_dir().join("rake-driver-cache-corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(CACHE_FILE), "{not json at all").unwrap();
+
+        let cache = SynthCache::persistent(&dir);
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().corrupted, 1);
+        // Still fully usable, and persist() repairs the file.
+        cache.store("k", CacheEntry::Failed(CompileError::LowerFailed));
+        cache.persist().unwrap();
+        let warm = SynthCache::persistent(&dir);
+        assert_eq!(warm.len(), 1);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_entries_are_skipped_not_fatal() {
+        let dir = std::env::temp_dir().join("rake-driver-cache-badentry");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let text = r#"{"version":1,"entries":[
+            {"key":"good","kind":"failed","error":"lift_failed"},
+            {"key":"bad","kind":"compiled","uber":"(not valid","hvx":"(nope","trace":[]},
+            {"key":"worse","kind":"unknown"}
+        ]}"#;
+        std::fs::write(dir.join(CACHE_FILE), text).unwrap();
+
+        let cache = SynthCache::persistent(&dir);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().loaded, 1);
+        assert_eq!(cache.stats().corrupted, 2);
+        assert!(matches!(cache.lookup("good"), Some(CacheEntry::Failed(CompileError::LiftFailed))));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,275 @@
+//! Structured driver events and the batch summary table.
+//!
+//! Every batch produces a stream of [`DriverEvent`]s: one `batch_started`,
+//! one `job_finished` per input expression (with stage timings, cache
+//! outcome and queue wait), and one `batch_finished`. The stream
+//! serializes to JSON Lines — one self-describing object per line, keyed
+//! by an `"event"` discriminator — so logs can be tailed, grepped, and
+//! post-processed without this crate.
+
+use std::time::Duration;
+
+use synth::SynthStats;
+
+use crate::json::Json;
+
+/// How one job concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutcomeKind {
+    /// A verified HVX program was produced (fresh or from cache).
+    Compiled,
+    /// Synthesis returned a deterministic failure.
+    Failed,
+    /// The per-job wall-clock budget expired.
+    TimedOut,
+    /// The selector panicked; the job was isolated and the batch continued.
+    Panicked,
+}
+
+impl OutcomeKind {
+    /// Stable string used in JSONL and the summary table.
+    pub fn name(self) -> &'static str {
+        match self {
+            OutcomeKind::Compiled => "compiled",
+            OutcomeKind::Failed => "failed",
+            OutcomeKind::TimedOut => "timed_out",
+            OutcomeKind::Panicked => "panicked",
+        }
+    }
+}
+
+/// Per-job record carried by [`DriverEvent::JobFinished`].
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Position of the expression in the input batch.
+    pub index: usize,
+    /// Caller-supplied label (workload name), if any.
+    pub name: Option<String>,
+    /// The content-addressed cache key.
+    pub key: String,
+    /// Whether the result came from the cache (memory or disk layer).
+    pub cache_hit: bool,
+    /// Time between batch submission and a worker picking the job up.
+    pub queue_wait: Duration,
+    /// Time the worker spent on the job (synthesis or cache rebuild).
+    pub run_time: Duration,
+    /// How the job concluded.
+    pub outcome: OutcomeKind,
+    /// Error or panic description for non-compiled outcomes.
+    pub detail: Option<String>,
+    /// Instruction count of the selected program, when compiled.
+    pub instructions: Option<usize>,
+    /// Synthesis statistics for the job (zero-query on cache hits).
+    pub stats: SynthStats,
+}
+
+/// One entry of the driver's event stream.
+#[derive(Debug, Clone)]
+pub enum DriverEvent {
+    /// A batch was submitted.
+    BatchStarted {
+        /// Number of input expressions.
+        jobs: usize,
+        /// Number of unique canonical keys (the deduplicated job count).
+        unique: usize,
+        /// Worker threads serving the batch.
+        workers: usize,
+        /// Cache entries available at submission time.
+        cache_entries: usize,
+    },
+    /// One job concluded.
+    JobFinished(JobRecord),
+    /// The whole batch concluded.
+    BatchFinished {
+        /// Jobs per [`OutcomeKind`]: compiled, failed, timed out, panicked.
+        compiled: usize,
+        /// Jobs that failed deterministically.
+        failed: usize,
+        /// Jobs cut off by their deadline.
+        timed_out: usize,
+        /// Jobs whose worker panicked.
+        panicked: usize,
+        /// Jobs served from the cache.
+        cache_hits: usize,
+        /// End-to-end batch wall-clock time.
+        wall: Duration,
+    },
+}
+
+fn ms(d: Duration) -> Json {
+    // Round to microsecond granularity so logs stay compact.
+    Json::Num((d.as_secs_f64() * 1e3 * 1e3).round() / 1e3)
+}
+
+impl DriverEvent {
+    /// The JSON object form used for JSONL logging.
+    pub fn to_json(&self) -> Json {
+        match self {
+            DriverEvent::BatchStarted { jobs, unique, workers, cache_entries } => Json::obj([
+                ("event", "batch_started".into()),
+                ("jobs", (*jobs).into()),
+                ("unique", (*unique).into()),
+                ("workers", (*workers).into()),
+                ("cache_entries", (*cache_entries).into()),
+            ]),
+            DriverEvent::JobFinished(r) => {
+                let mut obj = vec![
+                    ("event".to_owned(), "job_finished".into()),
+                    ("job".to_owned(), r.index.into()),
+                ];
+                if let Some(name) = &r.name {
+                    obj.push(("name".to_owned(), name.as_str().into()));
+                }
+                obj.push(("key".to_owned(), r.key.as_str().into()));
+                obj.push(("outcome".to_owned(), r.outcome.name().into()));
+                if let Some(detail) = &r.detail {
+                    obj.push(("detail".to_owned(), detail.as_str().into()));
+                }
+                obj.push(("cache_hit".to_owned(), r.cache_hit.into()));
+                obj.push(("queue_wait_ms".to_owned(), ms(r.queue_wait)));
+                obj.push(("run_ms".to_owned(), ms(r.run_time)));
+                if let Some(n) = r.instructions {
+                    obj.push(("instructions".to_owned(), n.into()));
+                }
+                obj.push(("lifting_queries".to_owned(), r.stats.lifting_queries.into()));
+                obj.push(("sketching_queries".to_owned(), r.stats.sketching_queries.into()));
+                obj.push(("swizzling_queries".to_owned(), r.stats.swizzling_queries.into()));
+                obj.push(("lifting_ms".to_owned(), ms(r.stats.lifting_time)));
+                obj.push(("sketching_ms".to_owned(), ms(r.stats.sketching_time)));
+                obj.push(("swizzling_ms".to_owned(), ms(r.stats.swizzling_time)));
+                Json::Obj(obj)
+            }
+            DriverEvent::BatchFinished {
+                compiled,
+                failed,
+                timed_out,
+                panicked,
+                cache_hits,
+                wall,
+            } => Json::obj([
+                ("event", "batch_finished".into()),
+                ("compiled", (*compiled).into()),
+                ("failed", (*failed).into()),
+                ("timed_out", (*timed_out).into()),
+                ("panicked", (*panicked).into()),
+                ("cache_hits", (*cache_hits).into()),
+                ("wall_ms", ms(*wall)),
+            ]),
+        }
+    }
+
+    /// One JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        self.to_json().to_string()
+    }
+}
+
+/// Render the event stream as a human-readable summary table: one row per
+/// job plus a totals line. Intended for end-of-batch console output.
+pub fn summary_table(events: &[DriverEvent]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<4} {:<18} {:<9} {:>5} {:>8} {:>9} {:>7} {:>6}\n",
+        "job", "name", "outcome", "cache", "wait_ms", "run_ms", "queries", "insns"
+    ));
+    let mut total_queries = 0u64;
+    for event in events {
+        let DriverEvent::JobFinished(r) = event else { continue };
+        let queries =
+            r.stats.lifting_queries + r.stats.sketching_queries + r.stats.swizzling_queries;
+        total_queries += queries;
+        out.push_str(&format!(
+            "{:<4} {:<18} {:<9} {:>5} {:>8.1} {:>9.1} {:>7} {:>6}\n",
+            r.index,
+            r.name.as_deref().unwrap_or("-"),
+            r.outcome.name(),
+            if r.cache_hit { "hit" } else { "miss" },
+            r.queue_wait.as_secs_f64() * 1e3,
+            r.run_time.as_secs_f64() * 1e3,
+            queries,
+            r.instructions.map_or_else(|| "-".to_owned(), |n| n.to_string()),
+        ));
+    }
+    for event in events {
+        let DriverEvent::BatchFinished { compiled, failed, timed_out, panicked, cache_hits, wall } =
+            event
+        else {
+            continue;
+        };
+        out.push_str(&format!(
+            "total: {compiled} compiled, {failed} failed, {timed_out} timed out, \
+             {panicked} panicked; {cache_hits} cache hits, {total_queries} queries, \
+             {:.1} ms wall\n",
+            wall.as_secs_f64() * 1e3
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn record() -> JobRecord {
+        JobRecord {
+            index: 3,
+            name: Some("sobel".to_owned()),
+            key: "(vadd ...)|hvx:64x64|bt:1".to_owned(),
+            cache_hit: true,
+            queue_wait: Duration::from_micros(1500),
+            run_time: Duration::from_millis(12),
+            outcome: OutcomeKind::Compiled,
+            detail: None,
+            instructions: Some(7),
+            stats: SynthStats::default(),
+        }
+    }
+
+    #[test]
+    fn jsonl_lines_parse_back() {
+        let events = vec![
+            DriverEvent::BatchStarted { jobs: 4, unique: 3, workers: 2, cache_entries: 0 },
+            DriverEvent::JobFinished(record()),
+            DriverEvent::BatchFinished {
+                compiled: 3,
+                failed: 1,
+                timed_out: 0,
+                panicked: 0,
+                cache_hits: 1,
+                wall: Duration::from_millis(40),
+            },
+        ];
+        for event in &events {
+            let line = event.to_jsonl();
+            assert!(!line.contains('\n'));
+            let v = json::parse(&line).unwrap();
+            assert!(v.get("event").is_some());
+        }
+        let job = json::parse(&events[1].to_jsonl()).unwrap();
+        assert_eq!(job.get("outcome").unwrap().as_str(), Some("compiled"));
+        assert_eq!(job.get("cache_hit").unwrap().as_bool(), Some(true));
+        assert_eq!(job.get("queue_wait_ms").unwrap(), &Json::Num(1.5));
+        assert_eq!(job.get("instructions").unwrap().as_i64(), Some(7));
+    }
+
+    #[test]
+    fn summary_table_has_job_rows_and_totals() {
+        let events = vec![
+            DriverEvent::JobFinished(record()),
+            DriverEvent::BatchFinished {
+                compiled: 1,
+                failed: 0,
+                timed_out: 0,
+                panicked: 0,
+                cache_hits: 1,
+                wall: Duration::from_millis(12),
+            },
+        ];
+        let table = summary_table(&events);
+        assert!(table.contains("sobel"));
+        assert!(table.contains("hit"));
+        assert!(table.starts_with("job"));
+        assert!(table.contains("total: 1 compiled"));
+    }
+}

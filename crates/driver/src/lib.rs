@@ -1,0 +1,538 @@
+//! # rake-driver — a batch compilation service over the Rake selector
+//!
+//! Synthesis-based instruction selection is expensive (seconds per
+//! expression) but highly redundant across a compilation session: image
+//! pipelines reuse the same handful of tile shapes under different buffer
+//! names, and repeated builds re-synthesize identical tiles from scratch.
+//! This crate wraps [`rake::Rake`] in a service layer that exploits that
+//! redundancy:
+//!
+//! * **Content-addressed caching** ([`cache`]): expressions are
+//!   canonicalized ([`canon`]) — commutative operands sorted, buffers
+//!   alpha-renamed — so structurally equivalent tiles share one cache
+//!   entry regardless of buffer naming. Keys also fingerprint the target
+//!   geometry and search options. An optional JSON file layer gives warm
+//!   starts across processes.
+//! * **Parallel execution**: a fixed pool of worker threads drains a
+//!   deduplicated job list; results are reported in input order.
+//! * **Fault isolation**: each job runs under `catch_unwind` with an
+//!   optional wall-clock budget (threaded cooperatively into the search
+//!   loops). A panicking or timed-out job degrades to the baseline
+//!   selector instead of aborting the batch.
+//! * **Observability** ([`event`]): a structured JSONL event stream with
+//!   per-job timings, cache outcomes and query counts, plus a summary
+//!   table printer.
+//!
+//! ```
+//! use rake_driver::{Driver, DriverConfig};
+//! use rake::{Rake, Target};
+//! use halide_ir::sexpr::parse;
+//!
+//! let rake = Rake::new(Target::hvx_small(4));
+//! let driver =
+//!     Driver::new(rake).with_config(DriverConfig { workers: 2, ..DriverConfig::default() });
+//! let a = parse("(add (cast u16 (load in u8 0 0)) (cast u16 (load in u8 1 0)))").unwrap();
+//! let b = parse("(add (cast u16 (load img u8 0 0)) (cast u16 (load img u8 1 0)))").unwrap();
+//! let report = driver.compile_batch(&[a, b]);
+//! // `b` is alpha-equivalent to `a`: one synthesis, one cache hit.
+//! assert_eq!(report.stats.cache_hits, 1);
+//! ```
+
+pub mod cache;
+pub mod canon;
+pub mod event;
+pub mod json;
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use halide_ir::Expr;
+use hvx::Program;
+use rake::{CompileError, Compiled, Rake};
+use synth::{LoweringOptions, SynthStats};
+
+use cache::{CacheEntry, CacheStats, CachedArtifacts, SynthCache};
+use event::{DriverEvent, JobRecord, OutcomeKind};
+
+/// Service-layer configuration.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Worker threads in the pool. Clamped to at least 1.
+    pub workers: usize,
+    /// Per-job wall-clock budget. `None` disables deadlines.
+    pub job_timeout: Option<Duration>,
+    /// Directory for the persistent cache layer (`synthcache.json`).
+    /// `None` keeps the cache in memory only.
+    pub cache_dir: Option<PathBuf>,
+    /// File to append the JSONL event stream to. `None` disables logging
+    /// to disk (events are still collected on the [`BatchReport`]).
+    pub log_path: Option<PathBuf>,
+}
+
+impl Default for DriverConfig {
+    fn default() -> DriverConfig {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8);
+        DriverConfig { workers, job_timeout: None, cache_dir: None, log_path: None }
+    }
+}
+
+/// The compile function a worker runs per cache miss. Receives the
+/// *original* (non-canonical) expression and the job deadline.
+pub type CompileFn =
+    Arc<dyn Fn(&Expr, Option<Instant>) -> Result<Compiled, CompileError> + Send + Sync>;
+
+/// How one input expression concluded.
+#[derive(Debug, Clone)]
+pub enum JobOutcome {
+    /// A verified HVX program (fresh, from cache, or deduplicated within
+    /// the batch).
+    Compiled(Box<Compiled>),
+    /// Synthesis failed deterministically.
+    Failed(CompileError),
+    /// The per-job wall-clock budget expired before a result was found.
+    TimedOut,
+    /// The selector panicked on this job; the batch continued.
+    Panicked(String),
+}
+
+impl JobOutcome {
+    fn kind(&self) -> OutcomeKind {
+        match self {
+            JobOutcome::Compiled(_) => OutcomeKind::Compiled,
+            JobOutcome::Failed(_) => OutcomeKind::Failed,
+            JobOutcome::TimedOut => OutcomeKind::TimedOut,
+            JobOutcome::Panicked(_) => OutcomeKind::Panicked,
+        }
+    }
+}
+
+/// Outcome of one input expression, in input order.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Position in the input batch.
+    pub index: usize,
+    /// Caller-supplied label, if any.
+    pub name: Option<String>,
+    /// The content-addressed cache key of this expression.
+    pub key: String,
+    /// Whether the result was served without a fresh synthesis (persistent
+    /// cache, in-memory cache, or an earlier duplicate in this batch).
+    pub cache_hit: bool,
+    /// How the job concluded.
+    pub outcome: JobOutcome,
+    /// Baseline-selector program for non-compiled outcomes, so callers
+    /// always have *something* to emit. `None` when the job compiled (use
+    /// the synthesized program) or when the baseline also has no rule.
+    pub fallback: Option<Program>,
+    /// Time the underlying unique job waited in the queue.
+    pub queue_wait: Duration,
+    /// Time a worker spent on the underlying unique job.
+    pub run_time: Duration,
+}
+
+impl JobResult {
+    /// The program to emit: the synthesized one, or the baseline fallback.
+    pub fn program(&self) -> Option<&Program> {
+        match &self.outcome {
+            JobOutcome::Compiled(c) => Some(&c.program),
+            _ => self.fallback.as_ref(),
+        }
+    }
+}
+
+/// Everything a batch produced.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Per-input outcomes, in input order.
+    pub results: Vec<JobResult>,
+    /// The full event stream (also written to `log_path` if configured).
+    pub events: Vec<DriverEvent>,
+    /// Merged synthesis statistics (fresh queries + cache hits).
+    pub stats: SynthStats,
+    /// Cache-layer counters at the end of the batch.
+    pub cache_stats: CacheStats,
+    /// End-to-end wall-clock time.
+    pub wall: Duration,
+}
+
+impl BatchReport {
+    /// Number of inputs that produced a verified program.
+    pub fn compiled(&self) -> usize {
+        self.results.iter().filter(|r| matches!(r.outcome, JobOutcome::Compiled(_))).count()
+    }
+
+    /// Render the human-readable per-job summary table.
+    pub fn summary_table(&self) -> String {
+        event::summary_table(&self.events)
+    }
+}
+
+/// The batch compilation service. Construct with [`Driver::new`], then
+/// submit work with [`Driver::compile_batch`] /
+/// [`Driver::compile_batch_named`].
+pub struct Driver {
+    rake: Rake,
+    cache: Arc<SynthCache>,
+    config: DriverConfig,
+    compile_fn: CompileFn,
+}
+
+impl Driver {
+    /// A driver over the given selector, with a default config (in-memory
+    /// cache, no deadlines, auto-sized pool).
+    pub fn new(rake: Rake) -> Driver {
+        let compile_fn = default_compile_fn(&rake);
+        Driver {
+            rake,
+            cache: Arc::new(SynthCache::in_memory()),
+            config: DriverConfig::default(),
+            compile_fn,
+        }
+    }
+
+    /// Replace the configuration. Setting `cache_dir` switches to (and
+    /// loads) the persistent cache layer.
+    pub fn with_config(mut self, config: DriverConfig) -> Driver {
+        self.cache = Arc::new(match &config.cache_dir {
+            Some(dir) => SynthCache::persistent(dir),
+            None => SynthCache::in_memory(),
+        });
+        self.config = config;
+        self
+    }
+
+    /// Replace the per-job compile function. Intended for tests (fault
+    /// injection, synthesis counting); production callers should rely on
+    /// the default, which runs [`Rake::compile`] with the job deadline.
+    pub fn with_compile_fn(
+        mut self,
+        f: impl Fn(&Expr, Option<Instant>) -> Result<Compiled, CompileError> + Send + Sync + 'static,
+    ) -> Driver {
+        self.compile_fn = Arc::new(f);
+        self
+    }
+
+    /// The synthesis cache (shared across batches of this driver).
+    pub fn cache(&self) -> &SynthCache {
+        &self.cache
+    }
+
+    /// The cache key of an expression under this driver's target and
+    /// options: canonical S-expression plus a geometry/options fingerprint.
+    pub fn cache_key(&self, e: &Expr) -> String {
+        let canonical = canon::canonicalize(e);
+        self.key_of(&canonical)
+    }
+
+    fn key_of(&self, canonical: &canon::Canonical) -> String {
+        format!(
+            "{}|{}",
+            halide_ir::sexpr::to_sexpr(&canonical.expr),
+            fingerprint(self.rake.target(), &self.rake.options())
+        )
+    }
+
+    /// Compile a batch of expressions. Results come back in input order.
+    pub fn compile_batch(&self, exprs: &[Expr]) -> BatchReport {
+        self.run(exprs.iter().map(|e| (None, e.clone())).collect())
+    }
+
+    /// Compile a batch of labeled expressions (labels show up in events
+    /// and the summary table). Results come back in input order.
+    pub fn compile_batch_named(&self, jobs: Vec<(String, Expr)>) -> BatchReport {
+        self.run(jobs.into_iter().map(|(name, e)| (Some(name), e)).collect())
+    }
+
+    fn run(&self, inputs: Vec<(Option<String>, Expr)>) -> BatchReport {
+        let batch_start = Instant::now();
+
+        // Canonicalize every input and deduplicate by cache key. The first
+        // occurrence of each key becomes the unique job that actually runs.
+        let mut unique: Vec<UniqueJob> = Vec::new();
+        let mut by_key: HashMap<String, usize> = HashMap::new();
+        let mut plan: Vec<InputPlan> = Vec::new();
+        for (name, expr) in inputs {
+            let canonical = canon::canonicalize(&expr);
+            let key = self.key_of(&canonical);
+            let (unique_index, primary) = match by_key.get(&key) {
+                Some(&u) => (u, false),
+                None => {
+                    let u = unique.len();
+                    by_key.insert(key.clone(), u);
+                    unique.push(UniqueJob {
+                        key: key.clone(),
+                        expr: expr.clone(),
+                        to_canonical: canonical.to_canonical.clone(),
+                    });
+                    (u, true)
+                }
+            };
+            plan.push(InputPlan { name, expr, canonical, key, unique_index, primary });
+        }
+
+        let mut events = vec![DriverEvent::BatchStarted {
+            jobs: plan.len(),
+            unique: unique.len(),
+            workers: self.config.workers.max(1),
+            cache_entries: self.cache.len(),
+        }];
+
+        let unique_results = self.drain_queue(&unique, batch_start);
+
+        // Assemble per-input results in input order, renaming the
+        // canonical artifacts back to each input's own buffer names.
+        let mut results = Vec::with_capacity(plan.len());
+        let mut stats = SynthStats::default();
+        let target = self.rake.target();
+        for (index, input) in plan.into_iter().enumerate() {
+            let ur = &unique_results[input.unique_index];
+            let cache_hit = ur.cache_hit || !input.primary;
+            let (outcome, job_stats) = match &ur.outcome {
+                UniqueOutcome::Compiled { artifacts, stats: fresh } => {
+                    let hvx = canon::rename_hvx(&artifacts.hvx, &input.canonical.to_original);
+                    let program = hvx.to_program();
+                    let job_stats = if cache_hit {
+                        SynthStats { cache_hits: 1, ..SynthStats::default() }
+                    } else {
+                        *fresh
+                    };
+                    let compiled = Compiled {
+                        uber: canon::rename_uber(&artifacts.uber, &input.canonical.to_original),
+                        hvx,
+                        program,
+                        trace: artifacts.trace.clone(),
+                        stats: job_stats,
+                    };
+                    (JobOutcome::Compiled(Box::new(compiled)), job_stats)
+                }
+                UniqueOutcome::Failed(err) => {
+                    let job_stats = if cache_hit {
+                        SynthStats { cache_hits: 1, ..SynthStats::default() }
+                    } else {
+                        SynthStats::default()
+                    };
+                    (JobOutcome::Failed(err.clone()), job_stats)
+                }
+                UniqueOutcome::TimedOut => (JobOutcome::TimedOut, SynthStats::default()),
+                UniqueOutcome::Panicked(msg) => {
+                    (JobOutcome::Panicked(msg.clone()), SynthStats::default())
+                }
+            };
+            stats.merge(&job_stats);
+            let fallback = match &outcome {
+                JobOutcome::Compiled(_) => None,
+                _ => baseline_fallback(&input.expr, target),
+            };
+            let (instructions, detail) = match &outcome {
+                JobOutcome::Compiled(c) => (Some(c.program.len()), None),
+                JobOutcome::Failed(err) => (None, Some(err.to_string())),
+                JobOutcome::TimedOut => (None, None),
+                JobOutcome::Panicked(msg) => (None, Some(msg.clone())),
+            };
+            events.push(DriverEvent::JobFinished(JobRecord {
+                index,
+                name: input.name.clone(),
+                key: input.key.clone(),
+                cache_hit,
+                queue_wait: ur.queue_wait,
+                run_time: ur.run_time,
+                outcome: outcome.kind(),
+                detail,
+                instructions,
+                stats: job_stats,
+            }));
+            results.push(JobResult {
+                index,
+                name: input.name,
+                key: input.key,
+                cache_hit,
+                outcome,
+                fallback,
+                queue_wait: ur.queue_wait,
+                run_time: ur.run_time,
+            });
+        }
+
+        let wall = batch_start.elapsed();
+        let count = |k: OutcomeKind| results.iter().filter(|r| r.outcome.kind() == k).count();
+        events.push(DriverEvent::BatchFinished {
+            compiled: count(OutcomeKind::Compiled),
+            failed: count(OutcomeKind::Failed),
+            timed_out: count(OutcomeKind::TimedOut),
+            panicked: count(OutcomeKind::Panicked),
+            cache_hits: results.iter().filter(|r| r.cache_hit).count(),
+            wall,
+        });
+
+        if let Err(err) = self.cache.persist() {
+            eprintln!("warning: failed to persist synthesis cache: {err}");
+        }
+        if let Some(path) = &self.config.log_path {
+            if let Err(err) = append_jsonl(path, &events) {
+                eprintln!("warning: failed to write event log {}: {err}", path.display());
+            }
+        }
+
+        BatchReport { results, events, stats, cache_stats: self.cache.stats(), wall }
+    }
+
+    /// Run the unique jobs on the worker pool; results indexed like `jobs`.
+    fn drain_queue(&self, jobs: &[UniqueJob], batch_start: Instant) -> Vec<UniqueResult> {
+        let queue: Mutex<std::collections::VecDeque<usize>> = Mutex::new((0..jobs.len()).collect());
+        let slots: Mutex<Vec<Option<UniqueResult>>> = Mutex::new(vec![None; jobs.len()]);
+        let workers = self.config.workers.max(1).min(jobs.len().max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let Some(job_index) = queue.lock().unwrap().pop_front() else {
+                        break;
+                    };
+                    let result = self.run_unique(&jobs[job_index], batch_start);
+                    slots.lock().unwrap()[job_index] = Some(result);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|r| r.expect("worker pool drained the whole queue"))
+            .collect()
+    }
+
+    /// Execute one unique job: cache lookup, else compile under a deadline
+    /// with panic isolation, then store the (canonicalized) result.
+    fn run_unique(&self, job: &UniqueJob, batch_start: Instant) -> UniqueResult {
+        let picked = Instant::now();
+        let queue_wait = picked.duration_since(batch_start);
+        let done = |outcome, cache_hit| UniqueResult {
+            queue_wait,
+            run_time: picked.elapsed(),
+            cache_hit,
+            outcome,
+        };
+
+        match self.cache.lookup(&job.key) {
+            Some(CacheEntry::Compiled(artifacts)) => {
+                let outcome = UniqueOutcome::Compiled {
+                    artifacts: Box::new(artifacts),
+                    stats: SynthStats::default(),
+                };
+                return done(outcome, true);
+            }
+            Some(CacheEntry::Failed(err)) => return done(UniqueOutcome::Failed(err), true),
+            None => {}
+        }
+
+        let deadline = self.config.job_timeout.map(|budget| picked + budget);
+        let compiled = catch_unwind(AssertUnwindSafe(|| (self.compile_fn)(&job.expr, deadline)));
+        let outcome = match compiled {
+            Ok(Ok(c)) => {
+                let artifacts = CachedArtifacts {
+                    uber: canon::rename_uber(&c.uber, &job.to_canonical),
+                    hvx: canon::rename_hvx(&c.hvx, &job.to_canonical),
+                    trace: c.trace,
+                };
+                self.cache.store(&job.key, CacheEntry::Compiled(artifacts.clone()));
+                UniqueOutcome::Compiled { artifacts: Box::new(artifacts), stats: c.stats }
+            }
+            Ok(Err(CompileError::DeadlineExceeded)) => UniqueOutcome::TimedOut,
+            Ok(Err(err)) => {
+                // Deterministic verdict: negative-cache it.
+                self.cache.store(&job.key, CacheEntry::Failed(err.clone()));
+                UniqueOutcome::Failed(err)
+            }
+            Err(payload) => UniqueOutcome::Panicked(panic_message(payload.as_ref())),
+        };
+        done(outcome, false)
+    }
+}
+
+/// One deduplicated job: the first-seen original expression for a key and
+/// the renaming that takes its buffers to canonical form.
+struct UniqueJob {
+    key: String,
+    expr: Expr,
+    to_canonical: HashMap<String, String>,
+}
+
+struct InputPlan {
+    name: Option<String>,
+    expr: Expr,
+    canonical: canon::Canonical,
+    key: String,
+    unique_index: usize,
+    primary: bool,
+}
+
+#[derive(Clone)]
+enum UniqueOutcome {
+    Compiled { artifacts: Box<CachedArtifacts>, stats: SynthStats },
+    Failed(CompileError),
+    TimedOut,
+    Panicked(String),
+}
+
+#[derive(Clone)]
+struct UniqueResult {
+    queue_wait: Duration,
+    run_time: Duration,
+    cache_hit: bool,
+    outcome: UniqueOutcome,
+}
+
+fn default_compile_fn(rake: &Rake) -> CompileFn {
+    let base = rake.clone();
+    Arc::new(move |e: &Expr, deadline: Option<Instant>| {
+        let opts = LoweringOptions { deadline, ..base.options() };
+        base.clone().with_options(opts).compile(e)
+    })
+}
+
+/// Geometry + search-option fingerprint mixed into every cache key. The
+/// deadline is deliberately excluded: it changes how long we search, not
+/// what a verified answer means.
+fn fingerprint(target: rake::Target, opts: &LoweringOptions) -> String {
+    format!(
+        "l{}v{}|bt{}ly{}al{}",
+        target.lanes,
+        target.vec_bytes,
+        u8::from(opts.backtrack),
+        u8::from(opts.layouts),
+        u8::from(opts.aligned_loads),
+    )
+}
+
+fn baseline_fallback(e: &Expr, target: rake::Target) -> Option<Program> {
+    let opts = halide_opt::BaselineOptions { lanes: target.lanes, vec_bytes: target.vec_bytes };
+    halide_opt::select(e, opts).ok().map(|hvx| hvx.to_program())
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_owned()
+    }
+}
+
+fn append_jsonl(path: &std::path::Path, events: &[DriverEvent]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    let mut text = String::new();
+    for event in events {
+        text.push_str(&event.to_jsonl());
+        text.push('\n');
+    }
+    f.write_all(text.as_bytes())
+}

@@ -1,0 +1,321 @@
+//! End-to-end tests of the driver service layer: cache keying, warm
+//! starts, the worker pool's dedup guarantee, and fault isolation.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use halide_ir::builder::*;
+use halide_ir::Expr;
+use lanes::ElemType::{U16, U8};
+use rake::{Rake, Target};
+use rake_driver::cache::{CacheEntry, SynthCache, CACHE_FILE};
+use rake_driver::event::DriverEvent;
+use rake_driver::{canon, json, Driver, DriverConfig, JobOutcome};
+use synth::Verifier;
+
+fn rake8() -> Rake {
+    Rake::new(Target::hvx_small(8)).with_verifier(Verifier::fast())
+}
+
+fn tile(buffer: &str, dx: i32) -> Expr {
+    widen(load(buffer, U8, dx, 0))
+}
+
+/// `u16(b(x)) + u16(b(x+1))` — small enough to synthesize in milliseconds.
+fn pair_sum(buffer: &str) -> Expr {
+    add(tile(buffer, 0), tile(buffer, 1))
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rake-driver-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn alpha_equivalent_exprs_share_a_key() {
+    let driver = Driver::new(rake8());
+    // Renamed buffers and commuted operands map to the same key.
+    let a = add(tile("in", 0), tile("other", 1));
+    let b = add(tile("img", 0), tile("aux", 1));
+    let c = add(tile("other", 1), tile("in", 0));
+    assert_eq!(driver.cache_key(&a), driver.cache_key(&b));
+    assert_eq!(driver.cache_key(&a), driver.cache_key(&c));
+    // Different offsets are different computations.
+    let shifted = add(tile("in", 0), tile("other", 2));
+    assert_ne!(driver.cache_key(&a), driver.cache_key(&shifted));
+}
+
+#[test]
+fn target_and_options_are_part_of_the_key() {
+    let e = pair_sum("in");
+    let base = Driver::new(rake8());
+    let wider = Driver::new(Rake::new(Target::hvx_small(16)).with_verifier(Verifier::fast()));
+    assert_ne!(base.cache_key(&e), wider.cache_key(&e));
+
+    let opts = synth::LoweringOptions { aligned_loads: true, ..rake8().options() };
+    let ablated = Driver::new(rake8().with_options(opts));
+    assert_ne!(base.cache_key(&e), ablated.cache_key(&e));
+
+    // The deadline is excluded: it bounds the search, not the answer.
+    let opts = synth::LoweringOptions {
+        deadline: Some(std::time::Instant::now() + Duration::from_secs(3600)),
+        ..rake8().options()
+    };
+    let deadlined = Driver::new(rake8().with_options(opts));
+    assert_eq!(base.cache_key(&e), deadlined.cache_key(&e));
+}
+
+#[test]
+fn warm_persistent_cache_runs_zero_queries() {
+    let dir = tmp_dir("warm");
+    let config =
+        || DriverConfig { workers: 2, cache_dir: Some(dir.clone()), ..DriverConfig::default() };
+    let jobs = || {
+        vec![
+            ("pair".to_owned(), pair_sum("in")),
+            ("absd".to_owned(), absd(load("a", U8, 0, 0), load("b", U8, 0, 0))),
+        ]
+    };
+
+    let cold = Driver::new(rake8()).with_config(config());
+    let cold_report = cold.compile_batch_named(jobs());
+    assert_eq!(cold_report.compiled(), 2);
+    assert!(cold_report.stats.lifting_queries > 0);
+    assert!(cold_report.stats.sketching_queries > 0);
+    assert_eq!(cold_report.stats.cache_hits, 0);
+
+    // A brand-new driver process against the same cache directory must
+    // answer entirely from the persistent layer: zero synthesis queries.
+    let warm = Driver::new(rake8()).with_config(config());
+    let warm_report = warm.compile_batch_named(jobs());
+    assert_eq!(warm_report.compiled(), 2);
+    assert_eq!(warm_report.stats.lifting_queries, 0);
+    assert_eq!(warm_report.stats.sketching_queries, 0);
+    assert_eq!(warm_report.stats.swizzling_queries, 0);
+    assert_eq!(warm_report.stats.cache_hits, 2);
+    for event in &warm_report.events {
+        if let DriverEvent::JobFinished(r) = event {
+            assert!(r.cache_hit, "job {} missed the warm cache", r.index);
+        }
+    }
+    // Warm results match the cold ones exactly (renaming round-trips).
+    for (c, w) in cold_report.results.iter().zip(&warm_report.results) {
+        let (JobOutcome::Compiled(c), JobOutcome::Compiled(w)) = (&c.outcome, &w.outcome) else {
+            panic!("both runs must compile");
+        };
+        assert_eq!(c.hvx, w.hvx);
+        assert_eq!(c.program.len(), w.program.len());
+    }
+
+    // An alpha-renamed variant also hits the warm cache, renamed back to
+    // its own buffer names.
+    let variant = Driver::new(rake8()).with_config(config());
+    let report = variant.compile_batch(&[pair_sum("renamed")]);
+    assert_eq!(report.stats.lifting_queries, 0);
+    let JobOutcome::Compiled(compiled) = &report.results[0].outcome else {
+        panic!("variant must compile from cache");
+    };
+    assert!(compiled.hvx.to_string().contains("renamed"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stress_one_synthesis_per_unique_key_and_stable_order() {
+    let uniques: Vec<Expr> = vec![
+        pair_sum("in"),
+        absd(load("a", U8, 0, 0), load("b", U8, 0, 0)),
+        add(tile("in", 0), mul(tile("in", 1), bcast(3, U16))),
+        add(load("x", U8, 0, 0), load("x", U8, 1, 0)),
+    ];
+    // 8 duplicates of each unique expression, alpha-renamed half the time,
+    // interleaved so every worker sees a mix.
+    let mut batch = Vec::new();
+    for round in 0..8 {
+        for e in &uniques {
+            let e = if round % 2 == 0 {
+                e.clone()
+            } else {
+                // Alpha-rename every buffer: `in` -> `alias_in`, etc.
+                let map: HashMap<String, String> = canon::canonicalize(e)
+                    .to_original
+                    .values()
+                    .map(|orig| (orig.clone(), format!("alias_{orig}")))
+                    .collect();
+                canon::rename_expr(e, &map)
+            };
+            batch.push(e);
+        }
+    }
+    assert_eq!(batch.len(), 32);
+
+    let run = || {
+        let syntheses: Arc<Mutex<HashMap<String, usize>>> = Arc::new(Mutex::new(HashMap::new()));
+        let total = Arc::new(AtomicUsize::new(0));
+        let rake = rake8();
+        let counted = {
+            let syntheses = Arc::clone(&syntheses);
+            let total = Arc::clone(&total);
+            let rake = rake.clone();
+            move |e: &Expr, _deadline: Option<std::time::Instant>| {
+                let key = halide_ir::sexpr::to_sexpr(&canon::canonicalize(e).expr);
+                *syntheses.lock().unwrap().entry(key).or_insert(0) += 1;
+                total.fetch_add(1, Ordering::SeqCst);
+                rake.compile(e)
+            }
+        };
+        let driver = Driver::new(rake)
+            .with_config(DriverConfig { workers: 8, ..DriverConfig::default() })
+            .with_compile_fn(counted);
+        let report = driver.compile_batch(&batch);
+        (report, syntheses, total)
+    };
+
+    let (report, syntheses, total) = run();
+    // Exactly one synthesis per unique canonical key, despite 8 workers
+    // racing over 32 jobs.
+    assert_eq!(total.load(Ordering::SeqCst), uniques.len());
+    assert!(syntheses.lock().unwrap().values().all(|&n| n == 1));
+    assert_eq!(report.results.len(), batch.len());
+    assert_eq!(report.compiled(), batch.len());
+    assert_eq!(report.stats.cache_hits as usize, batch.len() - uniques.len());
+    // Results are in input order with per-input keys.
+    for (i, r) in report.results.iter().enumerate() {
+        assert_eq!(r.index, i);
+    }
+    // Duplicates of a key all selected the same instruction sequence.
+    let mut programs: HashMap<&str, String> = HashMap::new();
+    for r in &report.results {
+        let JobOutcome::Compiled(c) = &r.outcome else { panic!("all must compile") };
+        let text = canon::rename_hvx(&c.hvx, &canon::canonicalize(&batch[r.index]).to_canonical)
+            .to_string();
+        assert_eq!(programs.entry(r.key.as_str()).or_insert_with(|| text.clone()), &text);
+    }
+
+    // A second identical run is deterministic: same key sequence, same
+    // outcome kinds, in the same order.
+    let (again, _, _) = run();
+    let keys = |rep: &rake_driver::BatchReport| {
+        rep.results.iter().map(|r| r.key.clone()).collect::<Vec<_>>()
+    };
+    assert_eq!(keys(&report), keys(&again));
+}
+
+#[test]
+fn panicking_job_is_isolated_with_baseline_fallback() {
+    let rake = rake8();
+    let inner = rake.clone();
+    let driver = Driver::new(rake)
+        .with_config(DriverConfig { workers: 2, ..DriverConfig::default() })
+        .with_compile_fn(move |e: &Expr, _| {
+            if halide_ir::sexpr::to_sexpr(e).contains("boom") {
+                panic!("injected selector bug");
+            }
+            inner.compile(e)
+        });
+    // The middle job must be structurally distinct from the others, or
+    // dedup would serve it from their result before the pool runs it.
+    let batch = vec![
+        pair_sum("in"),
+        mul(tile("boom", 0), tile("boom", 1)),
+        absd(load("a", U8, 0, 0), load("b", U8, 0, 0)),
+    ];
+    let report = driver.compile_batch(&batch);
+    assert_eq!(report.results.len(), 3);
+    assert!(matches!(report.results[0].outcome, JobOutcome::Compiled(_)));
+    assert!(matches!(report.results[2].outcome, JobOutcome::Compiled(_)));
+    let JobOutcome::Panicked(msg) = &report.results[1].outcome else {
+        panic!("injected panic must surface as Panicked");
+    };
+    assert!(msg.contains("injected selector bug"));
+    // The batch degrades, it does not abort: the baseline selector still
+    // provides a program for the poisoned job.
+    assert!(report.results[1].fallback.is_some());
+    assert!(report.results[1].program().is_some());
+    // Panics are not negative-cached: a retry synthesizes fresh.
+    assert!(driver.cache().lookup(&report.results[1].key).is_none());
+}
+
+#[test]
+fn expired_deadline_times_out_job_without_aborting_batch() {
+    let driver = Driver::new(rake8()).with_config(DriverConfig {
+        workers: 2,
+        job_timeout: Some(Duration::ZERO),
+        ..DriverConfig::default()
+    });
+    let batch = vec![pair_sum("in"), absd(load("a", U8, 0, 0), load("b", U8, 0, 0))];
+    let report = driver.compile_batch(&batch);
+    assert_eq!(report.results.len(), 2);
+    for r in &report.results {
+        assert!(matches!(r.outcome, JobOutcome::TimedOut), "got {:?}", r.outcome);
+        assert!(r.fallback.is_some(), "timed-out job must fall back to baseline");
+        // Timeouts are not verdicts; nothing may be negative-cached.
+        assert!(driver.cache().lookup(&r.key).is_none());
+    }
+
+    // The same driver with the budget lifted compiles everything — the
+    // earlier timeouts left no poison behind.
+    let retry =
+        Driver::new(rake8()).with_config(DriverConfig { workers: 2, ..DriverConfig::default() });
+    assert_eq!(retry.compile_batch(&batch).compiled(), 2);
+}
+
+#[test]
+fn corrupted_persistent_cache_recovers_and_self_heals() {
+    let dir = tmp_dir("corrupt-recover");
+    std::fs::write(dir.join(CACHE_FILE), "{\"version\":1,\"entries\":[{{{garbage").unwrap();
+
+    let config =
+        || DriverConfig { workers: 1, cache_dir: Some(dir.clone()), ..DriverConfig::default() };
+    let driver = Driver::new(rake8()).with_config(config());
+    assert_eq!(driver.cache().stats().corrupted, 1);
+    let report = driver.compile_batch(&[pair_sum("in")]);
+    assert_eq!(report.compiled(), 1);
+
+    // The batch rewrote a valid cache file: a fresh load sees the entry.
+    let healed = SynthCache::persistent(&dir);
+    assert_eq!(healed.len(), 1);
+    assert_eq!(healed.stats().corrupted, 0);
+    assert!(matches!(healed.lookup(&report.results[0].key), Some(CacheEntry::Compiled(_))));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn jsonl_event_log_is_written_and_parseable() {
+    let dir = tmp_dir("jsonl");
+    let log = dir.join("events.jsonl");
+    let driver = Driver::new(rake8()).with_config(DriverConfig {
+        workers: 2,
+        log_path: Some(log.clone()),
+        ..DriverConfig::default()
+    });
+    let report = driver.compile_batch_named(vec![("pair".to_owned(), pair_sum("in"))]);
+    assert_eq!(report.compiled(), 1);
+
+    let text = std::fs::read_to_string(&log).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3); // batch_started, job_finished, batch_finished
+    let kinds: Vec<String> = lines
+        .iter()
+        .map(|l| json::parse(l).unwrap().get("event").unwrap().as_str().unwrap().to_owned())
+        .collect();
+    assert_eq!(kinds, ["batch_started", "job_finished", "batch_finished"]);
+    let job = json::parse(lines[1]).unwrap();
+    assert_eq!(job.get("name").unwrap().as_str(), Some("pair"));
+    assert_eq!(job.get("outcome").unwrap().as_str(), Some("compiled"));
+    assert_eq!(job.get("cache_hit").unwrap().as_bool(), Some(false));
+    assert!(job.get("lifting_queries").unwrap().as_i64().unwrap() > 0);
+
+    // The summary table covers the same jobs.
+    let table = report.summary_table();
+    assert!(table.contains("pair"));
+    assert!(table.contains("total: 1 compiled"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -516,8 +516,7 @@ mod tests {
     use super::*;
     use halide_ir::builder::*;
     use halide_ir::{Buffer2D, Env, EvalCtx};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use lanes::rng::Rng;
 
     const LANES: usize = 8;
 
@@ -528,7 +527,7 @@ mod tests {
     fn check_equiv(e: &Expr) -> HvxExpr {
         let h = select(e, opts()).expect("baseline must cover workloads");
         // Differential check against the IR interpreter.
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         for _ in 0..8 {
             let mut env = Env::new();
             for name in halide_ir::analysis::buffers_used(e) {

@@ -60,6 +60,7 @@ mod exec_tests;
 mod expr;
 mod ops;
 mod program;
+pub mod sexpr;
 #[cfg(test)]
 mod schedule_tests;
 #[cfg(test)]

@@ -2,10 +2,8 @@
 //! never oversubscribed, dependencies are respected, and the cycle count
 //! is bounded below by both the critical path and the resource bound.
 
+use lanes::rng::Rng;
 use lanes::ElemType;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::expr::HvxExpr;
 use crate::ops::{Op, Resource};
@@ -13,18 +11,18 @@ use crate::program::SlotBudget;
 
 /// A random compute DAG built from loads at distinct offsets.
 fn random_program(seed: u64, size: usize) -> crate::program::Program {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut exprs: Vec<HvxExpr> = (0..3)
         .map(|i| HvxExpr::vmem("in", ElemType::U8, i, 0))
         .collect();
     for _ in 0..size {
-        let pick = |rng: &mut StdRng, exprs: &[HvxExpr]| -> HvxExpr {
-            exprs[rng.gen_range(0..exprs.len())].clone()
+        let pick = |rng: &mut Rng, exprs: &[HvxExpr]| -> HvxExpr {
+            exprs[rng.gen_range_usize(0..=exprs.len() - 1)].clone()
         };
         // Only compose same-shape (single register, u8) values.
         let a = pick(&mut rng, &exprs);
         let b = pick(&mut rng, &exprs);
-        let e = match rng.gen_range(0..5) {
+        let e = match rng.gen_range(0..=4) {
             0 => HvxExpr::op(Op::Vadd { elem: ElemType::U8, sat: false }, vec![a, b]),
             1 => HvxExpr::op(Op::Vmax { elem: ElemType::U8 }, vec![a, b]),
             2 => HvxExpr::op(Op::Vabsdiff { elem: ElemType::U8 }, vec![a, b]),
@@ -39,12 +37,16 @@ fn random_program(seed: u64, size: usize) -> crate::program::Program {
     exprs.last().expect("non-empty").to_program()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// Draw (seed, size) pairs for the randomized schedule tests.
+fn cases(n: usize, salt: u64) -> Vec<(u64, usize)> {
+    let mut rng = Rng::seed_from_u64(salt);
+    (0..n).map(|_| (rng.next_u64() % 1000, rng.gen_range_usize(1..=23))).collect()
+}
 
-    /// No cycle issues more units of a resource than the packet allows.
-    #[test]
-    fn prop_no_slot_oversubscription(seed in 0u64..1000, size in 1usize..24) {
+/// No cycle issues more units of a resource than the packet allows.
+#[test]
+fn prop_no_slot_oversubscription() {
+    for (seed, size) in cases(32, 0x5105) {
         let p = random_program(seed, size);
         let slots = SlotBudget::hvx();
         let s = p.schedule(8, 8, slots);
@@ -78,7 +80,7 @@ proptest! {
                             && instr.op.resource() == r
                     })
                     .count();
-                prop_assert_eq!(
+                assert_eq!(
                     issuers, 1,
                     "cycle {}: {} units on {:?} (cap {}) from {} instructions",
                     cycle, used, r, cap, issuers
@@ -86,16 +88,18 @@ proptest! {
             }
         }
     }
+}
 
-    /// Every instruction issues only after its operands' results are ready.
-    #[test]
-    fn prop_dependencies_respected(seed in 0u64..1000, size in 1usize..24) {
+/// Every instruction issues only after its operands' results are ready.
+#[test]
+fn prop_dependencies_respected() {
+    for (seed, size) in cases(32, 0xdeb5) {
         let p = random_program(seed, size);
         let s = p.schedule(8, 8, SlotBudget::hvx());
         for (i, instr) in p.instrs().iter().enumerate() {
             for &a in &instr.args {
                 let ready = s.issue[a] + u64::from(p.instrs()[a].op.latency());
-                prop_assert!(
+                assert!(
                     s.issue[i] >= ready,
                     "instr {i} issued at {} before operand {a} ready at {ready}",
                     s.issue[i]
@@ -103,11 +107,13 @@ proptest! {
             }
         }
     }
+}
 
-    /// Total cycles dominate both the dependence critical path and the
-    /// per-resource unit count (the paper's cost lower bound).
-    #[test]
-    fn prop_cycles_lower_bounds(seed in 0u64..1000, size in 1usize..24) {
+/// Total cycles dominate both the dependence critical path and the
+/// per-resource unit count (the paper's cost lower bound).
+#[test]
+fn prop_cycles_lower_bounds() {
+    for (seed, size) in cases(32, 0xcb0d) {
         let p = random_program(seed, size);
         let slots = SlotBudget::hvx();
         let s = p.schedule(8, 8, slots);
@@ -124,7 +130,7 @@ proptest! {
         .map(|&(n, cap)| u64::from(n.div_ceil(cap)))
         .max()
         .unwrap_or(0);
-        prop_assert!(s.cycles >= res_bound, "cycles {} < resource bound {res_bound}", s.cycles);
+        assert!(s.cycles >= res_bound, "cycles {} < resource bound {res_bound}", s.cycles);
 
         // Critical-path bound.
         let mut depth = vec![0u64; p.len()];
@@ -134,15 +140,19 @@ proptest! {
             depth[i] = in_depth + u64::from(instr.op.latency());
         }
         let cp = depth.iter().copied().max().unwrap_or(0);
-        prop_assert!(s.cycles >= cp, "cycles {} < critical path {cp}", s.cycles);
+        assert!(s.cycles >= cp, "cycles {} < critical path {cp}", s.cycles);
     }
+}
 
-    /// Scheduling is deterministic.
-    #[test]
-    fn prop_deterministic(seed in 0u64..200, size in 1usize..16) {
+/// Scheduling is deterministic.
+#[test]
+fn prop_deterministic() {
+    let mut rng = Rng::seed_from_u64(0xde7e);
+    for _ in 0..32 {
+        let (seed, size) = (rng.next_u64() % 200, rng.gen_range_usize(1..=15));
         let p = random_program(seed, size);
         let a = p.schedule(8, 8, SlotBudget::hvx());
         let b = p.schedule(8, 8, SlotBudget::hvx());
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
 }

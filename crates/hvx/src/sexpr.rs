@@ -1,0 +1,468 @@
+//! S-expression serialization of HVX expressions.
+//!
+//! The synthesis cache persists compiled tiles across processes, so the
+//! HVX side needs the same canonical machine-readable bridge the Uber-IR
+//! already has (`uber_ir::sexpr`): a form distinct from the pretty
+//! [`std::fmt::Display`] listing, with an exact round-tripping parser.
+//!
+//! # Grammar
+//!
+//! ```text
+//! expr   := (<head> <param>... expr...)
+//! head   := vmem | vsplat | vadd | vsub | ... (one per [`Op`] variant)
+//! scalar := <int> | (scal <buffer> <x> <dy>)
+//! flag   := #t | #f
+//! ```
+//!
+//! Each head is followed by the variant's parameters (element types,
+//! flags, weights) and then exactly `op.arity()` child expressions.
+
+use std::fmt;
+
+use lanes::ElemType;
+
+use crate::expr::HvxExpr;
+use crate::ops::{Op, ScalarOperand};
+
+/// Serialize to the canonical S-expression.
+pub fn to_sexpr(e: &HvxExpr) -> String {
+    let mut s = String::new();
+    write_expr(e, &mut s);
+    s
+}
+
+fn flag(b: bool) -> &'static str {
+    if b {
+        "#t"
+    } else {
+        "#f"
+    }
+}
+
+fn write_scalar(s: &ScalarOperand, out: &mut String) {
+    use std::fmt::Write;
+    let _ = match s {
+        ScalarOperand::Imm(v) => write!(out, "{v}"),
+        ScalarOperand::Load { buffer, x, dy } => write!(out, "(scal {buffer} {x} {dy})"),
+    };
+}
+
+fn write_head(op: &Op, out: &mut String) {
+    use std::fmt::Write;
+    match op {
+        Op::Vmem { buffer, dx, dy, elem } => {
+            let _ = write!(out, "vmem {buffer} {elem} {dx} {dy}");
+        }
+        Op::Vsplat { value, elem } => {
+            out.push_str("vsplat ");
+            write_scalar(value, out);
+            let _ = write!(out, " {elem}");
+        }
+        Op::Vadd { elem, sat } => {
+            let _ = write!(out, "vadd {elem} {}", flag(*sat));
+        }
+        Op::Vsub { elem, sat } => {
+            let _ = write!(out, "vsub {elem} {}", flag(*sat));
+        }
+        Op::Vavg { elem, round } => {
+            let _ = write!(out, "vavg {elem} {}", flag(*round));
+        }
+        Op::Vnavg { elem } => {
+            let _ = write!(out, "vnavg {elem}");
+        }
+        Op::Vabsdiff { elem } => {
+            let _ = write!(out, "vabsdiff {elem}");
+        }
+        Op::Vmax { elem } => {
+            let _ = write!(out, "vmax {elem}");
+        }
+        Op::Vmin { elem } => {
+            let _ = write!(out, "vmin {elem}");
+        }
+        Op::Vand => out.push_str("vand"),
+        Op::Vor => out.push_str("vor"),
+        Op::Vxor => out.push_str("vxor"),
+        Op::Vnot => out.push_str("vnot"),
+        Op::Vasl { elem, shift } => {
+            let _ = write!(out, "vasl {elem} {shift}");
+        }
+        Op::Vasr { elem, shift } => {
+            let _ = write!(out, "vasr {elem} {shift}");
+        }
+        Op::Vlsr { elem, shift } => {
+            let _ = write!(out, "vlsr {elem} {shift}");
+        }
+        Op::VasrNarrow { elem, shift, round, sat, out: oty } => {
+            let _ =
+                write!(out, "vasr-narrow {elem} {shift} {} {} {oty}", flag(*round), flag(*sat));
+        }
+        Op::Vmpy { elem } => {
+            let _ = write!(out, "vmpy {elem}");
+        }
+        Op::VmpyScalar { elem, scalar } => {
+            let _ = write!(out, "vmpy-scalar {elem} ");
+            write_scalar(scalar, out);
+        }
+        Op::VmpyAcc { elem, scalar } => {
+            let _ = write!(out, "vmpy-acc {elem} ");
+            write_scalar(scalar, out);
+        }
+        Op::Vmpyi { elem, scalar } => {
+            let _ = write!(out, "vmpyi {elem} ");
+            write_scalar(scalar, out);
+        }
+        Op::VmpyiAcc { elem, scalar } => {
+            let _ = write!(out, "vmpyi-acc {elem} ");
+            write_scalar(scalar, out);
+        }
+        Op::Vmpyie => out.push_str("vmpyie"),
+        Op::Vmpyio => out.push_str("vmpyio"),
+        Op::Vmpa { elem, w0, w1 } => {
+            let _ = write!(out, "vmpa {elem} {w0} {w1}");
+        }
+        Op::VmpaAcc { elem, w0, w1 } => {
+            let _ = write!(out, "vmpa-acc {elem} {w0} {w1}");
+        }
+        Op::Vtmpy { elem, w0, w1 } => {
+            let _ = write!(out, "vtmpy {elem} {w0} {w1}");
+        }
+        Op::VtmpyAcc { elem, w0, w1 } => {
+            let _ = write!(out, "vtmpy-acc {elem} {w0} {w1}");
+        }
+        Op::Vdmpy { elem, w0, w1 } => {
+            let _ = write!(out, "vdmpy {elem} {w0} {w1}");
+        }
+        Op::VdmpyAcc { elem, w0, w1 } => {
+            let _ = write!(out, "vdmpy-acc {elem} {w0} {w1}");
+        }
+        Op::Vrmpy { elem, w } => {
+            let _ = write!(out, "vrmpy {elem} {} {} {} {}", w[0], w[1], w[2], w[3]);
+        }
+        Op::VrmpyAcc { elem, w } => {
+            let _ = write!(out, "vrmpy-acc {elem} {} {} {} {}", w[0], w[1], w[2], w[3]);
+        }
+        Op::Vpack { elem, sat, out: oty } => {
+            let _ = write!(out, "vpack {elem} {} {oty}", flag(*sat));
+        }
+        Op::Vcombine => out.push_str("vcombine"),
+        Op::Lo => out.push_str("lo"),
+        Op::Hi => out.push_str("hi"),
+        Op::VshuffPair { elem } => {
+            let _ = write!(out, "vshuff-pair {elem}");
+        }
+        Op::VdealPair { elem } => {
+            let _ = write!(out, "vdeal-pair {elem}");
+        }
+        Op::Valign { bytes } => {
+            let _ = write!(out, "valign {bytes}");
+        }
+        Op::Vror { bytes } => {
+            let _ = write!(out, "vror {bytes}");
+        }
+        Op::Vzxt { elem } => {
+            let _ = write!(out, "vzxt {elem}");
+        }
+        Op::Vsxt { elem } => {
+            let _ = write!(out, "vsxt {elem}");
+        }
+    }
+}
+
+fn write_expr(e: &HvxExpr, out: &mut String) {
+    out.push('(');
+    write_head(e.root(), out);
+    for a in e.args() {
+        out.push(' ');
+        write_expr(a, out);
+    }
+    out.push(')');
+}
+
+/// A parse failure with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct P<'s> {
+    input: &'s str,
+    pos: usize,
+}
+
+impl<'s> P<'s> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { offset: self.pos, message: message.into() })
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len()
+            && self.input.as_bytes()[self.pos].is_ascii_whitespace()
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.input.as_bytes().get(self.pos) == Some(&c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected `{}`", c as char))
+        }
+    }
+
+    fn peek_open(&mut self) -> bool {
+        self.skip_ws();
+        self.input.as_bytes().get(self.pos) == Some(&b'(')
+    }
+
+    fn atom(&mut self) -> Result<&'s str, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.input.len() {
+            let b = self.input.as_bytes()[self.pos];
+            if b.is_ascii_whitespace() || b == b'(' || b == b')' {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("expected atom");
+        }
+        Ok(&self.input[start..self.pos])
+    }
+
+    fn int(&mut self) -> Result<i64, ParseError> {
+        let a = self.atom()?;
+        a.parse().map_err(|_| ParseError {
+            offset: self.pos,
+            message: format!("expected integer, got `{a}`"),
+        })
+    }
+
+    fn flag(&mut self) -> Result<bool, ParseError> {
+        match self.atom()? {
+            "#t" => Ok(true),
+            "#f" => Ok(false),
+            other => self.err(format!("expected #t or #f, got `{other}`")),
+        }
+    }
+
+    fn ty(&mut self) -> Result<ElemType, ParseError> {
+        let a = self.atom()?;
+        ElemType::ALL.into_iter().find(|t| t.name() == a).ok_or(ParseError {
+            offset: self.pos,
+            message: format!("unknown element type `{a}`"),
+        })
+    }
+
+    fn scalar(&mut self) -> Result<ScalarOperand, ParseError> {
+        if self.peek_open() {
+            self.eat(b'(')?;
+            let tag = self.atom()?;
+            if tag != "scal" {
+                return self.err(format!("expected `scal`, got `{tag}`"));
+            }
+            let buffer = self.atom()?.to_owned();
+            let x = self.int()? as i32;
+            let dy = self.int()? as i32;
+            self.eat(b')')?;
+            Ok(ScalarOperand::Load { buffer, x, dy })
+        } else {
+            Ok(ScalarOperand::Imm(self.int()?))
+        }
+    }
+
+    fn weights4(&mut self) -> Result<[i64; 4], ParseError> {
+        Ok([self.int()?, self.int()?, self.int()?, self.int()?])
+    }
+
+    fn op(&mut self, head: &str) -> Result<Op, ParseError> {
+        Ok(match head {
+            "vmem" => {
+                let buffer = self.atom()?.to_owned();
+                let elem = self.ty()?;
+                let dx = self.int()? as i32;
+                let dy = self.int()? as i32;
+                Op::Vmem { buffer, dx, dy, elem }
+            }
+            "vsplat" => {
+                let value = self.scalar()?;
+                let elem = self.ty()?;
+                Op::Vsplat { value, elem }
+            }
+            "vadd" => Op::Vadd { elem: self.ty()?, sat: self.flag()? },
+            "vsub" => Op::Vsub { elem: self.ty()?, sat: self.flag()? },
+            "vavg" => Op::Vavg { elem: self.ty()?, round: self.flag()? },
+            "vnavg" => Op::Vnavg { elem: self.ty()? },
+            "vabsdiff" => Op::Vabsdiff { elem: self.ty()? },
+            "vmax" => Op::Vmax { elem: self.ty()? },
+            "vmin" => Op::Vmin { elem: self.ty()? },
+            "vand" => Op::Vand,
+            "vor" => Op::Vor,
+            "vxor" => Op::Vxor,
+            "vnot" => Op::Vnot,
+            "vasl" => Op::Vasl { elem: self.ty()?, shift: self.int()? as u32 },
+            "vasr" => Op::Vasr { elem: self.ty()?, shift: self.int()? as u32 },
+            "vlsr" => Op::Vlsr { elem: self.ty()?, shift: self.int()? as u32 },
+            "vasr-narrow" => Op::VasrNarrow {
+                elem: self.ty()?,
+                shift: self.int()? as u32,
+                round: self.flag()?,
+                sat: self.flag()?,
+                out: self.ty()?,
+            },
+            "vmpy" => Op::Vmpy { elem: self.ty()? },
+            "vmpy-scalar" => Op::VmpyScalar { elem: self.ty()?, scalar: self.scalar()? },
+            "vmpy-acc" => Op::VmpyAcc { elem: self.ty()?, scalar: self.scalar()? },
+            "vmpyi" => Op::Vmpyi { elem: self.ty()?, scalar: self.scalar()? },
+            "vmpyi-acc" => Op::VmpyiAcc { elem: self.ty()?, scalar: self.scalar()? },
+            "vmpyie" => Op::Vmpyie,
+            "vmpyio" => Op::Vmpyio,
+            "vmpa" => Op::Vmpa { elem: self.ty()?, w0: self.int()?, w1: self.int()? },
+            "vmpa-acc" => Op::VmpaAcc { elem: self.ty()?, w0: self.int()?, w1: self.int()? },
+            "vtmpy" => Op::Vtmpy { elem: self.ty()?, w0: self.int()?, w1: self.int()? },
+            "vtmpy-acc" => Op::VtmpyAcc { elem: self.ty()?, w0: self.int()?, w1: self.int()? },
+            "vdmpy" => Op::Vdmpy { elem: self.ty()?, w0: self.int()?, w1: self.int()? },
+            "vdmpy-acc" => Op::VdmpyAcc { elem: self.ty()?, w0: self.int()?, w1: self.int()? },
+            "vrmpy" => Op::Vrmpy { elem: self.ty()?, w: self.weights4()? },
+            "vrmpy-acc" => Op::VrmpyAcc { elem: self.ty()?, w: self.weights4()? },
+            "vpack" => {
+                Op::Vpack { elem: self.ty()?, sat: self.flag()?, out: self.ty()? }
+            }
+            "vcombine" => Op::Vcombine,
+            "lo" => Op::Lo,
+            "hi" => Op::Hi,
+            "vshuff-pair" => Op::VshuffPair { elem: self.ty()? },
+            "vdeal-pair" => Op::VdealPair { elem: self.ty()? },
+            "valign" => Op::Valign { bytes: self.int()? as u32 },
+            "vror" => Op::Vror { bytes: self.int()? as u32 },
+            "vzxt" => Op::Vzxt { elem: self.ty()? },
+            "vsxt" => Op::Vsxt { elem: self.ty()? },
+            other => return self.err(format!("unknown hvx op `{other}`")),
+        })
+    }
+
+    fn expr(&mut self) -> Result<HvxExpr, ParseError> {
+        self.eat(b'(')?;
+        let head = self.atom()?.to_owned();
+        let op = self.op(&head)?;
+        let mut args = Vec::new();
+        while self.peek_open() {
+            args.push(self.expr()?);
+        }
+        self.eat(b')')?;
+        if args.len() != op.arity() {
+            return self.err(format!(
+                "`{head}` takes {} argument(s), got {}",
+                op.arity(),
+                args.len()
+            ));
+        }
+        Ok(HvxExpr::op(op, args))
+    }
+}
+
+/// Parse a canonical HVX S-expression.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input.
+pub fn parse(input: &str) -> Result<HvxExpr, ParseError> {
+    let mut p = P { input, pos: 0 };
+    let e = p.expr()?;
+    p.skip_ws();
+    if p.pos != input.len() {
+        return p.err("trailing input after expression");
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lanes::ElemType::{U16, U8};
+
+    fn roundtrip(e: &HvxExpr) {
+        let text = to_sexpr(e);
+        let back = parse(&text).unwrap_or_else(|err| panic!("reparse `{text}`: {err}"));
+        assert_eq!(&back, e, "round-trip failed for `{text}`");
+    }
+
+    #[test]
+    fn roundtrips_typical_synthesized_tile() {
+        // vtmpy row + fused narrow, the gaussian3x3 shape.
+        let vt = HvxExpr::op(
+            Op::Vtmpy { elem: U8, w0: 1, w1: 2 },
+            vec![HvxExpr::vmem("in", U8, -1, 0), HvxExpr::vmem("in", U8, 7, 0)],
+        );
+        let e = HvxExpr::op(
+            Op::VasrNarrow { elem: U16, shift: 4, round: true, sat: true, out: U8 },
+            vec![HvxExpr::op(Op::Hi, vec![vt.clone()]), HvxExpr::op(Op::Lo, vec![vt])],
+        );
+        roundtrip(&e);
+    }
+
+    #[test]
+    fn roundtrips_every_scalar_form() {
+        let x = HvxExpr::vmem("a", U8, 0, 0);
+        roundtrip(&HvxExpr::op(
+            Op::Vmpyi { elem: U8, scalar: ScalarOperand::Imm(-3) },
+            vec![x.clone()],
+        ));
+        roundtrip(&HvxExpr::op(
+            Op::VmpyScalar {
+                elem: U8,
+                scalar: ScalarOperand::Load { buffer: "w".into(), x: 2, dy: -1 },
+            },
+            vec![x.clone()],
+        ));
+        roundtrip(&HvxExpr::vsplat_imm(7, U16));
+        roundtrip(&HvxExpr::op(Op::Vrmpy { elem: U8, w: [1, -2, 3, -4] }, vec![x]));
+    }
+
+    #[test]
+    fn roundtrips_permutes_and_logicals() {
+        let a = HvxExpr::vmem("a", U8, 0, 0);
+        let b = HvxExpr::vmem("b", U8, 1, 0);
+        for e in [
+            HvxExpr::op(Op::Valign { bytes: 3 }, vec![a.clone(), b.clone()]),
+            HvxExpr::op(Op::Vand, vec![a.clone(), b.clone()]),
+            HvxExpr::op(Op::Vnot, vec![a.clone()]),
+            HvxExpr::op(
+                Op::VshuffPair { elem: U8 },
+                vec![HvxExpr::op(Op::Vzxt { elem: U8 }, vec![a.clone()])],
+            ),
+            HvxExpr::op(
+                Op::Vpack { elem: U16, sat: true, out: U8 },
+                vec![
+                    HvxExpr::op(Op::Hi, vec![HvxExpr::op(Op::Vzxt { elem: U8 }, vec![a.clone()])]),
+                    HvxExpr::op(Op::Lo, vec![HvxExpr::op(Op::Vzxt { elem: U8 }, vec![b])]),
+                ],
+            ),
+        ] {
+            roundtrip(&e);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("").is_err());
+        assert!(parse("(vadd u8 #f)").is_err()); // missing args
+        assert!(parse("(vfrob u8)").is_err()); // unknown op
+        assert!(parse("(vmem in u8 0 0) junk").is_err()); // trailing input
+        assert!(parse("(vadd u99 #f (vmem a u8 0 0) (vmem b u8 0 0))").is_err());
+    }
+}

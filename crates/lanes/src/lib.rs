@@ -28,6 +28,7 @@
 
 mod elem;
 mod ops;
+pub mod rng;
 mod vector;
 
 pub use elem::ElemType;

@@ -123,7 +123,6 @@ pub fn asr_rnd_sat(_ty: ElemType, out: ElemType, a: i64, n: u32) -> i64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn wrapping_add_overflows() {
@@ -189,51 +188,74 @@ mod tests {
         let _ = shl(ElemType::U8, 1, 8);
     }
 
-    fn canonical(ty: ElemType) -> impl Strategy<Value = i64> {
-        ty.min_value()..=ty.max_value()
+    fn canonical(rng: &mut crate::rng::Rng, ty: ElemType) -> i64 {
+        rng.gen_range(ty.min_value()..=ty.max_value())
     }
 
-    proptest! {
-        #[test]
-        fn prop_add_wrap_closed_u16(a in canonical(ElemType::U16), b in canonical(ElemType::U16)) {
+    #[test]
+    fn prop_add_wrap_closed_u16() {
+        let mut rng = crate::rng::Rng::seed_from_u64(0x0add);
+        for _ in 0..256 {
+            let (a, b) = (canonical(&mut rng, ElemType::U16), canonical(&mut rng, ElemType::U16));
             let r = add_wrap(ElemType::U16, a, b);
-            prop_assert!(ElemType::U16.contains(r));
-            prop_assert_eq!(r, ((a as u16).wrapping_add(b as u16)) as i64);
+            assert!(ElemType::U16.contains(r));
+            assert_eq!(r, ((a as u16).wrapping_add(b as u16)) as i64);
         }
+    }
 
-        #[test]
-        fn prop_add_sat_bounds_i16(a in canonical(ElemType::I16), b in canonical(ElemType::I16)) {
+    #[test]
+    fn prop_add_sat_bounds_i16() {
+        let mut rng = crate::rng::Rng::seed_from_u64(0x5a7);
+        for _ in 0..256 {
+            let (a, b) = (canonical(&mut rng, ElemType::I16), canonical(&mut rng, ElemType::I16));
             let r = add_sat(ElemType::I16, a, b);
-            prop_assert!(ElemType::I16.contains(r));
-            prop_assert_eq!(r, ((a as i16).saturating_add(b as i16)) as i64);
+            assert!(ElemType::I16.contains(r));
+            assert_eq!(r, ((a as i16).saturating_add(b as i16)) as i64);
         }
+    }
 
-        #[test]
-        fn prop_absd_symmetric(a in canonical(ElemType::U8), b in canonical(ElemType::U8)) {
-            prop_assert_eq!(absd(ElemType::U8, a, b), absd(ElemType::U8, b, a));
-            prop_assert!(ElemType::U8.contains(absd(ElemType::U8, a, b)));
+    #[test]
+    fn prop_absd_symmetric() {
+        let mut rng = crate::rng::Rng::seed_from_u64(0xab5d);
+        for _ in 0..256 {
+            let (a, b) = (canonical(&mut rng, ElemType::U8), canonical(&mut rng, ElemType::U8));
+            assert_eq!(absd(ElemType::U8, a, b), absd(ElemType::U8, b, a));
+            assert!(ElemType::U8.contains(absd(ElemType::U8, a, b)));
         }
+    }
 
-        #[test]
-        fn prop_avg_within_operands(a in canonical(ElemType::U8), b in canonical(ElemType::U8)) {
+    #[test]
+    fn prop_avg_within_operands() {
+        let mut rng = crate::rng::Rng::seed_from_u64(0xa76);
+        for _ in 0..256 {
+            let (a, b) = (canonical(&mut rng, ElemType::U8), canonical(&mut rng, ElemType::U8));
             let r = avg(ElemType::U8, a, b, false);
-            prop_assert!(r >= a.min(b) && r <= a.max(b));
+            assert!(r >= a.min(b) && r <= a.max(b));
         }
+    }
 
-        #[test]
-        fn prop_asr_rnd_close_to_division(a in canonical(ElemType::I16), n in 1u32..8) {
+    #[test]
+    fn prop_asr_rnd_close_to_division() {
+        let mut rng = crate::rng::Rng::seed_from_u64(0xa52);
+        for _ in 0..256 {
+            let a = canonical(&mut rng, ElemType::I16);
+            let n = rng.gen_range(1..=7) as u32;
             // Rounding shift approximates division by 2^n to within 1/2 ulp,
             // whenever the rounding add does not wrap.
             if a + (1i64 << (n - 1)) <= ElemType::I16.max_value() {
                 let r = asr_rnd(ElemType::I16, a, n);
                 let exact = (a as f64) / f64::from(1u32 << n);
-                prop_assert!((r as f64 - exact).abs() <= 0.5 + 1e-9);
+                assert!((r as f64 - exact).abs() <= 0.5 + 1e-9);
             }
         }
+    }
 
-        #[test]
-        fn prop_mul_wrap_closed(a in canonical(ElemType::I32), b in canonical(ElemType::I32)) {
-            prop_assert!(ElemType::I32.contains(mul_wrap(ElemType::I32, a, b)));
+    #[test]
+    fn prop_mul_wrap_closed() {
+        let mut rng = crate::rng::Rng::seed_from_u64(0x371);
+        for _ in 0..256 {
+            let (a, b) = (canonical(&mut rng, ElemType::I32), canonical(&mut rng, ElemType::I32));
+            assert!(ElemType::I32.contains(mul_wrap(ElemType::I32, a, b)));
         }
     }
 }

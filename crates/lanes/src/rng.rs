@@ -1,0 +1,123 @@
+//! A small deterministic pseudo-random generator for test-input and
+//! environment generation.
+//!
+//! The crates in this workspace need seeded, reproducible randomness (the
+//! verifier's random fills, benchmark input buffers, randomized tests) but
+//! nothing cryptographic — and the build must succeed with no registry
+//! access, so an external `rand` dependency is out. This is SplitMix64
+//! (Steele et al., "Fast splittable pseudorandom number generators"), the
+//! generator `rand` itself uses for seeding: a full-period 64-bit
+//! permutation with excellent statistical quality for its size.
+
+use std::ops::RangeInclusive;
+
+/// A seeded SplitMix64 generator.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// A generator whose stream is fully determined by `seed`.
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        Rng { state: seed }
+    }
+
+    /// The next 64 raw bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw from an inclusive range (`gen_range(lo..=hi)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range(&mut self, range: RangeInclusive<i64>) -> i64 {
+        let (lo, hi) = (*range.start(), *range.end());
+        assert!(lo <= hi, "gen_range: empty range {lo}..={hi}");
+        // Span fits in u64 for any i64 pair; modulo bias is negligible for
+        // the small spans used here (element-type ranges, sizes).
+        let span = (hi as i128 - lo as i128 + 1) as u64;
+        let r = if span == 0 {
+            // lo..=hi covers the full i64 domain.
+            self.next_u64()
+        } else {
+            self.next_u64() % span
+        };
+        (lo as i128 + r as i128) as i64
+    }
+
+    /// A uniform draw from an inclusive `usize` range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range_usize(&mut self, range: RangeInclusive<usize>) -> usize {
+        let (lo, hi) = (*range.start(), *range.end());
+        assert!(lo <= hi, "gen_range_usize: empty range {lo}..={hi}");
+        let span = (hi - lo) as u64 + 1;
+        lo + (self.next_u64() % span) as usize
+    }
+
+    /// `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(43);
+        assert_ne!(Rng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut rng = Rng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-128..=127);
+            assert!((-128..=127).contains(&v));
+            let u = rng.gen_range_usize(3..=9);
+            assert!((3..=9).contains(&u));
+        }
+        assert_eq!(rng.gen_range(5..=5), 5);
+    }
+
+    #[test]
+    fn covers_extremes_eventually() {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..10_000 {
+            match rng.gen_range(0..=15) {
+                0 => seen_lo = true,
+                15 => seen_hi = true,
+                _ => {}
+            }
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn bool_probabilities() {
+        let mut rng = Rng::seed_from_u64(9);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..=6_000).contains(&heads), "got {heads}");
+    }
+}

@@ -700,10 +700,9 @@ mod tests {
 
     #[test]
     fn model_satisfies_all_clauses_random() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use lanes::rng::Rng;
         for seed in 0..30u64 {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng::seed_from_u64(seed);
             let nvars = 30;
             let nclauses = 120;
             let mut s = Solver::new();
@@ -712,7 +711,7 @@ mod tests {
             for _ in 0..nclauses {
                 let c: Vec<Lit> = (0..3)
                     .map(|_| {
-                        Lit::with_polarity(vars[rng.gen_range(0..nvars)], rng.gen_bool(0.5))
+                        Lit::with_polarity(vars[rng.gen_range_usize(0..=nvars - 1)], rng.gen_bool(0.5))
                     })
                     .collect();
                 clauses.push(c.clone());
@@ -733,18 +732,17 @@ mod tests {
 
     #[test]
     fn agrees_with_brute_force() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use lanes::rng::Rng;
         for seed in 0..60u64 {
-            let mut rng = StdRng::seed_from_u64(1000 + seed);
+            let mut rng = Rng::seed_from_u64(1000 + seed);
             let nvars = 8usize;
-            let nclauses = rng.gen_range(10..40);
+            let nclauses = rng.gen_range_usize(10..=39);
             let mut s = Solver::new();
             let vars: Vec<Var> = (0..nvars).map(|_| s.new_var()).collect();
             let mut clauses: Vec<Vec<(usize, bool)>> = Vec::new();
             for _ in 0..nclauses {
-                let c: Vec<(usize, bool)> = (0..rng.gen_range(1..4))
-                    .map(|_| (rng.gen_range(0..nvars), rng.gen_bool(0.5)))
+                let c: Vec<(usize, bool)> = (0..rng.gen_range_usize(1..=3))
+                    .map(|_| (rng.gen_range_usize(0..=nvars - 1), rng.gen_bool(0.5)))
                     .collect();
                 s.add_clause(c.iter().map(|&(v, pos)| Lit::with_polarity(vars[v], pos)));
                 clauses.push(c);

@@ -8,8 +8,7 @@ use std::collections::BTreeMap;
 
 use halide_ir::{Buffer2D, Env};
 use lanes::ElemType;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lanes::rng::Rng;
 
 /// The buffers an expression reads: name → element type.
 pub type BufferSpec = BTreeMap<String, ElemType>;
@@ -43,7 +42,7 @@ pub fn test_envs(spec: &BufferSpec, width: usize, height: usize, random: usize) 
             .iter()
             .enumerate()
             .map(|(bi, (name, &ty))| {
-                let mut rng = StdRng::seed_from_u64(seed * 1031 + bi as u64);
+                let mut rng = Rng::seed_from_u64(seed * 1031 + bi as u64);
                 Buffer2D::from_fn(name, ty, width, height, |_x, _y| {
                     rng.gen_range(ty.min_value()..=ty.max_value())
                 })

@@ -54,6 +54,7 @@ struct Lifter<'a> {
     verifier: &'a Verifier,
     stats: &'a mut SynthStats,
     trace: LiftTrace,
+    deadline: Option<Instant>,
 }
 
 /// Lift a Halide IR expression into the Uber-Instruction IR.
@@ -67,8 +68,21 @@ pub fn lift_expr(
     verifier: &Verifier,
     stats: &mut SynthStats,
 ) -> Option<(UberExpr, LiftTrace)> {
+    lift_expr_with_deadline(e, verifier, None, stats)
+}
+
+/// [`lift_expr`] with a cooperative wall-clock deadline: once the instant
+/// passes, no further lifting queries are issued, the run returns `None`,
+/// and [`SynthStats::deadline_exceeded`] is set (so the caller knows the
+/// result is "ran out of time", not "proved unliftable").
+pub fn lift_expr_with_deadline(
+    e: &Expr,
+    verifier: &Verifier,
+    deadline: Option<Instant>,
+    stats: &mut SynthStats,
+) -> Option<(UberExpr, LiftTrace)> {
     let start = Instant::now();
-    let mut lifter = Lifter { verifier, stats, trace: LiftTrace::default() };
+    let mut lifter = Lifter { verifier, stats, trace: LiftTrace::default(), deadline };
     let result = lifter.lift(e);
     let trace = lifter.trace;
     stats.lifting_time += start.elapsed();
@@ -100,6 +114,12 @@ impl Lifter<'_> {
                 let kids: Vec<UberExpr> =
                     e.children().iter().map(|c| self.lift(c)).collect::<Option<_>>()?;
                 for (rule, cand) in self.candidates(e, &kids) {
+                    if let Some(deadline) = self.deadline {
+                        if Instant::now() >= deadline {
+                            self.stats.deadline_exceeded = true;
+                            return None;
+                        }
+                    }
                     self.stats.lifting_queries += 1;
                     if self.verifier.equiv_halide_uber(e, &cand) {
                         self.trace.push_step(rule, e, &cand);

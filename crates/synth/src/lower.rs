@@ -55,6 +55,11 @@ pub struct LoweringOptions {
     /// Restrict vector loads to aligned addresses, synthesizing `valign`
     /// for unaligned windows.
     pub aligned_loads: bool,
+    /// Cooperative wall-clock deadline. When set, the candidate loops
+    /// stop issuing new equivalence queries once the instant passes and
+    /// synthesis returns whatever it has (usually `None`), flagging
+    /// [`SynthStats::deadline_exceeded`].
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for LoweringOptions {
@@ -65,6 +70,7 @@ impl Default for LoweringOptions {
             backtrack: true,
             layouts: true,
             aligned_loads: false,
+            deadline: None,
         }
     }
 }
@@ -123,6 +129,13 @@ impl Lowerer<'_> {
         let mut best: Option<Lowered> = None;
         let mut beta = (u32::MAX, u32::MAX, u64::MAX);
         for cand in cands {
+            if let Some(deadline) = self.opts.deadline {
+                if Instant::now() >= deadline {
+                    self.stats.deadline_exceeded = true;
+                    // Don't memoize: a later call with more time may succeed.
+                    return best;
+                }
+            }
             let cost = self.cost(&cand);
             if cost >= beta {
                 continue;

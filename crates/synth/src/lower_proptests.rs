@@ -1,12 +1,12 @@
-//! Property tests over the lowering engine: randomly generated
+//! Randomized property tests over the lowering engine: randomly generated
 //! uber-expressions must either lower to verified code or be declined —
 //! never miscompiled — and the lowered code must beat or match a naive
 //! reference implementation under the cost model.
 
 use halide_ir::Load;
 use hvx::CostModel;
+use lanes::rng::Rng;
 use lanes::ElemType;
-use proptest::prelude::*;
 use uber_ir::{UberExpr, VsMpyAdd};
 
 use crate::lower::{lower_expr, LoweringOptions};
@@ -27,79 +27,89 @@ fn data(dx: i32, dy: i32) -> UberExpr {
     UberExpr::Data(Load { buffer: "in".into(), dx, dy, ty: ElemType::U8 })
 }
 
-/// Strategy: small widening multiply-add over u8 loads.
-fn small_vsmpy() -> impl Strategy<Value = UberExpr> {
-    (
-        proptest::collection::vec((-2i32..3, -1i32..2, 1i64..8), 1..5),
-        proptest::bool::ANY,
-    )
-        .prop_map(|(terms, column)| {
-            let inputs = terms
-                .iter()
-                .map(|&(dx, dy, _)| if column { data(0, dx) } else { data(dx, dy) })
-                .collect();
-            let kernel = terms.iter().map(|&(_, _, w)| w).collect();
-            UberExpr::VsMpyAdd(VsMpyAdd {
-                inputs,
-                kernel,
-                saturating: false,
-                out: ElemType::U16,
-            })
+/// Random small widening multiply-add over u8 loads.
+fn small_vsmpy(rng: &mut Rng) -> UberExpr {
+    let n = rng.gen_range_usize(1..=4);
+    let column = rng.gen_bool(0.5);
+    let terms: Vec<(i32, i32, i64)> = (0..n)
+        .map(|_| {
+            (
+                rng.gen_range(-2..=2) as i32,
+                rng.gen_range(-1..=1) as i32,
+                rng.gen_range(1..=7),
+            )
         })
+        .collect();
+    let inputs = terms
+        .iter()
+        .map(|&(dx, dy, _)| if column { data(0, dx) } else { data(dx, dy) })
+        .collect();
+    let kernel = terms.iter().map(|&(_, _, w)| w).collect();
+    UberExpr::VsMpyAdd(VsMpyAdd { inputs, kernel, saturating: false, out: ElemType::U16 })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+// These drive full synthesis with symbolic-executor proofs; they run
+// in release CI (`cargo test --release`) and are skipped under debug
+// builds where the solver is an order of magnitude slower.
 
-    // These drive full synthesis with symbolic-executor proofs; they run
-    // in release CI (`cargo test --release`) and are skipped under debug
-    // builds where the solver is an order of magnitude slower.
-
-    /// Every random multiply-add lowers, and the result re-verifies under
-    /// an independently seeded oracle (including the symbolic executor).
-    #[test]
-    #[cfg_attr(debug_assertions, ignore = "heavy; run with --release")]
-    fn prop_random_vsmpy_lowers_verified(u in small_vsmpy()) {
+/// Every random multiply-add lowers, and the result re-verifies under
+/// an independently seeded oracle (including the symbolic executor).
+#[test]
+#[cfg_attr(debug_assertions, ignore = "heavy; run with --release")]
+fn prop_random_vsmpy_lowers_verified() {
+    let mut rng = Rng::seed_from_u64(0x10e1);
+    for _ in 0..12 {
+        let u = small_vsmpy(&mut rng);
         let v = verifier();
         let mut stats = SynthStats::default();
         let Some(h) = lower_expr(&u, &v, opts(), &mut stats) else {
             // Declining is allowed; miscompiling is not.
-            return Ok(());
+            continue;
         };
         // Independent re-verification with more random environments.
         let recheck = Verifier { random_envs: 12, ..verifier() };
-        prop_assert!(
+        assert!(
             recheck.equiv_uber_hvx(&u, &h, false),
             "lowering failed independent re-verification:\n{u}\n{h}"
         );
     }
+}
 
-    /// Lowered code never costs more than the naive per-term reference
-    /// (one widening multiply per term plus element-wise adds).
-    #[test]
-    #[cfg_attr(debug_assertions, ignore = "heavy; run with --release")]
-    fn prop_lowering_beats_naive(u in small_vsmpy()) {
+/// Lowered code never costs more than the naive per-term reference
+/// (one widening multiply per term plus element-wise adds).
+#[test]
+#[cfg_attr(debug_assertions, ignore = "heavy; run with --release")]
+fn prop_lowering_beats_naive() {
+    let mut rng = Rng::seed_from_u64(0xbea7);
+    for _ in 0..12 {
+        let u = small_vsmpy(&mut rng);
         let v = verifier();
         let mut stats = SynthStats::default();
-        let Some(h) = lower_expr(&u, &v, opts(), &mut stats) else { return Ok(()) };
+        let Some(h) = lower_expr(&u, &v, opts(), &mut stats) else { continue };
         let UberExpr::VsMpyAdd(ref vs) = u else { unreachable!() };
         // Naive reference: vmpy per term + pair adds + final shuffle.
         let model = CostModel::new(LANES, LANES);
         let naive_units = 1 + 3 * vs.inputs.len() as u32; // loads + mpy + adds, loose bound
         let c = model.count(&h.to_program());
-        prop_assert!(
+        assert!(
             c.total() <= naive_units + 2,
             "total units {} exceed naive bound {} for {u}",
             c.total(),
             naive_units
         );
     }
+}
 
-    /// Narrow of a random multiply-add always produces one of the fused
-    /// narrowing instructions when the shift is non-zero.
-    #[test]
-    #[cfg_attr(debug_assertions, ignore = "heavy; run with --release")]
-    fn prop_narrow_fuses(u in small_vsmpy(), shift in 1u32..6, round in proptest::bool::ANY) {
+/// Narrow of a random multiply-add always produces one of the fused
+/// narrowing instructions when the shift is non-zero.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "heavy; run with --release")]
+fn prop_narrow_fuses() {
+    let mut rng = Rng::seed_from_u64(0xfa5e);
+    for _ in 0..12 {
+        let u = small_vsmpy(&mut rng);
+        let shift = rng.gen_range(1..=5) as u32;
+        let round = rng.gen_bool(0.5);
         let n = UberExpr::Narrow {
             arg: Box::new(u),
             shift,
@@ -109,13 +119,13 @@ proptest! {
         };
         let v = verifier();
         let mut stats = SynthStats::default();
-        let Some(h) = lower_expr(&n, &v, opts(), &mut stats) else { return Ok(()) };
+        let Some(h) = lower_expr(&n, &v, opts(), &mut stats) else { continue };
         let listing = h.to_string();
-        prop_assert!(
+        assert!(
             listing.contains("vasr-narrow"),
             "expected a fused narrowing shift in:\n{listing}"
         );
         // Fused consumption: no shuffle between the pair and the narrow.
-        prop_assert!(!listing.contains("vshuffvdd"), "unfused layout in:\n{listing}");
+        assert!(!listing.contains("vshuffvdd"), "unfused layout in:\n{listing}");
     }
 }

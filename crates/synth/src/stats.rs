@@ -18,6 +18,13 @@ pub struct SynthStats {
     pub sketching_time: Duration,
     /// Wall-clock time in swizzle synthesis.
     pub swizzling_time: Duration,
+    /// Results served from a synthesis cache instead of fresh queries
+    /// (filled in by callers that layer caching over the engine).
+    pub cache_hits: u64,
+    /// Whether synthesis was cut short by a cooperative deadline. A
+    /// deadline-terminated run is *incomplete*, not a proof of failure,
+    /// so callers must not negative-cache it.
+    pub deadline_exceeded: bool,
 }
 
 impl SynthStats {
@@ -34,6 +41,8 @@ impl SynthStats {
         self.lifting_time += other.lifting_time;
         self.sketching_time += other.sketching_time;
         self.swizzling_time += other.swizzling_time;
+        self.cache_hits += other.cache_hits;
+        self.deadline_exceeded |= other.deadline_exceeded;
     }
 }
 
@@ -50,10 +59,16 @@ mod tests {
             lifting_time: Duration::from_millis(10),
             sketching_time: Duration::from_millis(20),
             swizzling_time: Duration::from_millis(30),
+            cache_hits: 1,
+            deadline_exceeded: false,
         };
         a.merge(&a.clone());
         assert_eq!(a.lifting_queries, 4);
         assert_eq!(a.swizzling_queries, 8);
+        assert_eq!(a.cache_hits, 2);
+        assert!(!a.deadline_exceeded);
         assert_eq!(a.total_time(), Duration::from_millis(120));
+        a.merge(&SynthStats { deadline_exceeded: true, ..SynthStats::default() });
+        assert!(a.deadline_exceeded);
     }
 }

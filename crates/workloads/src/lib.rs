@@ -19,8 +19,7 @@ mod ml;
 
 use halide_ir::{Buffer2D, Env, Expr};
 use lanes::ElemType;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lanes::rng::Rng;
 
 /// Benchmark category (the grouping of §7).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,7 +60,7 @@ impl Workload {
     pub fn env(&self, width: usize, height: usize, seed: u64) -> Env {
         let mut env = Env::new();
         for (i, (name, ty, scalar_table)) in self.buffers.iter().enumerate() {
-            let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37).wrapping_add(i as u64));
+            let mut rng = Rng::seed_from_u64(seed.wrapping_mul(0x9e37).wrapping_add(i as u64));
             let (w, h) = if *scalar_table { (16, height + 16) } else { (width, height) };
             env.insert(Buffer2D::from_fn(name, *ty, w, h, |_, _| {
                 rng.gen_range(ty.min_value()..=ty.max_value())

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Repo-wide CI gate: formatting, lints on the driver crate, full test
+# suite. Everything runs offline against the committed Cargo.lock — the
+# workspace has no external dependencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check (rake-driver)"
+# The seed crates predate the fmt gate and keep their original style; the
+# service layer is rustfmt-clean and stays that way.
+cargo fmt -p rake-driver --check
+
+echo "== cargo clippy (rake-driver, -D warnings)"
+# The new service layer is held to a stricter bar than the older crates.
+cargo clippy --offline --locked -p rake-driver --all-targets -- -D warnings
+
+echo "== cargo test (workspace)"
+cargo test -q --offline --locked --workspace
+
+echo "all checks passed"

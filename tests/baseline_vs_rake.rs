@@ -7,8 +7,7 @@ use halide_ir::{Buffer2D, Env, EvalCtx, Expr};
 use hvx::CostModel;
 use lanes::ElemType::{U16, U8};
 use rake::{Rake, Target};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lanes::rng::Rng;
 use synth::Verifier;
 
 const LANES: usize = 8;
@@ -18,12 +17,12 @@ fn rake() -> Rake {
 }
 
 /// Random wrap-free stencil expressions over one u8 buffer.
-fn random_stencil(rng: &mut StdRng) -> Expr {
-    let taps = rng.gen_range(2..4usize);
+fn random_stencil(rng: &mut Rng) -> Expr {
+    let taps = rng.gen_range_usize(2..=3);
     let mut acc: Option<Expr> = None;
     for k in 0..taps {
-        let w = rng.gen_range(1..4i64);
-        let t = widen(load("in", U8, k as i32 - 1, rng.gen_range(-1..2)));
+        let w = rng.gen_range(1..=3);
+        let t = widen(load("in", U8, k as i32 - 1, rng.gen_range(-1..=1) as i32));
         let term = if w == 1 { t } else { mul(t, bcast(w, U16)) };
         acc = Some(match acc {
             None => term,
@@ -31,23 +30,23 @@ fn random_stencil(rng: &mut StdRng) -> Expr {
         });
     }
     let acc = acc.expect("taps");
-    match rng.gen_range(0..3) {
+    match rng.gen_range(0..=2) {
         0 => acc,
         1 => cast(U8, shr(add(acc, bcast(4, U16)), 3)),
         _ => absd(acc.clone(), acc),
     }
 }
 
-fn random_env(rng: &mut StdRng) -> Env {
+fn random_env(rng: &mut Rng) -> Env {
     let mut env = Env::new();
-    env.insert(Buffer2D::from_fn("in", U8, 96, 9, |_, _| rng.gen_range(0..256)));
+    env.insert(Buffer2D::from_fn("in", U8, 96, 9, |_, _| rng.gen_range(0..=255)));
     env
 }
 
 #[test]
 fn randomized_programs_agree_with_interpreter() {
     let rake = rake();
-    let mut rng = StdRng::seed_from_u64(2024);
+    let mut rng = Rng::seed_from_u64(2024);
     let mut compiled_count = 0;
     for _ in 0..12 {
         let e = random_stencil(&mut rng);
@@ -79,7 +78,7 @@ fn randomized_programs_agree_with_interpreter() {
 fn rake_cost_never_exceeds_baseline() {
     let rake = rake();
     let model = CostModel::new(LANES, LANES);
-    let mut rng = StdRng::seed_from_u64(77);
+    let mut rng = Rng::seed_from_u64(77);
     for _ in 0..10 {
         let e = random_stencil(&mut rng);
         let Ok(c) = rake.compile(&e) else { continue };
