@@ -18,6 +18,8 @@
 //!   --uber         print the lifted Uber-Instruction IR
 //!   --cache DIR    persistent synthesis cache (via the rake-driver layer)
 //!   --timeout SEC  wall-clock synthesis budget
+//!   --validate     differentially validate the compiled program against
+//!                  the Halide IR interpreter on adversarial inputs
 
 use std::io::Read as _;
 use std::process::ExitCode;
@@ -33,6 +35,7 @@ fn main() -> ExitCode {
     let mut baseline = false;
     let mut trace = false;
     let mut uber = false;
+    let mut validate = false;
     let mut cache_dir: Option<std::path::PathBuf> = None;
     let mut timeout: Option<Duration> = None;
     let mut path: Option<String> = None;
@@ -46,6 +49,7 @@ fn main() -> ExitCode {
             "--baseline" => baseline = true,
             "--trace" => trace = true,
             "--uber" => uber = true,
+            "--validate" => validate = true,
             "--cache" => match it.next() {
                 Some(dir) => cache_dir = Some(dir.into()),
                 None => return usage("--cache needs a directory"),
@@ -93,6 +97,7 @@ fn main() -> ExitCode {
         workers: 1,
         job_timeout: timeout,
         cache_dir,
+        validate,
         ..DriverConfig::default()
     });
     let report = driver.compile_batch(&[expr.clone()]);
@@ -120,6 +125,16 @@ fn main() -> ExitCode {
                 "; cycles/tile: {}",
                 c.program.schedule(lanes, vec_bytes, SlotBudget::hvx()).cycles
             );
+            if let Some(v) = &result.validation {
+                println!(
+                    "; differential validation: {} points, {} mismatches",
+                    v.checks, v.mismatches
+                );
+                if v.mismatches > 0 {
+                    eprintln!("rakec: MISCOMPILE — program disagrees with the interpreter");
+                    return ExitCode::FAILURE;
+                }
+            }
             if baseline {
                 match halide_opt::select(
                     &expr,
@@ -174,7 +189,7 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("rakec: {err}");
     }
     eprintln!(
-        "usage: rakec [--lanes N] [--baseline] [--trace] [--uber] \
+        "usage: rakec [--lanes N] [--baseline] [--trace] [--uber] [--validate] \
          [--cache DIR] [--timeout SEC] [file.sexp]"
     );
     if err.is_empty() {

@@ -24,6 +24,9 @@ pub struct ServiceOptions {
     pub workers: Option<usize>,
     /// Per-expression wall-clock budget.
     pub job_timeout: Option<std::time::Duration>,
+    /// Differentially validate every compiled program against the Halide
+    /// IR interpreter (forwarded to `DriverConfig::validate`).
+    pub validate: bool,
 }
 
 impl ServiceOptions {
@@ -35,6 +38,7 @@ impl ServiceOptions {
             job_timeout: self.job_timeout,
             cache_dir: self.cache_dir.clone(),
             log_path: self.log_path.clone(),
+            validate: self.validate,
         })
     }
 }

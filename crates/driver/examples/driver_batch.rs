@@ -43,6 +43,7 @@ fn main() {
             job_timeout: Some(std::time::Duration::from_secs(30)),
             cache_dir: Some(cache_dir.clone()),
             log_path: Some(cache_dir.join("events.jsonl")),
+            ..DriverConfig::default()
         });
         let report = driver.compile_batch_named(
             w.exprs

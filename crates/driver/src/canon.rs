@@ -284,4 +284,95 @@ mod tests {
         assert_eq!(canonicalize(&e1).expr, canonicalize(&e2).expr);
         assert_ne!(canonicalize(&e2).expr, canonicalize(&e3).expr);
     }
+
+    /// Recursively swap commutative operands at random: a semantics- and
+    /// key-preserving scramble for the property tests below.
+    fn swap_commutative(e: &Expr, rng: &mut lanes::rng::Rng) -> Expr {
+        match e {
+            Expr::Load(_) | Expr::Broadcast(_) | Expr::BroadcastLoad(_) => e.clone(),
+            Expr::Cast(c) => Expr::Cast(Cast {
+                to: c.to,
+                saturating: c.saturating,
+                arg: Box::new(swap_commutative(&c.arg, rng)),
+            }),
+            Expr::Shift(s) => Expr::Shift(Shift {
+                dir: s.dir,
+                amount: s.amount,
+                arg: Box::new(swap_commutative(&s.arg, rng)),
+            }),
+            Expr::Binary(b) => {
+                let lhs = swap_commutative(&b.lhs, rng);
+                let rhs = swap_commutative(&b.rhs, rng);
+                let (lhs, rhs) = if b.op.is_commutative() && rng.gen_bool(0.5) {
+                    (rhs, lhs)
+                } else {
+                    (lhs, rhs)
+                };
+                Expr::Binary(Binary { op: b.op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+            }
+        }
+    }
+
+    #[test]
+    fn canonicalization_is_idempotent_on_generated_exprs() {
+        let cfg = oracle::GenConfig::default();
+        let mut rng = lanes::rng::Rng::seed_from_u64(0xD0C5);
+        for _ in 0..200 {
+            let e = oracle::gen_expr(&mut rng, &cfg);
+            let once = canonicalize(&e);
+            let twice = canonicalize(&once.expr);
+            assert_eq!(twice.expr, once.expr, "{}", halide_ir::sexpr::to_sexpr(&e));
+            // The fixpoint's rename maps are the identity.
+            assert!(twice.to_canonical.iter().all(|(k, v)| k == v));
+        }
+    }
+
+    #[test]
+    fn equal_canonical_keys_imply_interpreter_equivalence() {
+        // Alpha-rename the buffers and scramble commutative operands: the
+        // canonical key must survive, and key equality must be
+        // semantically real — both expressions evaluate identically on
+        // every adversarial environment (modulo the buffer renaming).
+        let cfg = oracle::GenConfig::default();
+        let mut rng = lanes::rng::Rng::seed_from_u64(0x5EED);
+        for _ in 0..100 {
+            let e = oracle::gen_expr(&mut rng, &cfg);
+            let map: HashMap<String, String> = halide_ir::analysis::buffers_used(&e)
+                .into_iter()
+                .map(|n| (n.clone(), format!("renamed_{n}")))
+                .collect();
+            let variant = swap_commutative(&rename_expr(&e, &map), &mut rng);
+            assert_eq!(
+                canonicalize(&e).expr,
+                canonicalize(&variant).expr,
+                "{}",
+                halide_ir::sexpr::to_sexpr(&e)
+            );
+
+            let checker = oracle::Oracle { envs: 2, ..oracle::Oracle::default() };
+            for env in checker.envs_for(&e) {
+                let renamed: halide_ir::Env = env
+                    .iter()
+                    .map(|b| {
+                        halide_ir::Buffer2D::from_fn(
+                            &map[b.name()],
+                            b.elem(),
+                            b.width(),
+                            b.height(),
+                            |x, y| b.get(x as i64, y as i64),
+                        )
+                    })
+                    .collect();
+                for (x0, y0) in [(0i64, 0i64), (7, 1)] {
+                    let lanes = 8;
+                    let a = halide_ir::eval(&e, &halide_ir::EvalCtx { env: &env, x0, y0, lanes });
+                    let b = halide_ir::eval(
+                        &variant,
+                        &halide_ir::EvalCtx { env: &renamed, x0, y0, lanes },
+                    );
+                    assert_eq!(a.ok(), b.ok(), "{}", halide_ir::sexpr::to_sexpr(&e));
+                }
+            }
+        }
+    }
 }

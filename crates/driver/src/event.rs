@@ -79,6 +79,20 @@ pub enum DriverEvent {
     },
     /// One job concluded.
     JobFinished(JobRecord),
+    /// A compiled job was differentially validated against the Halide IR
+    /// interpreter (emitted only when the driver runs with validation on).
+    JobValidated {
+        /// Position of the expression in the input batch.
+        job: usize,
+        /// Caller-supplied label, if any.
+        name: Option<String>,
+        /// The content-addressed cache key.
+        key: String,
+        /// Number of (environment, origin) points compared.
+        checks: usize,
+        /// Points where the program disagreed — non-zero is a miscompile.
+        mismatches: usize,
+    },
     /// The whole batch concluded.
     BatchFinished {
         /// Jobs per [`OutcomeKind`]: compiled, failed, timed out, panicked.
@@ -137,6 +151,19 @@ impl DriverEvent {
                 obj.push(("lifting_ms".to_owned(), ms(r.stats.lifting_time)));
                 obj.push(("sketching_ms".to_owned(), ms(r.stats.sketching_time)));
                 obj.push(("swizzling_ms".to_owned(), ms(r.stats.swizzling_time)));
+                Json::Obj(obj)
+            }
+            DriverEvent::JobValidated { job, name, key, checks, mismatches } => {
+                let mut obj = vec![
+                    ("event".to_owned(), "job_validated".into()),
+                    ("job".to_owned(), (*job).into()),
+                ];
+                if let Some(name) = name {
+                    obj.push(("name".to_owned(), name.as_str().into()));
+                }
+                obj.push(("key".to_owned(), key.as_str().into()));
+                obj.push(("checks".to_owned(), (*checks).into()));
+                obj.push(("mismatches".to_owned(), (*mismatches).into()));
                 Json::Obj(obj)
             }
             DriverEvent::BatchFinished {

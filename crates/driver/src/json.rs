@@ -301,18 +301,28 @@ impl P<'_> {
                         b'b' => out.push('\u{8}'),
                         b'f' => out.push('\u{c}'),
                         b'u' => {
-                            let hex = self
-                                .input
-                                .get(self.pos..self.pos + 4)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .and_then(|h| u32::from_str_radix(h, 16).ok());
-                            let Some(code) = hex else {
-                                return self.err("bad \\u escape");
-                            };
-                            self.pos += 4;
-                            // Surrogate pairs are not produced by our writer;
-                            // map lone surrogates to the replacement char.
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            let code = self.hex4()?;
+                            match code {
+                                0xd800..=0xdbff => {
+                                    // High surrogate: a low surrogate escape
+                                    // must follow immediately (RFC 8259).
+                                    if self.input.get(self.pos..self.pos + 2) != Some(b"\\u") {
+                                        return self.err("unpaired high surrogate in \\u escape");
+                                    }
+                                    self.pos += 2;
+                                    let low = self.hex4()?;
+                                    if !(0xdc00..=0xdfff).contains(&low) {
+                                        return self.err("unpaired high surrogate in \\u escape");
+                                    }
+                                    let c = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+                                    out.push(char::from_u32(c).expect("valid supplementary char"));
+                                }
+                                0xdc00..=0xdfff => {
+                                    return self.err("unpaired low surrogate in \\u escape");
+                                }
+                                _ => out
+                                    .push(char::from_u32(code).expect("non-surrogate BMP scalar")),
+                            }
                         }
                         other => return self.err(format!("bad escape `\\{}`", other as char)),
                     }
@@ -333,6 +343,20 @@ impl P<'_> {
                 }
             }
         }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let hex = self
+            .input
+            .get(self.pos..self.pos + 4)
+            .filter(|h| h.iter().all(u8::is_ascii_hexdigit))
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .and_then(|h| u32::from_str_radix(h, 16).ok());
+        let Some(code) = hex else {
+            return self.err("bad \\u escape");
+        };
+        self.pos += 4;
+        Ok(code)
     }
 
     fn number(&mut self) -> Result<Json, JsonError> {
@@ -382,6 +406,40 @@ mod tests {
             v.get("k").unwrap().as_arr().unwrap(),
             &[Json::Num(1.0), Json::Num(-2.5), Json::Str("Aµ".into())]
         );
+    }
+
+    #[test]
+    fn decodes_surrogate_pairs() {
+        // \ud83e\udd80 is U+1F980, \ud800\udc00 is U+10000 (lowest astral).
+        let v = parse("\"a \\ud83e\\udd80 \\ud800\\udc00 z\"").unwrap();
+        assert_eq!(v.as_str().unwrap(), "a \u{1f980} \u{10000} z");
+    }
+
+    #[test]
+    fn rejects_lone_surrogates() {
+        for input in [
+            "\"\\ud83e\"",        // high surrogate at end of string
+            "\"\\ud83ex\"",       // high surrogate followed by plain char
+            "\"\\ud83e\\n\"",     // high surrogate followed by non-\u escape
+            "\"\\ud83e\\ud83e\"", // high surrogate followed by high surrogate
+            "\"\\udd80\"",        // lone low surrogate
+        ] {
+            let err = parse(input).unwrap_err();
+            assert!(err.message.contains("surrogate"), "{input}: {}", err.message);
+        }
+        assert!(parse("\"\\u12g4\"").is_err());
+        assert!(parse("\"\\u+123\"").is_err());
+    }
+
+    #[test]
+    fn astral_strings_roundtrip() {
+        let v = Json::Str("plane-1: \u{1f980}\u{10000}\u{10ffff} \u{b5}".into());
+        let text = v.to_string();
+        assert_eq!(parse(&text).unwrap(), v);
+        // The writer emits astral chars as raw UTF-8; also accept the fully
+        // escaped form a foreign producer would emit for the same string.
+        let escaped = "\"plane-1: \\ud83e\\udd80\\ud800\\udc00\\udbff\\udfff \\u00b5\"";
+        assert_eq!(parse(escaped).unwrap(), v);
     }
 
     #[test]

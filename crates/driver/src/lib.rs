@@ -71,12 +71,23 @@ pub struct DriverConfig {
     /// File to append the JSONL event stream to. `None` disables logging
     /// to disk (events are still collected on the [`BatchReport`]).
     pub log_path: Option<PathBuf>,
+    /// Run every compiled program through the differential oracle after
+    /// synthesis: execute it on adversarial inputs and compare against the
+    /// Halide IR interpreter. Mismatch counts land on
+    /// [`JobResult::validation`] and a `job_validated` event per job.
+    pub validate: bool,
 }
 
 impl Default for DriverConfig {
     fn default() -> DriverConfig {
         let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8);
-        DriverConfig { workers, job_timeout: None, cache_dir: None, log_path: None }
+        DriverConfig {
+            workers,
+            job_timeout: None,
+            cache_dir: None,
+            log_path: None,
+            validate: false,
+        }
     }
 }
 
@@ -132,6 +143,19 @@ pub struct JobResult {
     pub queue_wait: Duration,
     /// Time a worker spent on the underlying unique job.
     pub run_time: Duration,
+    /// Differential-oracle result, when [`DriverConfig::validate`] is on
+    /// and the job produced a program to validate.
+    pub validation: Option<ValidationOutcome>,
+}
+
+/// Outcome of differentially validating one compiled program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValidationOutcome {
+    /// Number of (environment, origin) points executed and compared.
+    pub checks: usize,
+    /// Points where the program disagreed with the interpreter. Anything
+    /// non-zero is a miscompile.
+    pub mismatches: usize,
 }
 
 impl JobResult {
@@ -168,6 +192,12 @@ impl BatchReport {
     /// Render the human-readable per-job summary table.
     pub fn summary_table(&self) -> String {
         event::summary_table(&self.events)
+    }
+
+    /// Total differential-validation mismatches across the batch. Zero
+    /// when validation was off or every program matched the interpreter.
+    pub fn validation_mismatches(&self) -> usize {
+        self.results.iter().filter_map(|r| r.validation).map(|v| v.mismatches).sum()
     }
 }
 
@@ -327,6 +357,20 @@ impl Driver {
                 JobOutcome::Compiled(_) => None,
                 _ => baseline_fallback(&input.expr, target),
             };
+            let validation = if self.config.validate {
+                self.validate_outcome(&input.expr, &outcome)
+            } else {
+                None
+            };
+            if let Some(v) = &validation {
+                events.push(DriverEvent::JobValidated {
+                    job: index,
+                    name: input.name.clone(),
+                    key: input.key.clone(),
+                    checks: v.checks,
+                    mismatches: v.mismatches,
+                });
+            }
             let (instructions, detail) = match &outcome {
                 JobOutcome::Compiled(c) => (Some(c.program.len()), None),
                 JobOutcome::Failed(err) => (None, Some(err.to_string())),
@@ -354,6 +398,7 @@ impl Driver {
                 fallback,
                 queue_wait: ur.queue_wait,
                 run_time: ur.run_time,
+                validation,
             });
         }
 
@@ -378,6 +423,26 @@ impl Driver {
         }
 
         BatchReport { results, events, stats, cache_stats: self.cache.stats(), wall }
+    }
+
+    /// Differentially validate a compiled job: execute its program on
+    /// adversarial inputs and compare with the interpreter, lane by lane.
+    fn validate_outcome(&self, e: &Expr, outcome: &JobOutcome) -> Option<ValidationOutcome> {
+        let JobOutcome::Compiled(c) = outcome else {
+            return None;
+        };
+        let target = self.rake.target();
+        let checker = oracle::Oracle {
+            lanes: target.lanes,
+            width: target.lanes + 24,
+            ..oracle::Oracle::default()
+        };
+        let ty = e.ty();
+        let program = &c.program;
+        let report = checker.check(e, &|env, x0, y0, lanes| {
+            program.run(env, x0, y0, lanes).ok().map(|v| v.typed_lanes(ty))
+        });
+        Some(ValidationOutcome { checks: report.checks, mismatches: report.failures.len() })
     }
 
     /// Run the unique jobs on the worker pool; results indexed like `jobs`.

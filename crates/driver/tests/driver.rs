@@ -319,3 +319,60 @@ fn jsonl_event_log_is_written_and_parseable() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn validation_passes_honest_programs() {
+    let driver = Driver::new(rake8()).with_config(DriverConfig {
+        workers: 2,
+        validate: true,
+        ..DriverConfig::default()
+    });
+    let batch = vec![pair_sum("in"), absd(load("a", U8, 0, 0), load("b", U8, 0, 0))];
+    let report = driver.compile_batch(&batch);
+    assert_eq!(report.compiled(), 2);
+    assert_eq!(report.validation_mismatches(), 0);
+    for r in &report.results {
+        let v = r.validation.expect("validate:true must attach an outcome to compiled jobs");
+        assert!(v.checks > 0);
+        assert_eq!(v.mismatches, 0);
+    }
+    let validated = report
+        .events
+        .iter()
+        .filter(|e| matches!(e, DriverEvent::JobValidated { mismatches: 0, .. }))
+        .count();
+    assert_eq!(validated, 2);
+}
+
+#[test]
+fn validation_flags_a_miscompiled_program() {
+    // Inject a selector bug: answer `add` jobs with the program compiled
+    // for the corresponding `sub` — structurally plausible, semantically
+    // wrong. The differential oracle must flag it.
+    let rake = rake8();
+    let inner = rake.clone();
+    let driver = Driver::new(rake)
+        .with_config(DriverConfig { workers: 1, validate: true, ..DriverConfig::default() })
+        .with_compile_fn(move |e: &Expr, _| {
+            let wrong = match e {
+                Expr::Binary(b) if b.op == halide_ir::BinOp::Add => {
+                    Expr::Binary(halide_ir::Binary {
+                        op: halide_ir::BinOp::Sub,
+                        lhs: b.lhs.clone(),
+                        rhs: b.rhs.clone(),
+                    })
+                }
+                other => other.clone(),
+            };
+            inner.compile(&wrong)
+        });
+    let report = driver.compile_batch(&[pair_sum("in")]);
+    assert_eq!(report.compiled(), 1);
+    let v = report.results[0].validation.expect("compiled job must be validated");
+    assert!(v.mismatches > 0, "miscompile must be caught: {v:?}");
+    assert_eq!(report.validation_mismatches(), v.mismatches);
+    assert!(report
+        .events
+        .iter()
+        .any(|e| matches!(e, DriverEvent::JobValidated { mismatches, .. } if *mismatches > 0)));
+}

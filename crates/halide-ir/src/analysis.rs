@@ -7,7 +7,7 @@
 //! intermediate cannot exceed the narrow type's range, and using the
 //! unsigned-only `vmpyie` requires proving an operand non-negative.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use lanes::ElemType;
 
@@ -42,9 +42,27 @@ pub fn loads(e: &Expr) -> Vec<Load> {
     out
 }
 
-/// Names of all buffers read by the expression.
+/// Names of all buffers read by the expression, including the scalar
+/// reads of [`Expr::BroadcastLoad`] nodes.
 pub fn buffers_used(e: &Expr) -> BTreeSet<String> {
-    loads(e).into_iter().map(|l| l.buffer).collect()
+    buffer_types(e).into_keys().collect()
+}
+
+/// Every buffer the expression reads, mapped to its element type. Covers
+/// both vector loads and runtime-scalar broadcasts; a buffer read at two
+/// different element types keeps the first type seen in traversal order.
+pub fn buffer_types(e: &Expr) -> BTreeMap<String, ElemType> {
+    let mut out = BTreeMap::new();
+    visit(e, &mut |n| match n {
+        Expr::Load(l) => {
+            out.entry(l.buffer.clone()).or_insert(l.ty);
+        }
+        Expr::BroadcastLoad(b) => {
+            out.entry(b.buffer.clone()).or_insert(b.ty);
+        }
+        _ => {}
+    });
+    out
 }
 
 /// Whether Rake would attempt to optimize this expression. The paper (§7)

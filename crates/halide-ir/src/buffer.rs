@@ -124,6 +124,12 @@ impl Env {
         self.buffers.get(name)
     }
 
+    /// Look up a buffer by name, mutably (used by the differential
+    /// oracle's input shrinker to zero cells in place).
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Buffer2D> {
+        self.buffers.get_mut(name)
+    }
+
     /// Iterate over buffers in name order.
     pub fn iter(&self) -> impl Iterator<Item = &Buffer2D> {
         self.buffers.values()

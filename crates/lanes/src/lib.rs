@@ -36,4 +36,6 @@ pub use ops::{
     absd, add_sat, add_wrap, asr, asr_rnd, asr_rnd_sat, avg, lsr, max, min, mul_wrap, navg, shl,
     sub_sat, sub_wrap,
 };
+#[cfg(any(test, feature = "test-fixtures"))]
+pub use ops::broken_avg;
 pub use vector::Vector;

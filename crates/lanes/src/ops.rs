@@ -52,14 +52,31 @@ pub fn absd(ty: ElemType, a: i64, b: i64) -> i64 {
 }
 
 /// Averaging with optional round-up: `(a + b + round) >> 1`, matching HVX
-/// `vavg`/`vavgrnd`. The result always fits the operand type.
-pub fn avg(_ty: ElemType, a: i64, b: i64, round: bool) -> i64 {
-    (a + b + i64::from(round)) >> 1
+/// `vavg`/`vavgrnd`. The intermediate sum is computed at full precision
+/// (HVX averages through a 9/17/33-bit adder, so `u8` 255+255 averages to
+/// 255, not to a wrapped value), and the halved result always lands back
+/// in the operand range: `2*MIN <= a+b+1 <= 2*MAX+1` floors to
+/// `[MIN, MAX]`. The final wrap mirrors `navg` and keeps the function
+/// closed over canonical values even if a caller hands in non-canonical
+/// operands.
+pub fn avg(ty: ElemType, a: i64, b: i64, round: bool) -> i64 {
+    ty.wrap((a + b + i64::from(round)) >> 1)
 }
 
 /// Negative averaging: `(a - b + round) >> 1`, matching HVX `vnavg`.
 pub fn navg(ty: ElemType, a: i64, b: i64, round: bool) -> i64 {
     ty.wrap((a - b + i64::from(round)) >> 1)
+}
+
+/// Deliberately broken [`avg`] used as a differential-oracle fixture: the
+/// sum wraps at the operand width *before* the halving shift (the classic
+/// "forgot the widening" vectorization bug — `u8` 200 avg 100 comes out as
+/// 22 instead of 150). Only compiled for tests; a dependent crate's test
+/// suite cannot see another crate's `#[cfg(test)]` items, so the oracle
+/// crate opts in through the `test-fixtures` feature instead.
+#[cfg(any(test, feature = "test-fixtures"))]
+pub fn broken_avg(ty: ElemType, a: i64, b: i64, round: bool) -> i64 {
+    ty.wrap(ty.wrap(a + b + i64::from(round)) >> 1)
 }
 
 /// Wrapping shift left by an immediate amount in `0..ty.bits()`.
@@ -162,6 +179,52 @@ mod tests {
     }
 
     #[test]
+    fn avg_boundaries_match_hvx_vavg() {
+        // HVX `vavg` computes the sum through a wider adder: the extremes
+        // of every type average to themselves, with or without rounding.
+        for ty in ElemType::ALL {
+            let (lo, hi) = (ty.min_value(), ty.max_value());
+            for round in [false, true] {
+                assert_eq!(avg(ty, hi, hi, round), hi, "{ty} max/max round={round}");
+                assert_eq!(avg(ty, lo, lo, round), lo, "{ty} min/min round={round}");
+            }
+            // One step inside the corner: floor vs round-up is visible.
+            assert_eq!(avg(ty, hi, hi - 1, false), hi - 1, "{ty}");
+            assert_eq!(avg(ty, hi, hi - 1, true), hi, "{ty}");
+        }
+        // Wide-unsigned spot checks: the sum exceeds the type's range, the
+        // average must not wrap through it.
+        assert_eq!(avg(ElemType::U16, 65535, 65535, true), 65535);
+        assert_eq!(avg(ElemType::U32, u32::MAX as i64, u32::MAX as i64 - 1, false), u32::MAX as i64 - 1);
+        // Signed full-spread average straddles zero.
+        assert_eq!(avg(ElemType::I16, -32768, 32767, false), -1);
+        assert_eq!(avg(ElemType::I16, -32768, 32767, true), 0);
+    }
+
+    #[test]
+    fn prop_avg_closed_over_all_types() {
+        let mut rng = crate::rng::Rng::seed_from_u64(0xa76b);
+        for ty in ElemType::ALL {
+            for _ in 0..256 {
+                let (a, b) = (canonical(&mut rng, ty), canonical(&mut rng, ty));
+                let round = rng.gen_bool(0.5);
+                let r = avg(ty, a, b, round);
+                assert!(ty.contains(r), "{ty} avg({a},{b},{round}) = {r} not canonical");
+                assert!(r >= a.min(b) && r <= a.max(b));
+            }
+        }
+    }
+
+    #[test]
+    fn broken_avg_fixture_is_actually_broken() {
+        // The oracle's shrink test relies on this fixture diverging from
+        // the real `avg` exactly when the operand-width sum overflows.
+        assert_eq!(broken_avg(ElemType::U8, 200, 100, false), 22);
+        assert_eq!(avg(ElemType::U8, 200, 100, false), 150);
+        assert_eq!(broken_avg(ElemType::U8, 3, 4, true), avg(ElemType::U8, 3, 4, true));
+    }
+
+    #[test]
     fn shifts() {
         assert_eq!(shl(ElemType::U8, 0x81, 1), 0x02);
         assert_eq!(lsr(ElemType::I8, -2, 1), 0x7f);
@@ -246,6 +309,20 @@ mod tests {
                 let r = asr_rnd(ElemType::I16, a, n);
                 let exact = (a as f64) / f64::from(1u32 << n);
                 assert!((r as f64 - exact).abs() <= 0.5 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn prop_asr_rnd_zero_shift_is_plain_asr() {
+        // `n == 0` must not evaluate `1 << (n - 1)`: the guard makes the
+        // rounding shift degenerate to the identity, exactly like `asr`.
+        let mut rng = crate::rng::Rng::seed_from_u64(0xa520);
+        for ty in ElemType::ALL {
+            for _ in 0..256 {
+                let a = canonical(&mut rng, ty);
+                assert_eq!(asr_rnd(ty, a, 0), asr(ty, a, 0), "{ty} a={a}");
+                assert_eq!(asr_rnd(ty, a, 0), a);
             }
         }
     }

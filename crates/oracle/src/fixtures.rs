@@ -1,0 +1,101 @@
+//! Deliberately broken subjects for exercising the oracle itself.
+//!
+//! Compiled only for tests and behind the `fixtures` cargo feature (which
+//! enables `lanes/test-fixtures`): these subjects simulate a selector with
+//! a known-wrong instruction model, so the detection → minimization →
+//! repro pipeline can be demonstrated end-to-end without shipping a real
+//! miscompile.
+
+use halide_ir::{eval, BinOp, Env, EvalCtx, Expr, ShiftDir};
+use lanes::{ElemType, Vector};
+
+/// Match `cast(n, (widen(a) + widen(b)) >> 1)` — the widened-average
+/// pattern a selector strength-reduces to `vavg`.
+pub fn match_widened_avg(e: &Expr) -> Option<(&Expr, &Expr, ElemType)> {
+    let Expr::Cast(c) = e else { return None };
+    let Expr::Shift(s) = c.arg.as_ref() else { return None };
+    if s.dir != ShiftDir::Right || s.amount != 1 {
+        return None;
+    }
+    let Expr::Binary(b) = s.arg.as_ref() else { return None };
+    if b.op != BinOp::Add {
+        return None;
+    }
+    let (Expr::Cast(ca), Expr::Cast(cb)) = (b.lhs.as_ref(), b.rhs.as_ref()) else {
+        return None;
+    };
+    (ca.arg.ty() == c.to && cb.arg.ty() == c.to && ca.to == cb.to)
+        .then(|| (ca.arg.as_ref(), cb.arg.as_ref(), c.to))
+}
+
+/// A subject simulating a selector whose `vavg` model is the broken
+/// fixture [`lanes::broken_avg`]: it wraps the sum at the narrow width
+/// before shifting, dropping the carry that the real instruction's wider
+/// adder keeps. Everything outside the pattern is evaluated honestly.
+pub fn broken_vavg_subject(
+    e: &Expr,
+    env: &Env,
+    x0: i64,
+    y0: i64,
+    lanes: usize,
+) -> Option<Vector> {
+    fn go(e: &Expr, ctx: &EvalCtx<'_>) -> Option<Vector> {
+        if let Some((a, b, out)) = match_widened_avg(e) {
+            let (va, vb) = (go(a, ctx)?, go(b, ctx)?);
+            return Some(va.zip(&vb, |x, y| lanes::broken_avg(out, x, y, false)));
+        }
+        match e {
+            Expr::Cast(c) => Some(go(&c.arg, ctx)?.cast(c.to, c.saturating)),
+            Expr::Binary(b) => {
+                let (l, r) = (go(&b.lhs, ctx)?, go(&b.rhs, ctx)?);
+                let ty = l.ty();
+                Some(match b.op {
+                    BinOp::Add => l.zip(&r, |x, y| lanes::add_wrap(ty, x, y)),
+                    BinOp::Sub => l.zip(&r, |x, y| lanes::sub_wrap(ty, x, y)),
+                    BinOp::Mul => l.zip(&r, |x, y| lanes::mul_wrap(ty, x, y)),
+                    BinOp::Min => l.zip(&r, |x, y| lanes::min(ty, x, y)),
+                    BinOp::Max => l.zip(&r, |x, y| lanes::max(ty, x, y)),
+                    BinOp::Absd => l.zip(&r, |x, y| lanes::absd(ty, x, y)),
+                })
+            }
+            Expr::Shift(s) => {
+                let v = go(&s.arg, ctx)?;
+                let ty = v.ty();
+                Some(match s.dir {
+                    ShiftDir::Left => v.map(|x| lanes::shl(ty, x, s.amount)),
+                    ShiftDir::Right => v.map(|x| lanes::asr(ty, x, s.amount)),
+                })
+            }
+            _ => eval(e, ctx).ok(),
+        }
+    }
+    go(e, &EvalCtx { env, x0, y0, lanes })
+}
+
+/// The widened-average demo expression the broken subject miscomputes,
+/// with an environment of adjacent values whose sums carry past the
+/// narrow type — the seed case for the `oracle_fuzz --broken` demo.
+pub fn broken_avg_demo() -> (Expr, Env) {
+    use halide_ir::builder as hb;
+    let avg = hb::cast(
+        ElemType::U8,
+        hb::shr(
+            hb::add(
+                hb::widen(hb::load("a", ElemType::U8, 0, 0)),
+                hb::widen(hb::load("a", ElemType::U8, 1, 0)),
+            ),
+            1,
+        ),
+    );
+    let noise = hb::add(
+        hb::mul(hb::load("a", ElemType::U8, 2, 0), hb::bcast(3, ElemType::U8)),
+        hb::load("b", ElemType::U8, 0, 0),
+    );
+    let e = hb::max(hb::min(avg, noise.clone()), hb::absd(noise, hb::bcast(9, ElemType::U8)));
+    let mut env = Env::new();
+    env.insert(halide_ir::Buffer2D::from_fn("a", ElemType::U8, 32, 1, |x, _| {
+        (x as i64 * 37 + 11) % 256
+    }));
+    env.insert(halide_ir::Buffer2D::filled("b", ElemType::U8, 32, 1, 200));
+    (e, env)
+}

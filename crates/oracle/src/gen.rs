@@ -1,0 +1,192 @@
+//! Seeded generation of well-typed random vector expressions.
+//!
+//! The 21 workloads cover the patterns the paper measures, but the space of
+//! expressions the selector accepts is far larger. This generator draws
+//! qualifying expressions from that space: every node is type-correct by
+//! construction, constants come from the boundary-biased [`Sampler`], and a
+//! dedicated production emits the rounding-narrow idiom
+//! `cast(narrow, (x + (1 << (k-1))) >> k)` — the pattern most likely to
+//! expose wrap-versus-full-precision disagreements.
+
+use halide_ir::{BinOp, Binary, Broadcast, Cast, Expr, Load, Shift, ShiftDir};
+use lanes::rng::Rng;
+use lanes::ElemType;
+
+use crate::sampling::Sampler;
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Upper bound on AST nodes per expression.
+    pub max_nodes: usize,
+    /// Buffers expressions may load from (name, element type).
+    pub buffers: Vec<(String, ElemType)>,
+}
+
+impl Default for GenConfig {
+    fn default() -> GenConfig {
+        GenConfig {
+            max_nodes: 24,
+            buffers: vec![
+                ("a".to_owned(), ElemType::U8),
+                ("b".to_owned(), ElemType::U8),
+                ("w".to_owned(), ElemType::I16),
+            ],
+        }
+    }
+}
+
+/// Generate one qualifying, well-typed expression.
+pub fn gen_expr(rng: &mut Rng, cfg: &GenConfig) -> Expr {
+    loop {
+        let ty = ElemType::ALL[rng.gen_range_usize(0..=ElemType::ALL.len() - 1)];
+        let budget = rng.gen_range_usize(3..=cfg.max_nodes.max(3));
+        let e = gen_compute(ty, budget, rng, cfg);
+        // A root cast chain can bottom out in a bare leaf; those trivial
+        // expressions are exactly what the selector declines, so redraw.
+        if halide_ir::analysis::is_qualifying(&e) {
+            return e;
+        }
+    }
+}
+
+/// One compute node within `budget` total nodes. Every production's node
+/// count is at most `budget`: productions that need more are skipped, so
+/// generated sizes never overshoot [`GenConfig::max_nodes`].
+fn gen_compute(ty: ElemType, budget: usize, rng: &mut Rng, cfg: &GenConfig) -> Expr {
+    let roll = rng.gen_range_usize(0..=9);
+    // Binary node: split the remaining budget between the operands.
+    if budget >= 3 && roll <= 4 {
+        let ops = BinOp::ALL;
+        let op = ops[rng.gen_range_usize(0..=ops.len() - 1)];
+        let left = rng.gen_range_usize(1..=budget - 2);
+        return Expr::Binary(Binary {
+            op,
+            lhs: Box::new(gen(ty, left, rng, cfg)),
+            rhs: Box::new(gen(ty, budget - 1 - left, rng, cfg)),
+        });
+    }
+    // The rounding-narrow idiom, when a wider type exists.
+    if budget >= 5 && (7..=8).contains(&roll) {
+        if let Some(wide) = ty.widened() {
+            return rounding_narrow(ty, wide, budget, rng, cfg);
+        }
+    }
+    // Shift by an in-range immediate.
+    if roll <= 6 {
+        let dir = if rng.gen_bool(0.5) { ShiftDir::Left } else { ShiftDir::Right };
+        let amount = rng.gen_range(0..=i64::from(ty.bits() - 1)) as u32;
+        return Expr::Shift(Shift {
+            dir,
+            amount,
+            arg: Box::new(gen(ty, budget.saturating_sub(1).max(1), rng, cfg)),
+        });
+    }
+    gen_cast(ty, budget, rng, cfg)
+}
+
+/// `cast(ty, (wide_expr + bcast(1 << (k-1))) >> k)` — the fused-narrow
+/// source pattern.
+fn rounding_narrow(
+    ty: ElemType,
+    wide: ElemType,
+    budget: usize,
+    rng: &mut Rng,
+    cfg: &GenConfig,
+) -> Expr {
+    let k = rng.gen_range(1..=i64::from(wide.bits() / 2)) as u32;
+    let inner = gen(wide, budget - 4, rng, cfg);
+    let biased = Expr::Binary(Binary {
+        op: BinOp::Add,
+        lhs: Box::new(inner),
+        rhs: Box::new(Expr::Broadcast(Broadcast { value: 1i64 << (k - 1), ty: wide })),
+    });
+    Expr::Cast(Cast {
+        to: ty,
+        saturating: rng.gen_bool(0.5),
+        arg: Box::new(Expr::Shift(Shift { dir: ShiftDir::Right, amount: k, arg: Box::new(biased) })),
+    })
+}
+
+fn gen_cast(ty: ElemType, budget: usize, rng: &mut Rng, cfg: &GenConfig) -> Expr {
+    let others: Vec<ElemType> = ElemType::ALL.into_iter().filter(|&t| t != ty).collect();
+    let src = others[rng.gen_range_usize(0..=others.len() - 1)];
+    Expr::Cast(Cast {
+        to: ty,
+        saturating: rng.gen_bool(0.5),
+        arg: Box::new(gen(src, budget.saturating_sub(1).max(1), rng, cfg)),
+    })
+}
+
+fn gen(ty: ElemType, budget: usize, rng: &mut Rng, cfg: &GenConfig) -> Expr {
+    if budget <= 1 {
+        return leaf(ty, rng, cfg);
+    }
+    gen_compute(ty, budget, rng, cfg)
+}
+
+fn leaf(ty: ElemType, rng: &mut Rng, cfg: &GenConfig) -> Expr {
+    let candidates: Vec<&(String, ElemType)> =
+        cfg.buffers.iter().filter(|(_, t)| *t == ty).collect();
+    if !candidates.is_empty() && rng.gen_bool(0.75) {
+        let (name, _) = candidates[rng.gen_range_usize(0..=candidates.len() - 1)];
+        Expr::Load(Load {
+            buffer: name.clone(),
+            dx: rng.gen_range(-2..=2) as i32,
+            dy: rng.gen_range(-1..=1) as i32,
+            ty,
+        })
+    } else {
+        // Boundary-biased constant.
+        let value = Sampler::new(ty).draw(rng);
+        Expr::Broadcast(Broadcast { value, ty })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halide_ir::analysis;
+
+    #[test]
+    fn generated_exprs_are_well_typed_qualifying_and_bounded() {
+        let cfg = GenConfig::default();
+        let mut rng = Rng::seed_from_u64(3);
+        for _ in 0..300 {
+            let e = gen_expr(&mut rng, &cfg);
+            assert!(analysis::is_qualifying(&e), "{e:?}");
+            assert!(analysis::node_count(&e) <= cfg.max_nodes, "{e:?}");
+            // Type-correctness: the interpreter accepts it.
+            let oracle = crate::Oracle::default();
+            for env in oracle.envs_for(&e).iter().take(1) {
+                let ctx = halide_ir::EvalCtx { env, x0: 0, y0: 0, lanes: 4 };
+                assert!(halide_ir::eval(&e, &ctx).is_ok(), "{e:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = GenConfig::default();
+        let a: Vec<Expr> = {
+            let mut rng = Rng::seed_from_u64(9);
+            (0..20).map(|_| gen_expr(&mut rng, &cfg)).collect()
+        };
+        let b: Vec<Expr> = {
+            let mut rng = Rng::seed_from_u64(9);
+            (0..20).map(|_| gen_expr(&mut rng, &cfg)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn roundtrips_through_sexpr() {
+        let cfg = GenConfig::default();
+        let mut rng = Rng::seed_from_u64(11);
+        for _ in 0..100 {
+            let e = gen_expr(&mut rng, &cfg);
+            let text = halide_ir::sexpr::to_sexpr(&e);
+            assert_eq!(halide_ir::sexpr::parse(&text).unwrap(), e, "{text}");
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! # rake-oracle — a differential correctness oracle for the Rake selector
+//!
+//! Every compilation stage in this workspace is *verified* (bounded lanes,
+//! SMT on lane 0), but verification is only as trustworthy as the semantic
+//! models it compares. When the Uber-Instruction IR interpreter and the SMT
+//! encoding agree on the wrong semantics, a miscompile sails through every
+//! proof. The only referee that cannot share such a bug is end-to-end
+//! *execution*: run the compiled HVX program on concrete buffers and compare
+//! it lane-for-lane against the Halide IR interpreter — the specification
+//! the user wrote.
+//!
+//! This crate provides that referee:
+//!
+//! * [`sampling`] builds adversarial input environments biased toward type
+//!   boundaries (`MIN`/`MAX`, ±1 around saturation and rounding cut-points)
+//!   where wrap/saturate/round disagreements live.
+//! * [`gen`] generates seeded, well-typed random vector expressions so the
+//!   oracle is not limited to the 21 workloads.
+//! * [`Oracle::check`] runs the differential comparison over a grid of tile
+//!   origins and environments.
+//! * [`minimize`] shrinks a failing case: greedy delta-debugging over the
+//!   expression tree, then zeroing buffer cells, until the repro is minimal.
+//! * [`repro`] emits each minimized failure as a self-contained Rust test
+//!   plus an S-expression artifact under `results/repros/`.
+//!
+//! The subject under test is abstracted as a closure from `(expr, env,
+//! origin, lanes)` to an output vector, so the same oracle drives the full
+//! Rake pipeline, the baseline selector, or a deliberately broken
+//! interpreter (used to test the oracle itself).
+
+#[cfg(any(test, feature = "fixtures"))]
+pub mod fixtures;
+pub mod gen;
+pub mod minimize;
+pub mod repro;
+pub mod sampling;
+
+use std::collections::BTreeMap;
+
+use halide_ir::{analysis, eval, Env, EvalCtx, Expr};
+use lanes::rng::Rng;
+use lanes::Vector;
+
+pub use gen::{gen_expr, GenConfig};
+pub use minimize::{minimize, Repro, Subject};
+pub use repro::{emit, ReproPaths};
+
+/// Differential-check configuration: the machine geometry and how much
+/// adversarial input to throw at each expression.
+#[derive(Debug, Clone)]
+pub struct Oracle {
+    /// Vector width of the subject (must match how it was compiled).
+    pub lanes: usize,
+    /// Input buffer width in elements.
+    pub width: usize,
+    /// Input buffer height in rows.
+    pub height: usize,
+    /// Number of adversarially sampled environments per expression.
+    pub envs: usize,
+    /// Tile origins to evaluate at (clamp-to-edge makes any origin safe).
+    pub origins: Vec<(i64, i64)>,
+    /// Base seed; the per-expression stream also hashes the expression so
+    /// different expressions see different buffers under one seed.
+    pub seed: u64,
+}
+
+impl Default for Oracle {
+    fn default() -> Oracle {
+        Oracle {
+            lanes: 8,
+            width: 32,
+            height: 4,
+            envs: 4,
+            origins: vec![(0, 0), (5, 1), (17, 2)],
+            seed: 0,
+        }
+    }
+}
+
+/// One concrete counterexample found by [`Oracle::check`].
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The environment the mismatch was observed in.
+    pub env: Env,
+    /// Tile origin.
+    pub x0: i64,
+    /// Tile origin.
+    pub y0: i64,
+    /// First mismatching lane.
+    pub lane: usize,
+    /// The interpreter's (ground-truth) value at that lane.
+    pub want: i64,
+    /// The subject's value at that lane.
+    pub got: i64,
+}
+
+/// What a differential check concluded.
+#[derive(Debug, Clone, Default)]
+pub struct CheckReport {
+    /// Number of (environment, origin) points compared.
+    pub checks: usize,
+    /// Points the subject declined to execute (e.g. compilation failed).
+    pub skipped: usize,
+    /// Every mismatching point, in discovery order.
+    pub failures: Vec<Failure>,
+}
+
+impl CheckReport {
+    /// Whether every executed point agreed with the interpreter.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// FNV-1a over a byte string; used to derive per-expression seeds and
+/// stable artifact names without pulling in a hash crate.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+impl Oracle {
+    /// A deterministic per-expression RNG: same oracle seed + same
+    /// expression always reproduces the same environments.
+    fn rng_for(&self, e: &Expr) -> Rng {
+        let sexpr = halide_ir::sexpr::to_sexpr(e);
+        Rng::seed_from_u64(self.seed ^ fnv1a(sexpr.as_bytes()))
+    }
+
+    /// The adversarial environments this oracle would use for `e`.
+    pub fn envs_for(&self, e: &Expr) -> Vec<Env> {
+        let types: BTreeMap<String, lanes::ElemType> = analysis::buffer_types(e);
+        let mut rng = self.rng_for(e);
+        (0..self.envs.max(1))
+            .map(|_| sampling::adversarial_env(&types, self.width, self.height, &mut rng))
+            .collect()
+    }
+
+    /// Compare the subject against the Halide IR interpreter on
+    /// adversarial environments over every configured origin.
+    ///
+    /// The subject returns `None` when it cannot execute the point (no
+    /// compiled program, unsupported op); such points count as `skipped`,
+    /// not as failures.
+    pub fn check(
+        &self,
+        e: &Expr,
+        subject: &dyn Fn(&Env, i64, i64, usize) -> Option<Vector>,
+    ) -> CheckReport {
+        let mut report = CheckReport::default();
+        for env in self.envs_for(e) {
+            for &(x0, y0) in &self.origins {
+                let ctx = EvalCtx { env: &env, x0, y0, lanes: self.lanes };
+                let Ok(want) = eval(e, &ctx) else {
+                    report.skipped += 1;
+                    continue;
+                };
+                let Some(got) = subject(&env, x0, y0, self.lanes) else {
+                    report.skipped += 1;
+                    continue;
+                };
+                report.checks += 1;
+                if let Some(lane) = first_mismatch(&want, &got) {
+                    report.failures.push(Failure {
+                        env: env.clone(),
+                        x0,
+                        y0,
+                        lane,
+                        want: want.get(lane),
+                        got: got.get(lane),
+                    });
+                }
+            }
+        }
+        report
+    }
+}
+
+/// First lane where the two vectors disagree (or differ in geometry).
+pub fn first_mismatch(want: &Vector, got: &Vector) -> Option<usize> {
+    if want.ty() != got.ty() || want.lanes() != got.lanes() {
+        return Some(0);
+    }
+    (0..want.lanes()).find(|&i| want.get(i) != got.get(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halide_ir::builder as hb;
+    use lanes::ElemType;
+
+    /// A subject that *is* the interpreter: must always be clean.
+    fn honest(e: &Expr) -> impl Fn(&Env, i64, i64, usize) -> Option<Vector> + '_ {
+        move |env, x0, y0, lanes| eval(e, &EvalCtx { env, x0, y0, lanes }).ok()
+    }
+
+    #[test]
+    fn interpreter_vs_itself_is_clean() {
+        let e = hb::avg_round(
+            hb::load("a", ElemType::U8, 0, 0),
+            hb::load("a", ElemType::U8, 1, 0),
+        );
+        let oracle = Oracle::default();
+        let report = oracle.check(&e, &honest(&e));
+        assert!(report.is_clean());
+        assert_eq!(report.checks, oracle.envs * oracle.origins.len());
+        assert_eq!(report.skipped, 0);
+    }
+
+    #[test]
+    fn off_by_one_subject_is_caught() {
+        let e = hb::add(hb::load("a", ElemType::U8, 0, 0), hb::bcast(1, ElemType::U8));
+        let subject = |env: &Env, x0: i64, y0: i64, lanes: usize| {
+            let v = eval(&e, &EvalCtx { env, x0, y0, lanes }).ok()?;
+            // Corrupt lane 2 only.
+            let mut out = v.clone();
+            out.set(2, ElemType::U8.wrap(v.get(2) + 1));
+            Some(out)
+        };
+        let report = Oracle::default().check(&e, &subject);
+        assert!(!report.is_clean());
+        assert!(report.failures.iter().all(|f| f.lane == 2));
+    }
+
+    #[test]
+    fn same_seed_same_envs() {
+        let e = hb::add(hb::load("a", ElemType::I16, 0, 0), hb::load("b", ElemType::I16, 1, 0));
+        let o = Oracle { seed: 42, ..Oracle::default() };
+        let a = o.envs_for(&e);
+        let b = o.envs_for(&e);
+        for (ea, eb) in a.iter().zip(&b) {
+            for (ba, bb) in ea.iter().zip(eb.iter()) {
+                for y in 0..ba.height() {
+                    for x in 0..ba.width() {
+                        assert_eq!(ba.get(x as i64, y as i64), bb.get(x as i64, y as i64));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Repro artifact emission.
+//!
+//! Each minimized failure is written out twice:
+//!
+//! * `<name>.sexp` — a machine-readable S-expression carrying the
+//!   expression, the tile origin, both outputs and every buffer, so the
+//!   case can be replayed without this crate.
+//! * `<name>.rs` — a self-contained `#[test]` function (ready to paste
+//!   into a regression suite) that recompiles the expression with the full
+//!   selector and asserts the program output matches the interpreter.
+//!
+//! Artifact names are derived from the expression hash, so re-running the
+//! oracle on the same failure overwrites rather than accumulates.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::minimize::Repro;
+
+/// Where the two artifacts landed.
+#[derive(Debug, Clone)]
+pub struct ReproPaths {
+    /// The S-expression artifact.
+    pub sexpr: PathBuf,
+    /// The Rust regression test.
+    pub test: PathBuf,
+}
+
+/// A stable, filesystem-safe name for a repro: a tag plus the FNV hash of
+/// the expression text.
+pub fn repro_name(tag: &str, r: &Repro) -> String {
+    let sexpr = halide_ir::sexpr::to_sexpr(&r.expr);
+    format!("{tag}_{:016x}", crate::fnv1a(sexpr.as_bytes()))
+}
+
+/// Render the S-expression artifact.
+pub fn to_artifact(r: &Repro) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "(repro");
+    let _ = writeln!(s, "  (expr {})", halide_ir::sexpr::to_sexpr(&r.expr));
+    let _ = writeln!(s, "  (origin {} {} {})", r.x0, r.y0, r.lanes);
+    let _ = writeln!(s, "  (want{})", join(r.want.iter()));
+    let _ = writeln!(s, "  (got{})", join(r.got.iter()));
+    for b in r.env.iter() {
+        let _ = write!(s, "  (buffer {} {} {} {}", b.name(), b.elem(), b.width(), b.height());
+        let cells =
+            (0..b.height()).flat_map(|y| (0..b.width()).map(move |x| b.get(x as i64, y as i64)));
+        let _ = writeln!(s, "{})", join(cells));
+    }
+    s.push_str(")\n");
+    s
+}
+
+/// Render the self-contained Rust regression test.
+pub fn to_rust_test(name: &str, r: &Repro) -> String {
+    let sexpr = halide_ir::sexpr::to_sexpr(&r.expr);
+    let mut s = String::new();
+    let _ = writeln!(s, "// Minimized by rake-oracle: the compiled HVX program disagreed with");
+    let _ = writeln!(s, "// the Halide IR interpreter on this case before the fix.");
+    let _ = writeln!(s, "#[test]");
+    let _ = writeln!(s, "fn repro_{name}() {{");
+    let _ = writeln!(s, "    use halide_ir::{{Buffer2D, Env, EvalCtx}};");
+    let _ = writeln!(s, "    use rake::{{Rake, Target}};");
+    let _ = writeln!(s);
+    let _ = writeln!(s, "    let e = halide_ir::sexpr::parse({sexpr:?}).unwrap();");
+    let _ = writeln!(s, "    let mut env = Env::new();");
+    for b in r.env.iter() {
+        let cells: Vec<String> = (0..b.height())
+            .flat_map(|y| (0..b.width()).map(move |x| b.get(x as i64, y as i64).to_string()))
+            .collect();
+        let _ = writeln!(s, "    let data: &[i64] = &[{}];", cells.join(", "));
+        let _ = writeln!(
+            s,
+            "    env.insert(Buffer2D::from_fn({:?}, lanes::ElemType::{}, {}, {}, |x, y| data[y * {} + x]));",
+            b.name(),
+            variant(b.elem()),
+            b.width(),
+            b.height(),
+            b.width(),
+        );
+    }
+    let _ = writeln!(s);
+    let _ = writeln!(
+        s,
+        "    let c = Rake::new(Target::hvx_small({})).compile(&e).expect(\"compiles\");",
+        r.lanes
+    );
+    let _ = writeln!(
+        s,
+        "    let ctx = EvalCtx {{ env: &env, x0: {}, y0: {}, lanes: {} }};",
+        r.x0, r.y0, r.lanes
+    );
+    let _ = writeln!(s, "    let want = halide_ir::eval(&e, &ctx).unwrap();");
+    let _ = writeln!(
+        s,
+        "    let got = c.program.run(&env, {}, {}, {}).unwrap().typed_lanes(e.ty());",
+        r.x0, r.y0, r.lanes
+    );
+    let _ = writeln!(s, "    assert_eq!(got, want);");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Write both artifacts under `dir` (created if missing).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn emit(dir: &Path, tag: &str, r: &Repro) -> std::io::Result<ReproPaths> {
+    std::fs::create_dir_all(dir)?;
+    let name = repro_name(tag, r);
+    let sexpr = dir.join(format!("{name}.sexp"));
+    let test = dir.join(format!("{name}.rs"));
+    std::fs::write(&sexpr, to_artifact(r))?;
+    std::fs::write(&test, to_rust_test(&name, r))?;
+    Ok(ReproPaths { sexpr, test })
+}
+
+fn join(vals: impl Iterator<Item = i64>) -> String {
+    let mut s = String::new();
+    for v in vals {
+        let _ = write!(s, " {v}");
+    }
+    s
+}
+
+/// The `ElemType` variant name for generated code.
+fn variant(ty: lanes::ElemType) -> &'static str {
+    match ty {
+        lanes::ElemType::U8 => "U8",
+        lanes::ElemType::I8 => "I8",
+        lanes::ElemType::U16 => "U16",
+        lanes::ElemType::I16 => "I16",
+        lanes::ElemType::U32 => "U32",
+        lanes::ElemType::I32 => "I32",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halide_ir::builder as hb;
+    use halide_ir::{Buffer2D, Env, EvalCtx};
+    use lanes::{ElemType, Vector};
+
+    fn sample_repro() -> Repro {
+        let e = hb::add(hb::load("a", ElemType::U8, 0, 0), hb::bcast(1, ElemType::U8));
+        let mut env = Env::new();
+        env.insert(Buffer2D::from_fn("a", ElemType::U8, 4, 1, |x, _| x as i64 * 3));
+        let want = halide_ir::eval(&e, &EvalCtx { env: &env, x0: 0, y0: 0, lanes: 4 }).unwrap();
+        let got = Vector::from_fn(ElemType::U8, 4, |i| want.get(i) ^ 1);
+        Repro { expr: e, env, x0: 0, y0: 0, lanes: 4, want, got, steps: 1 }
+    }
+
+    #[test]
+    fn artifact_contains_expr_origin_and_buffers() {
+        let text = to_artifact(&sample_repro());
+        assert!(text.contains("(expr (add"), "{text}");
+        assert!(text.contains("(origin 0 0 4)"), "{text}");
+        assert!(text.contains("(buffer a u8 4 1 0 3 6 9)"), "{text}");
+        assert!(text.starts_with("(repro"));
+    }
+
+    #[test]
+    fn rust_test_is_self_contained() {
+        let r = sample_repro();
+        let text = to_rust_test("case", &r);
+        assert!(text.contains("#[test]"));
+        assert!(text.contains("fn repro_case()"));
+        assert!(text.contains("sexpr::parse"));
+        assert!(text.contains("assert_eq!(got, want);"));
+        // The buffer contents survive verbatim.
+        assert!(text.contains("&[0, 3, 6, 9]"), "{text}");
+    }
+
+    #[test]
+    fn emit_writes_both_files() {
+        let dir = std::env::temp_dir().join("rake-oracle-test-repros");
+        let _ = std::fs::remove_dir_all(&dir);
+        let r = sample_repro();
+        let paths = emit(&dir, "unit", &r).unwrap();
+        assert!(paths.sexpr.exists());
+        assert!(paths.test.exists());
+        let name = repro_name("unit", &r);
+        assert!(paths.sexpr.ends_with(format!("{name}.sexp")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

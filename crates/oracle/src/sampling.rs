@@ -1,0 +1,128 @@
+//! Adversarial input sampling.
+//!
+//! Uniform random buffers almost never exercise the places where the three
+//! semantic models can disagree: saturation clamps, wrapping adds, and the
+//! rounding bias of fused narrowing shifts all live within a few units of a
+//! type boundary or a power-of-two cut-point. The sampler here draws most
+//! of its mass from those points: `MIN`, `MAX`, `±1` neighbours, rounding
+//! biases `1 << (k-1)` and the values that wrap under a round-add,
+//! `MAX - (1 << (k-1)) ± 1`.
+
+use std::collections::BTreeMap;
+
+use halide_ir::{Buffer2D, Env};
+use lanes::rng::Rng;
+use lanes::ElemType;
+
+/// The boundary values worth over-sampling for a type: extremes, their
+/// neighbours, zero/one, and rounding cut-points for every shift amount up
+/// to 8 (the fused-narrow shifts the workloads use).
+pub fn boundary_pool(ty: ElemType) -> Vec<i64> {
+    let (lo, hi) = (ty.min_value(), ty.max_value());
+    let mut pool = vec![lo, lo + 1, lo + 2, -1, 0, 1, 2, hi - 2, hi - 1, hi];
+    for k in 1..=ty.bits().min(8) {
+        let bias = 1i64 << (k - 1);
+        // `x + bias` wraps exactly when x > hi - bias: straddle that edge.
+        pool.extend([bias - 1, bias, bias + 1, hi - bias - 1, hi - bias, hi - bias + 1]);
+        if ty.is_signed() {
+            pool.extend([-bias - 1, -bias, -bias + 1, lo + bias - 1, lo + bias, lo + bias + 1]);
+        }
+    }
+    pool.retain(|&v| ty.contains(v));
+    pool.sort_unstable();
+    pool.dedup();
+    pool
+}
+
+/// A boundary-biased value sampler for one element type.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    ty: ElemType,
+    pool: Vec<i64>,
+}
+
+impl Sampler {
+    /// A sampler for `ty` with its boundary pool precomputed.
+    pub fn new(ty: ElemType) -> Sampler {
+        Sampler { ty, pool: boundary_pool(ty) }
+    }
+
+    /// Draw one value: 50% a boundary value, 20% a boundary value nudged
+    /// by up to ±2 (wrapped back into range), 30% uniform over the type.
+    pub fn draw(&self, rng: &mut Rng) -> i64 {
+        match rng.gen_range_usize(0..=9) {
+            0..=4 => self.pool[rng.gen_range_usize(0..=self.pool.len() - 1)],
+            5..=6 => {
+                let base = self.pool[rng.gen_range_usize(0..=self.pool.len() - 1)];
+                self.ty.wrap(base + rng.gen_range(-2..=2))
+            }
+            _ => rng.gen_range(self.ty.min_value()..=self.ty.max_value()),
+        }
+    }
+}
+
+/// Build one environment with an adversarially sampled buffer per entry.
+pub fn adversarial_env(
+    types: &BTreeMap<String, ElemType>,
+    width: usize,
+    height: usize,
+    rng: &mut Rng,
+) -> Env {
+    let mut env = Env::new();
+    for (name, &ty) in types {
+        let sampler = Sampler::new(ty);
+        let mut cells = vec![0i64; width * height];
+        for c in &mut cells {
+            *c = sampler.draw(rng);
+        }
+        env.insert(Buffer2D::from_fn(name, ty, width, height, |x, y| cells[y * width + x]));
+    }
+    env
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_is_in_range_and_covers_extremes() {
+        for ty in ElemType::ALL {
+            let pool = boundary_pool(ty);
+            assert!(pool.iter().all(|&v| ty.contains(v)), "{ty:?}");
+            assert!(pool.contains(&ty.min_value()));
+            assert!(pool.contains(&ty.max_value()));
+            // Rounding cut-point for the ubiquitous shift-by-4 narrow.
+            assert!(pool.contains(&8));
+            assert!(pool.contains(&(ty.max_value() - 8)));
+        }
+    }
+
+    #[test]
+    fn draws_are_always_in_range_and_hit_boundaries() {
+        let mut rng = Rng::seed_from_u64(7);
+        for ty in ElemType::ALL {
+            let s = Sampler::new(ty);
+            let mut saw_min = false;
+            let mut saw_max = false;
+            for _ in 0..2000 {
+                let v = s.draw(&mut rng);
+                assert!(ty.contains(v), "{ty:?}: {v}");
+                saw_min |= v == ty.min_value();
+                saw_max |= v == ty.max_value();
+            }
+            assert!(saw_min && saw_max, "{ty:?} never hit an extreme in 2000 draws");
+        }
+    }
+
+    #[test]
+    fn env_has_all_buffers_with_right_types() {
+        let mut types = BTreeMap::new();
+        types.insert("a".to_owned(), ElemType::U8);
+        types.insert("w".to_owned(), ElemType::I16);
+        let mut rng = Rng::seed_from_u64(1);
+        let env = adversarial_env(&types, 16, 2, &mut rng);
+        assert_eq!(env.get("a").unwrap().elem(), ElemType::U8);
+        assert_eq!(env.get("w").unwrap().elem(), ElemType::I16);
+        assert_eq!(env.get("a").unwrap().width(), 16);
+    }
+}

@@ -219,18 +219,19 @@ pub fn encode_uber_lane(ctx: &mut Context, e: &UberExpr, lane: usize) -> TermId 
             let src = arg.ty();
             let t = encode_uber_lane(ctx, arg, lane);
             if *saturating {
-                // Full-precision round+shift, then clamp.
-                let w = src.bits() + 2;
-                let mut wide = ext_to(ctx, t, src.is_signed(), w);
+                // The round-add wraps at the source width (same datapath as
+                // vasr:rnd:sat and the wrapping branch below); only the final
+                // clamp into `out` distinguishes the saturating form.
+                let mut v = t;
                 if *round && *shift > 0 {
-                    let r = ctx.constant(1u64 << (shift - 1), w);
-                    wide = ctx.add(wide, r);
+                    let r = ctx.constant(1u64 << (shift - 1), src.bits());
+                    v = ctx.add(v, r);
                 }
                 let shifted =
-                    if src.is_signed() { ctx.ashr(wide, *shift) } else { ctx.lshr(wide, *shift) };
-                let lo = out.min_value().max(-(1i64 << (w - 1)));
-                let hi = out.max_value();
-                let clamped = ctx.sclamp(shifted, lo, hi);
+                    if src.is_signed() { ctx.ashr(v, *shift) } else { ctx.lshr(v, *shift) };
+                let w = src.bits().max(out.bits()) + 1;
+                let wide = ext_to(ctx, shifted, src.is_signed(), w);
+                let clamped = ctx.sclamp(wide, out.min_value(), out.max_value());
                 ctx.extract(clamped, out.bits() - 1, 0)
             } else {
                 // Wrapping semantics: round-add wraps at the source width.
@@ -358,6 +359,29 @@ mod tests {
             out: ElemType::U8,
         };
         assert!(!equiv_lane0(&h, &saturating));
+    }
+
+    #[test]
+    fn saturating_rounding_narrow_wraps_at_source_width() {
+        // sat_i8((x + 1) >> 1) over an unbounded i16 x: the round-add wraps
+        // at i16 (x = 32767 lands on -128, not 127), and the fused
+        // saturating narrow must agree on every lane value for the lift to
+        // be provable. This is the SMT-level twin of the interpreter fix.
+        let x = hb::load("w", ElemType::I16, 0, 0);
+        let h = hb::sat_cast(ElemType::I8, hb::shr(hb::add(x, hb::bcast(1, ElemType::I16)), 1));
+        let u = UberExpr::Narrow {
+            arg: Box::new(UberExpr::Data(halide_ir::Load {
+                buffer: "w".into(),
+                dx: 0,
+                dy: 0,
+                ty: ElemType::I16,
+            })),
+            shift: 1,
+            round: true,
+            saturating: true,
+            out: ElemType::I8,
+        };
+        assert!(equiv_lane0(&h, &u));
     }
 
     #[test]

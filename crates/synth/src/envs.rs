@@ -29,6 +29,21 @@ pub fn test_envs(spec: &BufferSpec, width: usize, height: usize, random: usize) 
         Box::new(|t: ElemType, x, y| if (x + y) % 2 == 0 { t.max_value() } else { t.min_value() }),
         Box::new(|t: ElemType, x, _y| t.wrap(t.max_value() - x as i64)),
         Box::new(|t: ElemType, x, y| t.wrap((x * 7 + y * 13) as i64)),
+        // One inside the extremes: MIN+1/MAX-1 catch off-by-one clamps
+        // that the exact extremes mask.
+        Box::new(|t: ElemType, x, _y| {
+            if x % 2 == 0 {
+                t.max_value() - 1
+            } else {
+                t.min_value() + 1
+            }
+        }),
+        // Rounding cut-points: ±1 around powers of two, where
+        // round-then-shift and saturation decisions flip.
+        Box::new(|t: ElemType, x, y| {
+            let k = 1 + ((x + y * 3) as u32 % (t.bits() - 1));
+            t.wrap((1i64 << k) + (x % 3) as i64 - 1)
+        }),
     ];
     for fill in &adversarial {
         let env: Env = spec
@@ -64,7 +79,7 @@ mod tests {
     #[test]
     fn generates_requested_count() {
         let envs = test_envs(&spec(), 8, 2, 5);
-        assert_eq!(envs.len(), 7 + 5);
+        assert_eq!(envs.len(), 9 + 5);
         for env in &envs {
             assert_eq!(env.get("a").unwrap().elem(), ElemType::U8);
             assert_eq!(env.get("b").unwrap().elem(), ElemType::I16);
@@ -92,5 +107,16 @@ mod tests {
         assert_eq!(envs[0].get("a").unwrap().get(0, 0), 0);
         assert_eq!(envs[1].get("a").unwrap().get(0, 0), 255);
         assert_eq!(envs[2].get("b").unwrap().get(0, 0), -32768);
+    }
+
+    #[test]
+    fn near_boundary_fills_present() {
+        let envs = test_envs(&spec(), 4, 1, 0);
+        // Fill 7: one inside the extremes.
+        assert_eq!(envs[7].get("a").unwrap().get(0, 0), 254);
+        assert_eq!(envs[7].get("b").unwrap().get(1, 0), -32767);
+        // Fill 8: within one of a power of two.
+        let v = envs[8].get("b").unwrap().get(0, 0);
+        assert!((1..=3).contains(&v), "got {v}");
     }
 }

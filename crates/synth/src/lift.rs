@@ -50,6 +50,12 @@ pub struct LiftTrace {
 /// Cap on `vs-mpy-add` kernel length; longer reductions are left nested.
 const MAX_KERNEL: usize = 9;
 
+/// The SMT encoder's headroom bound on `vs-mpy-add` kernel weights
+/// (`encode_uber_lane` rejects |w| ≥ 2^12): lifting must never construct
+/// a kernel the encoder cannot express, so weight-growing folds past this
+/// bound are dropped and the general multiply path covers them instead.
+const MAX_WEIGHT: i64 = 1 << 12;
+
 struct Lifter<'a> {
     verifier: &'a Verifier,
     stats: &'a mut SynthStats,
@@ -187,7 +193,7 @@ impl Lifter<'_> {
                         if let UberExpr::Bcast { value: ScalarSource::Imm(c), .. } =
                             &kids[bc_side]
                         {
-                            if c.unsigned_abs() < (1 << 12) {
+                            if c.unsigned_abs() < MAX_WEIGHT.unsigned_abs() {
                                 for (_, opt) in absorb_options(&kids[vec_side], ty, *c) {
                                     out.push((LiftRule::Replace, mk_vsmpy(opt, ty)));
                                 }
@@ -343,6 +349,14 @@ impl Lifter<'_> {
         // the cheaper single instruction when provably equivalent).
         out.push((LiftRule::Extend, mk(k, shift, false, true)));
         out.push((LiftRule::Extend, mk(k, shift, false, cast_saturating)));
+        // A narrow shifts at the *source* width, so a deepened shift that
+        // reaches it is unrepresentable — and would panic the evaluators
+        // during verification (found by oracle_fuzz on `(x >> 10) >> 7`
+        // over u16). Drop such candidates; the shifts stay nested.
+        out.retain(|(_, u)| match u {
+            UberExpr::Narrow { arg, shift, .. } => *shift < arg.ty().bits(),
+            _ => true,
+        });
         out
     }
 }
@@ -376,17 +390,22 @@ fn absorb_options(
             options.push((LiftRule::Replace, vec![((**arg).clone(), mult)]));
         }
         UberExpr::VsMpyAdd(v) if v.out == out && !v.saturating => {
-            let merged: Vec<(UberExpr, i64)> = v
+            let merged: Option<Vec<(UberExpr, i64)>> = v
                 .inputs
                 .iter()
                 .cloned()
-                .zip(v.kernel.iter().map(|w| w * mult))
+                .zip(v.kernel.iter().map(|w| w.checked_mul(mult)))
+                .map(|(input, w)| w.map(|w| (input, w)))
                 .collect();
-            options.push((LiftRule::Update, merged));
+            if let Some(merged) = merged {
+                options.push((LiftRule::Update, merged));
+            }
         }
         UberExpr::Shl { arg, amount } if k.ty() == out && *amount < 12 => {
-            for (_, inner) in absorb_options(arg, out, mult << amount) {
-                options.push((LiftRule::Replace, inner));
+            if let Some(shifted) = mult.checked_mul(1i64 << amount) {
+                for (_, inner) in absorb_options(arg, out, shifted) {
+                    options.push((LiftRule::Replace, inner));
+                }
             }
         }
         _ => {}
@@ -394,6 +413,9 @@ fn absorb_options(
     if k.ty() == out {
         options.push((LiftRule::Extend, vec![(k.clone(), mult)]));
     }
+    // Uphold the encoder's invariant: any fold whose weights left the
+    // encodable range is discarded, not clamped.
+    options.retain(|(_, terms)| terms.iter().all(|(_, w)| w.unsigned_abs() < MAX_WEIGHT.unsigned_abs()));
     options
 }
 
@@ -422,7 +444,7 @@ fn strip_rounding_term(k: &UberExpr, shift: u32) -> Option<UberExpr> {
     let UberExpr::VsMpyAdd(v) = k else { return None };
     let rounding = 1i64 << (shift - 1);
     let pos = v.inputs.iter().zip(&v.kernel).position(|(input, &w)| {
-        matches!(input, UberExpr::Bcast { value: ScalarSource::Imm(c), .. } if *c * w == rounding)
+        matches!(input, UberExpr::Bcast { value: ScalarSource::Imm(c), .. } if c.checked_mul(w) == Some(rounding))
     })?;
     let mut v2 = v.clone();
     v2.inputs.remove(pos);
@@ -581,5 +603,44 @@ mod tests {
         );
         let u = lift(&e).expect("must lift");
         assert!(matches!(u, UberExpr::VvMpyAdd(_)));
+    }
+
+    /// Found by `oracle_fuzz`: stacked right shifts must not deepen a
+    /// fused narrow past the source width — `(x >> 10) >> 7` over u16
+    /// built a shift-17 narrow that panicked the evaluators.
+    #[test]
+    fn stacked_right_shifts_do_not_overdeepen_narrow() {
+        let e = hb::shr(hb::shr(hb::load("w", ElemType::U16, 0, 0), 10), 7);
+        if let Some(u) = lift(&e) {
+            fn narrow_ok(u: &UberExpr) -> bool {
+                let own = match u {
+                    UberExpr::Narrow { arg, shift, .. } => *shift < arg.ty().bits(),
+                    _ => true,
+                };
+                own && u.children().iter().all(|c| narrow_ok(c))
+            }
+            assert!(narrow_ok(&u), "{u}");
+        }
+    }
+
+    /// Found by `oracle_fuzz`: stacked left shifts compound multiply-add
+    /// weights past the encoder's 2^12 headroom bound — `(x << 11) << 1`
+    /// reached weight 4096 and panicked the SMT encoder. Such folds must
+    /// be dropped, not constructed.
+    #[test]
+    fn compounded_shift_weights_stay_encodable() {
+        let e = hb::shl(hb::shl(hb::load("w", ElemType::I16, 0, 0), 11), 1);
+        if let Some(u) = lift(&e) {
+            fn max_weight(u: &UberExpr) -> u64 {
+                let own = match u {
+                    UberExpr::VsMpyAdd(v) => {
+                        v.kernel.iter().map(|w| w.unsigned_abs()).max().unwrap_or(0)
+                    }
+                    _ => 0,
+                };
+                u.children().iter().map(|c| max_weight(c)).max().unwrap_or(0).max(own)
+            }
+            assert!(max_weight(&u) < MAX_WEIGHT.unsigned_abs(), "{u}");
+        }
     }
 }

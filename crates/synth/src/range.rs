@@ -69,9 +69,20 @@ pub fn uber_range(e: &UberExpr) -> Range {
             Range { lo: (ra.lo + rb.lo + r) >> 1, hi: (ra.hi + rb.hi + r) >> 1 }
         }
         UberExpr::Narrow { arg, shift, round, saturating, out } => {
+            let src = arg.ty();
             let r = uber_range(arg);
             let rnd = if *round && *shift > 0 { 1i128 << (shift - 1) } else { 0 };
-            let shifted = Range { lo: (r.lo + rnd) >> shift, hi: (r.hi + rnd) >> shift };
+            // The round-add wraps at the source width, so once `hi + rnd`
+            // can leave the source type the interval is no longer contiguous
+            // and the only sound answer is the full shifted source range.
+            let shifted = if rnd > 0 && r.hi + rnd > i128::from(src.max_value()) {
+                Range {
+                    lo: i128::from(src.min_value()) >> shift,
+                    hi: i128::from(src.max_value()) >> shift,
+                }
+            } else {
+                Range { lo: (r.lo + rnd) >> shift, hi: (r.hi + rnd) >> shift }
+            };
             clamp_into(shifted, *out, *saturating)
         }
         UberExpr::Widen { arg, .. } => uber_range(arg),
@@ -123,6 +134,25 @@ mod tests {
         let r = uber_range(&n);
         assert_eq!((r.lo, r.hi), (0, 64));
         assert!(r.fits(ElemType::U8));
+    }
+
+    #[test]
+    fn rounding_narrow_near_source_boundary_widens() {
+        // An unbounded u16 argument can wrap under the round-add, so the
+        // shifted range must cover the full shifted source range rather
+        // than the naive `(hi + rnd) >> shift`.
+        let d = UberExpr::Data(Load { buffer: "in".into(), dx: 0, dy: 0, ty: ElemType::U16 });
+        let n = UberExpr::Narrow {
+            arg: Box::new(d),
+            shift: 4,
+            round: true,
+            saturating: false,
+            out: ElemType::U16,
+        };
+        let r = uber_range(&n);
+        // Wrap makes 0 reachable (x = 0xfff8..0xffff round to 0..0), and the
+        // naive hi would have been (65535 + 8) >> 4 = 4096 — out of type.
+        assert_eq!((r.lo, r.hi), (0, 4095));
     }
 
     #[test]

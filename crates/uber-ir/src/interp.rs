@@ -104,12 +104,13 @@ pub fn eval_uber(e: &UberExpr, ctx: &EvalCtx<'_>) -> Result<Vector, EvalError> {
                 let shifted = if sh == 0 {
                     x
                 } else if rnd {
-                    // Fused hardware narrows round at full precision.
-                    if sat {
-                        (x + (1i64 << (sh - 1))) >> sh
-                    } else {
-                        lanes::asr_rnd(ty, x, sh)
-                    }
+                    // The rounding bias is added with a *wrapping* add at the
+                    // source width, matching both the HVX vasr:rnd[:sat]
+                    // datapath and Halide's `(x + (1 << (n-1))) >> n` source
+                    // pattern on a fixed-width type. Rounding at full
+                    // precision here would diverge from the lowered machine
+                    // code near the source type's upper boundary.
+                    lanes::asr_rnd(ty, x, sh)
                 } else {
                     lanes::asr(ty, x, sh)
                 };
@@ -221,6 +222,37 @@ mod tests {
         assert_eq!(v.get(0), 36);
         // lane 3: (7*64 + 8*64 + 8) >> 4 = 60 -> fits, no saturation.
         assert_eq!(v.get(3), 60);
+    }
+
+    #[test]
+    fn rounding_narrow_wraps_at_source_width() {
+        // The round-add wraps at the source width, exactly like the HVX
+        // vasr:rnd:sat datapath: i16 32767 + 1 wraps to -32768, shifts to
+        // -16384 and saturates to i8 -128. Full-precision rounding would
+        // have produced +127 — the miscompile the oracle first caught.
+        let mut env = Env::new();
+        env.insert(Buffer2D::from_fn("hot", ElemType::I16, 8, 1, |x, _| {
+            if x % 2 == 0 {
+                i64::from(i16::MAX)
+            } else {
+                100
+            }
+        }));
+        let n = UberExpr::Narrow {
+            arg: Box::new(UberExpr::Data(Load {
+                buffer: "hot".into(),
+                dx: 0,
+                dy: 0,
+                ty: ElemType::I16,
+            })),
+            shift: 1,
+            round: true,
+            saturating: true,
+            out: ElemType::I8,
+        };
+        let v = eval_uber(&n, &EvalCtx { env: &env, x0: 0, y0: 0, lanes: 4 }).unwrap();
+        assert_eq!(v.get(0), -128);
+        assert_eq!(v.get(1), 50); // (100 + 1) >> 1, in range: unaffected
     }
 
     #[test]

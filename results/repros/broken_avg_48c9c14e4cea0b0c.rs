@@ -1,0 +1,18 @@
+// Minimized by rake-oracle: the compiled HVX program disagreed with
+// the Halide IR interpreter on this case before the fix.
+#[test]
+fn repro_broken_avg_48c9c14e4cea0b0c() {
+    use halide_ir::{Buffer2D, Env, EvalCtx};
+    use rake::{Rake, Target};
+
+    let e = halide_ir::sexpr::parse("(cast u8 (shr (add (cast u16 (load a u8 0 0)) (cast u16 (load a u8 1 0))) 1))").unwrap();
+    let mut env = Env::new();
+    let data: &[i64] = &[0, 0, 0, 0, 0, 196, 233, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+    env.insert(Buffer2D::from_fn("a", lanes::ElemType::U8, 32, 1, |x, y| data[y * 32 + x]));
+
+    let c = Rake::new(Target::hvx_small(8)).compile(&e).expect("compiles");
+    let ctx = EvalCtx { env: &env, x0: 0, y0: 0, lanes: 8 };
+    let want = halide_ir::eval(&e, &ctx).unwrap();
+    let got = c.program.run(&env, 0, 0, 8).unwrap().typed_lanes(e.ty());
+    assert_eq!(got, want);
+}

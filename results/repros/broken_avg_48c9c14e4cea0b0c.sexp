@@ -1,0 +1,7 @@
+(repro
+  (expr (cast u8 (shr (add (cast u16 (load a u8 0 0)) (cast u16 (load a u8 1 0))) 1)))
+  (origin 0 0 8)
+  (want 0 0 0 0 98 214 116 0)
+  (got 0 0 0 0 98 86 116 0)
+  (buffer a u8 32 1 0 0 0 0 0 196 233 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0)
+)

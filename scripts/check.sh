@@ -17,4 +17,11 @@ cargo clippy --offline --locked -p rake-driver --all-targets -- -D warnings
 echo "== cargo test (workspace)"
 cargo test -q --offline --locked --workspace
 
+echo "== oracle smoke (seeded differential fuzz, 60s budget)"
+# Every workload compiled and executed against the interpreter, plus a
+# budget-capped slice of generated expressions. Deterministic seed, so a
+# failure here is immediately reproducible.
+cargo run -q --release --offline --locked -p rake-bench --bin oracle_fuzz -- \
+  --seed 0xRAKE --cases 60 --budget 60
+
 echo "all checks passed"
