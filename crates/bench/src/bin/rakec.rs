@@ -17,17 +17,34 @@
 //!   --trace        print the lifting trace (Figure 9 style)
 //!   --uber         print the lifted Uber-Instruction IR
 //!   --cache DIR    persistent synthesis cache (via the rake-driver layer)
-//!   --timeout SEC  wall-clock synthesis budget
+//!   --log FILE     append the JSONL event stream / write-ahead journal
+//!   --resume       replay completed jobs from the --log journal and
+//!                  recompile only the remainder (needs --log)
+//!   --timeout SEC  wall-clock synthesis budget (shared across the
+//!                  degradation ladder: full -> reduced -> direct)
 //!   --validate     differentially validate the compiled program against
 //!                  the Halide IR interpreter on adversarial inputs
+//!
+//! Exit codes distinguish how the compile concluded:
+//!   0  compiled (any synthesis tier)
+//!   1  usage or input error
+//!   2  synthesis failed deterministically
+//!   3  synthesis budget exhausted on every ladder tier
+//!   4  compiled but the differential oracle found a mismatch (miscompile)
+//!   5  the selector panicked
 
 use std::io::Read as _;
 use std::process::ExitCode;
 use std::time::Duration;
 
+use driver::{Driver, DriverConfig, JobOutcome, Tier};
 use hvx::SlotBudget;
 use rake::{Rake, Target};
-use driver::{Driver, DriverConfig, JobOutcome};
+
+const EXIT_FAILED: u8 = 2;
+const EXIT_TIMED_OUT: u8 = 3;
+const EXIT_MISCOMPILE: u8 = 4;
+const EXIT_PANICKED: u8 = 5;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -36,7 +53,9 @@ fn main() -> ExitCode {
     let mut trace = false;
     let mut uber = false;
     let mut validate = false;
+    let mut resume = false;
     let mut cache_dir: Option<std::path::PathBuf> = None;
+    let mut log_path: Option<std::path::PathBuf> = None;
     let mut timeout: Option<Duration> = None;
     let mut path: Option<String> = None;
     let mut it = args.iter();
@@ -50,9 +69,14 @@ fn main() -> ExitCode {
             "--trace" => trace = true,
             "--uber" => uber = true,
             "--validate" => validate = true,
+            "--resume" => resume = true,
             "--cache" => match it.next() {
                 Some(dir) => cache_dir = Some(dir.into()),
                 None => return usage("--cache needs a directory"),
+            },
+            "--log" => match it.next() {
+                Some(file) => log_path = Some(file.into()),
+                None => return usage("--log needs a file"),
             },
             "--timeout" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
                 Some(secs) => timeout = Some(Duration::from_secs_f64(secs)),
@@ -62,6 +86,9 @@ fn main() -> ExitCode {
             other if !other.starts_with('-') => path = Some(other.to_owned()),
             other => return usage(&format!("unknown option `{other}`")),
         }
+    }
+    if resume && log_path.is_none() {
+        return usage("--resume needs --log FILE (the journal to replay)");
     }
 
     let input = match path {
@@ -97,16 +124,29 @@ fn main() -> ExitCode {
         workers: 1,
         job_timeout: timeout,
         cache_dir,
+        log_path,
         validate,
         ..DriverConfig::default()
     });
-    let report = driver.compile_batch(&[expr.clone()]);
+    let batch = [expr.clone()];
+    let report = if resume { driver.resume(&batch) } else { driver.compile_batch(&batch) };
     let result = &report.results[0];
     if result.cache_hit {
         println!("; served from synthesis cache ({})", result.key);
     }
+    if result.replayed {
+        println!("; replayed from the journal");
+    }
     match &result.outcome {
         JobOutcome::Compiled(c) => {
+            if result.tier != Tier::Full {
+                println!(
+                    "; degraded: synthesized on the `{}` tier after {} retr{}",
+                    result.tier.name(),
+                    result.retries,
+                    if result.retries == 1 { "y" } else { "ies" }
+                );
+            }
             if trace {
                 println!("\n; lifting trace");
                 for (i, s) in c.trace.steps.iter().enumerate() {
@@ -132,7 +172,7 @@ fn main() -> ExitCode {
                 );
                 if v.mismatches > 0 {
                     eprintln!("rakec: MISCOMPILE — program disagrees with the interpreter");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(EXIT_MISCOMPILE);
                 }
             }
             if baseline {
@@ -156,17 +196,19 @@ fn main() -> ExitCode {
         }
         JobOutcome::Failed(e) => {
             eprintln!("rakec: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(EXIT_FAILED)
         }
         JobOutcome::TimedOut => {
-            eprintln!("rakec: synthesis budget exhausted; rerun with a larger --timeout");
+            eprintln!(
+                "rakec: synthesis budget exhausted on every tier; rerun with a larger --timeout"
+            );
             print_fallback(result, lanes, vec_bytes);
-            ExitCode::FAILURE
+            ExitCode::from(EXIT_TIMED_OUT)
         }
         JobOutcome::Panicked(msg) => {
             eprintln!("rakec: selector panicked ({msg}); falling back to baseline");
             print_fallback(result, lanes, vec_bytes);
-            ExitCode::FAILURE
+            ExitCode::from(EXIT_PANICKED)
         }
     }
 }
@@ -190,7 +232,9 @@ fn usage(err: &str) -> ExitCode {
     }
     eprintln!(
         "usage: rakec [--lanes N] [--baseline] [--trace] [--uber] [--validate] \
-         [--cache DIR] [--timeout SEC] [file.sexp]"
+         [--cache DIR] [--log FILE] [--resume] [--timeout SEC] [file.sexp]\n\
+         exit codes: 0 compiled, 1 usage/input error, 2 synthesis failed, \
+         3 timed out on every tier, 4 validation mismatch, 5 selector panicked"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

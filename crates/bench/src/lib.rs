@@ -39,6 +39,7 @@ impl ServiceOptions {
             cache_dir: self.cache_dir.clone(),
             log_path: self.log_path.clone(),
             validate: self.validate,
+            ..defaults
         })
     }
 }

@@ -36,7 +36,7 @@ use std::fmt;
 
 use halide_ir::Expr;
 use hvx::{HvxExpr, Program};
-use synth::{lift_expr_with_deadline, lower_expr, LiftTrace, LoweringOptions, SynthStats, Verifier};
+use synth::{lift_expr_budgeted, lower_expr, LiftTrace, LoweringOptions, SynthStats, Verifier};
 use uber_ir::UberExpr;
 
 /// The compilation target: vector geometry of the HVX-style machine.
@@ -175,6 +175,11 @@ impl Rake {
         self.options
     }
 
+    /// The verification effort in effect.
+    pub fn verifier(&self) -> &Verifier {
+        &self.verifier
+    }
+
     /// Compile one qualifying Halide IR vector expression to HVX.
     ///
     /// # Errors
@@ -187,7 +192,13 @@ impl Rake {
             return Err(CompileError::NotQualifying);
         }
         let mut stats = SynthStats::default();
-        let lifted = lift_expr_with_deadline(e, &self.verifier, self.options.deadline, &mut stats);
+        let lifted = lift_expr_budgeted(
+            e,
+            &self.verifier,
+            self.options.deadline,
+            self.options.max_lift_depth,
+            &mut stats,
+        );
         let Some((uber, trace)) = lifted else {
             return Err(if stats.deadline_exceeded {
                 CompileError::DeadlineExceeded

@@ -23,6 +23,7 @@ use rake::CompileError;
 use synth::{LiftRule, LiftStep, LiftTrace};
 
 use crate::json::{self, Json};
+use crate::tier::Tier;
 
 /// File name of the persistent layer inside the cache directory.
 pub const CACHE_FILE: &str = "synthcache.json";
@@ -38,6 +39,9 @@ pub struct CachedArtifacts {
     pub hvx: hvx::HvxExpr,
     /// The lifting trace (rendered with canonical buffer names).
     pub trace: LiftTrace,
+    /// The degradation-ladder tier that produced the artifacts, so warm
+    /// cache hits report honestly which budget the program came from.
+    pub tier: Tier,
 }
 
 /// One cache entry.
@@ -69,12 +73,21 @@ pub struct SynthCache {
     mem: Mutex<HashMap<String, CacheEntry>>,
     path: Option<PathBuf>,
     stats: Mutex<CacheStats>,
+    /// Serializes concurrent [`SynthCache::persist`] calls (workers
+    /// persist after every completed job) so two threads never race on
+    /// the same temporary file.
+    persist_lock: Mutex<()>,
 }
 
 impl SynthCache {
     /// A purely in-memory cache.
     pub fn in_memory() -> SynthCache {
-        SynthCache { mem: Mutex::new(HashMap::new()), path: None, stats: Mutex::default() }
+        SynthCache {
+            mem: Mutex::new(HashMap::new()),
+            path: None,
+            stats: Mutex::default(),
+            persist_lock: Mutex::new(()),
+        }
     }
 
     /// A cache backed by `dir/synthcache.json`, loaded now if present.
@@ -104,7 +117,12 @@ impl SynthCache {
                 HashMap::new()
             }
         };
-        SynthCache { mem: Mutex::new(mem), path: Some(path), stats: Mutex::new(stats) }
+        SynthCache {
+            mem: Mutex::new(mem),
+            path: Some(path),
+            stats: Mutex::new(stats),
+            persist_lock: Mutex::new(()),
+        }
     }
 
     /// Look up a key, counting the hit or miss.
@@ -150,6 +168,7 @@ impl SynthCache {
     /// Propagates I/O failures (the caller decides whether they are fatal).
     pub fn persist(&self) -> std::io::Result<()> {
         let Some(path) = &self.path else { return Ok(()) };
+        let _serialized = self.persist_lock.lock().unwrap();
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir)?;
         }
@@ -181,7 +200,7 @@ fn rule_from(name: &str) -> Option<LiftRule> {
     }
 }
 
-fn error_name(err: &CompileError) -> &'static str {
+pub(crate) fn error_name(err: &CompileError) -> &'static str {
     match err {
         CompileError::NotQualifying => "not_qualifying",
         CompileError::LiftFailed => "lift_failed",
@@ -191,7 +210,7 @@ fn error_name(err: &CompileError) -> &'static str {
     }
 }
 
-fn error_from(name: &str) -> Option<CompileError> {
+pub(crate) fn error_from(name: &str) -> Option<CompileError> {
     match name {
         "not_qualifying" => Some(CompileError::NotQualifying),
         "lift_failed" => Some(CompileError::LiftFailed),
@@ -212,6 +231,7 @@ fn dump_entries(map: &HashMap<String, CacheEntry>) -> Json {
             match &map[key] {
                 CacheEntry::Compiled(a) => {
                     obj.push(("kind".to_owned(), "compiled".into()));
+                    obj.push(("tier".to_owned(), a.tier.name().into()));
                     obj.push(("uber".to_owned(), uber_ir::sexpr::to_sexpr(&a.uber).into()));
                     obj.push(("hvx".to_owned(), hvx::sexpr::to_sexpr(&a.hvx).into()));
                     let steps = a
@@ -278,7 +298,13 @@ fn load_entry(entry: &Json) -> Option<(String, CacheEntry)> {
                     lifted: step.get("lifted")?.as_str()?.to_owned(),
                 });
             }
-            CacheEntry::Compiled(CachedArtifacts { uber, hvx, trace })
+            // Entries from before tiering default to the full tier.
+            let tier = entry
+                .get("tier")
+                .and_then(Json::as_str)
+                .and_then(Tier::from_name)
+                .unwrap_or(Tier::Full);
+            CacheEntry::Compiled(CachedArtifacts { uber, hvx, trace, tier })
         }
         "failed" => CacheEntry::Failed(error_from(entry.get("error")?.as_str()?)?),
         _ => return None,
@@ -303,7 +329,7 @@ mod tests {
             halide: "u16(b0(x-1, y))".to_owned(),
             lifted: "(vs-mpy-add ...)".to_owned(),
         });
-        CachedArtifacts { uber, hvx, trace }
+        CachedArtifacts { uber, hvx, trace, tier: Tier::Reduced }
     }
 
     #[test]
@@ -328,6 +354,7 @@ mod tests {
         let orig = artifacts();
         assert_eq!(a.uber, orig.uber);
         assert_eq!(a.hvx, orig.hvx);
+        assert_eq!(a.tier, Tier::Reduced, "producing tier must survive the roundtrip");
         assert_eq!(a.trace.steps.len(), 1);
         assert_eq!(a.trace.steps[0].rule, LiftRule::Update);
         let Some(CacheEntry::Failed(err)) = warm.lookup("k2|hvx128") else {

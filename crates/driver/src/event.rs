@@ -1,17 +1,22 @@
-//! Structured driver events and the batch summary table.
+//! Structured driver events, the write-ahead journal records, and the
+//! batch summary table.
 //!
 //! Every batch produces a stream of [`DriverEvent`]s: one `batch_started`,
-//! one `job_finished` per input expression (with stage timings, cache
-//! outcome and queue wait), and one `batch_finished`. The stream
-//! serializes to JSON Lines — one self-describing object per line, keyed
-//! by an `"event"` discriminator — so logs can be tailed, grepped, and
-//! post-processed without this crate.
+//! one `job_completed` per *unique* job in completion order (appended and
+//! flushed as each worker finishes — the write-ahead journal records that
+//! [`crate::Driver::resume`] replays), one `job_finished` per input
+//! expression in input order (with stage timings, cache outcome and queue
+//! wait), and one `batch_finished`. The stream serializes to JSON Lines —
+//! one self-describing object per line, keyed by an `"event"`
+//! discriminator — so logs can be tailed, grepped, and post-processed
+//! without this crate.
 
 use std::time::Duration;
 
 use synth::SynthStats;
 
 use crate::json::Json;
+use crate::tier::Tier;
 
 /// How one job concluded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +39,17 @@ impl OutcomeKind {
             OutcomeKind::Failed => "failed",
             OutcomeKind::TimedOut => "timed_out",
             OutcomeKind::Panicked => "panicked",
+        }
+    }
+
+    /// Inverse of [`OutcomeKind::name`] (journal replay).
+    pub fn from_name(name: &str) -> Option<OutcomeKind> {
+        match name {
+            "compiled" => Some(OutcomeKind::Compiled),
+            "failed" => Some(OutcomeKind::Failed),
+            "timed_out" => Some(OutcomeKind::TimedOut),
+            "panicked" => Some(OutcomeKind::Panicked),
+            _ => None,
         }
     }
 }
@@ -61,6 +77,15 @@ pub struct JobRecord {
     pub instructions: Option<usize>,
     /// Synthesis statistics for the job (zero-query on cache hits).
     pub stats: SynthStats,
+    /// The degradation-ladder tier that produced the program
+    /// ([`Tier::Baseline`] for every non-compiled outcome).
+    pub tier: Tier,
+    /// Transient-deadline retries spent across the job's ladder tiers.
+    pub retries: u32,
+    /// Whether the chaos plane injected a fault into this job.
+    pub fault_injected: bool,
+    /// Whether the outcome was replayed from a prior run's journal.
+    pub replayed: bool,
 }
 
 /// One entry of the driver's event stream.
@@ -76,6 +101,31 @@ pub enum DriverEvent {
         workers: usize,
         /// Cache entries available at submission time.
         cache_entries: usize,
+    },
+    /// One *unique* (deduplicated) job concluded — the write-ahead journal
+    /// record, appended and flushed the moment a worker finishes, in
+    /// completion (not input) order. [`crate::Driver::resume`] replays a
+    /// batch from these.
+    JobCompleted {
+        /// The content-addressed cache key of the unique job.
+        key: String,
+        /// How the job concluded.
+        outcome: OutcomeKind,
+        /// Stable error name (`lift_failed`, ...) for failures, the panic
+        /// description for panics.
+        detail: Option<String>,
+        /// The tier that produced the program ([`Tier::Baseline`] for
+        /// non-compiled outcomes).
+        tier: Tier,
+        /// Transient-deadline retries spent across the ladder.
+        retries: u32,
+        /// Whether the chaos plane injected a fault.
+        fault_injected: bool,
+        /// Whether this outcome was itself replayed from an earlier
+        /// journal.
+        replayed: bool,
+        /// Worker time spent on the job.
+        run_time: Duration,
     },
     /// One job concluded.
     JobFinished(JobRecord),
@@ -126,6 +176,33 @@ impl DriverEvent {
                 ("workers", (*workers).into()),
                 ("cache_entries", (*cache_entries).into()),
             ]),
+            DriverEvent::JobCompleted {
+                key,
+                outcome,
+                detail,
+                tier,
+                retries,
+                fault_injected,
+                replayed,
+                run_time,
+            } => {
+                let mut obj = vec![
+                    ("event".to_owned(), "job_completed".into()),
+                    ("key".to_owned(), key.as_str().into()),
+                    ("outcome".to_owned(), outcome.name().into()),
+                ];
+                if let Some(detail) = detail {
+                    obj.push(("detail".to_owned(), detail.as_str().into()));
+                }
+                obj.push(("tier".to_owned(), tier.name().into()));
+                obj.push(("retries".to_owned(), (*retries as u64).into()));
+                obj.push(("fault_injected".to_owned(), (*fault_injected).into()));
+                if *replayed {
+                    obj.push(("replayed".to_owned(), true.into()));
+                }
+                obj.push(("run_ms".to_owned(), ms(*run_time)));
+                Json::Obj(obj)
+            }
             DriverEvent::JobFinished(r) => {
                 let mut obj = vec![
                     ("event".to_owned(), "job_finished".into()),
@@ -138,6 +215,12 @@ impl DriverEvent {
                 obj.push(("outcome".to_owned(), r.outcome.name().into()));
                 if let Some(detail) = &r.detail {
                     obj.push(("detail".to_owned(), detail.as_str().into()));
+                }
+                obj.push(("tier".to_owned(), r.tier.name().into()));
+                obj.push(("retries".to_owned(), (r.retries as u64).into()));
+                obj.push(("fault_injected".to_owned(), r.fault_injected.into()));
+                if r.replayed {
+                    obj.push(("replayed".to_owned(), true.into()));
                 }
                 obj.push(("cache_hit".to_owned(), r.cache_hit.into()));
                 obj.push(("queue_wait_ms".to_owned(), ms(r.queue_wait)));
@@ -196,20 +279,24 @@ impl DriverEvent {
 pub fn summary_table(events: &[DriverEvent]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<4} {:<18} {:<9} {:>5} {:>8} {:>9} {:>7} {:>6}\n",
-        "job", "name", "outcome", "cache", "wait_ms", "run_ms", "queries", "insns"
+        "{:<4} {:<18} {:<9} {:<8} {:>5} {:>5} {:>8} {:>9} {:>7} {:>6}\n",
+        "job", "name", "outcome", "tier", "retry", "cache", "wait_ms", "run_ms", "queries", "insns"
     ));
     let mut total_queries = 0u64;
+    let mut degraded = 0usize;
     for event in events {
         let DriverEvent::JobFinished(r) = event else { continue };
         let queries =
             r.stats.lifting_queries + r.stats.sketching_queries + r.stats.swizzling_queries;
         total_queries += queries;
+        degraded += usize::from(r.outcome == OutcomeKind::Compiled && r.tier != Tier::Full);
         out.push_str(&format!(
-            "{:<4} {:<18} {:<9} {:>5} {:>8.1} {:>9.1} {:>7} {:>6}\n",
+            "{:<4} {:<18} {:<9} {:<8} {:>5} {:>5} {:>8.1} {:>9.1} {:>7} {:>6}\n",
             r.index,
             r.name.as_deref().unwrap_or("-"),
             r.outcome.name(),
+            r.tier.name(),
+            r.retries,
             if r.cache_hit { "hit" } else { "miss" },
             r.queue_wait.as_secs_f64() * 1e3,
             r.run_time.as_secs_f64() * 1e3,
@@ -224,9 +311,9 @@ pub fn summary_table(events: &[DriverEvent]) -> String {
             continue;
         };
         out.push_str(&format!(
-            "total: {compiled} compiled, {failed} failed, {timed_out} timed out, \
-             {panicked} panicked; {cache_hits} cache hits, {total_queries} queries, \
-             {:.1} ms wall\n",
+            "total: {compiled} compiled ({degraded} on degraded tiers), {failed} failed, \
+             {timed_out} timed out, {panicked} panicked; {cache_hits} cache hits, \
+             {total_queries} queries, {:.1} ms wall\n",
             wall.as_secs_f64() * 1e3
         ));
     }
@@ -250,6 +337,10 @@ mod tests {
             detail: None,
             instructions: Some(7),
             stats: SynthStats::default(),
+            tier: Tier::Reduced,
+            retries: 1,
+            fault_injected: false,
+            replayed: false,
         }
     }
 
@@ -278,6 +369,31 @@ mod tests {
         assert_eq!(job.get("cache_hit").unwrap().as_bool(), Some(true));
         assert_eq!(job.get("queue_wait_ms").unwrap(), &Json::Num(1.5));
         assert_eq!(job.get("instructions").unwrap().as_i64(), Some(7));
+        assert_eq!(job.get("tier").unwrap().as_str(), Some("reduced"));
+        assert_eq!(job.get("retries").unwrap().as_i64(), Some(1));
+        assert_eq!(job.get("fault_injected").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn job_completed_journal_record_round_trips() {
+        let ev = DriverEvent::JobCompleted {
+            key: "(vadd ...)|l8v8".to_owned(),
+            outcome: OutcomeKind::TimedOut,
+            detail: None,
+            tier: Tier::Baseline,
+            retries: 2,
+            fault_injected: true,
+            replayed: false,
+            run_time: Duration::from_millis(5),
+        };
+        let v = json::parse(&ev.to_jsonl()).unwrap();
+        assert_eq!(v.get("event").unwrap().as_str(), Some("job_completed"));
+        assert_eq!(v.get("key").unwrap().as_str(), Some("(vadd ...)|l8v8"));
+        assert_eq!(v.get("outcome").unwrap().as_str(), Some("timed_out"));
+        assert_eq!(v.get("tier").unwrap().as_str(), Some("baseline"));
+        assert_eq!(v.get("retries").unwrap().as_i64(), Some(2));
+        assert_eq!(v.get("fault_injected").unwrap().as_bool(), Some(true));
+        assert!(v.get("replayed").is_none(), "replayed is emitted only when true");
     }
 
     #[test]

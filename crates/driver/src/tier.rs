@@ -1,0 +1,159 @@
+//! The degradation ladder (tiered graceful degradation).
+//!
+//! A job is not an all-or-nothing bet on full synthesis. When the full
+//! Rake search times out or panics, the driver retries the job on
+//! progressively cheaper configurations before surrendering to the
+//! baseline pattern-matching selector:
+//!
+//! 1. [`Tier::Full`] — the driver's configured selector, untouched.
+//! 2. [`Tier::Reduced`] — the same three-stage synthesis under reduced
+//!    budgets: a 10× smaller SMT conflict budget, a lifting recursion cap,
+//!    no Algorithm-2 backtracking or layout exploration, and closed-form
+//!    (naive) swizzles instead of the enumerative search.
+//! 3. [`Tier::Direct`] — direct per-op lowering of the uber-IR: no SMT
+//!    proofs (candidates are screened differentially only), minimal
+//!    random environments, first verified template per uber-instruction.
+//!    Rake's final end-to-end `equiv_halide_hvx` check still guards every
+//!    accepted program, so a Direct-tier result is no less trusted.
+//! 4. [`Tier::Baseline`] — the `halide_opt` pattern-matching selector;
+//!    never runs the synthesis pipeline. This tier labels fallback
+//!    programs on non-compiled outcomes; it is not part of the compile
+//!    ladder itself.
+//!
+//! Each ladder tier gets a weighted slice of the job's remaining
+//! wall-clock budget (see [`Tier::weight`]); within a tier, transient
+//! `DeadlineExceeded` outcomes are retried with exponential backoff.
+
+use rake::Rake;
+use synth::{LoweringOptions, Verifier};
+
+/// One rung of the degradation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// Full Rake synthesis with the driver's configured budgets.
+    Full,
+    /// Synthesis under reduced budgets (smaller SMT budget, shallow lift,
+    /// naive swizzles, no backtracking/layout search).
+    Reduced,
+    /// Direct uber-IR per-op lowering: differential screening only, first
+    /// verified template, closed-form swizzles.
+    Direct,
+    /// The pattern-matching baseline selector (fallback label only).
+    Baseline,
+}
+
+impl Tier {
+    /// The synthesis ladder, in degradation order. [`Tier::Baseline`] is
+    /// deliberately absent: it is the fallback after the ladder, not a
+    /// rung that runs the synthesis pipeline.
+    pub fn ladder() -> [Tier; 3] {
+        [Tier::Full, Tier::Reduced, Tier::Direct]
+    }
+
+    /// Stable string used in JSONL events, the summary table, and the
+    /// persistent cache.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Full => "full",
+            Tier::Reduced => "reduced",
+            Tier::Direct => "direct",
+            Tier::Baseline => "baseline",
+        }
+    }
+
+    /// Inverse of [`Tier::name`].
+    pub fn from_name(name: &str) -> Option<Tier> {
+        match name {
+            "full" => Some(Tier::Full),
+            "reduced" => Some(Tier::Reduced),
+            "direct" => Some(Tier::Direct),
+            "baseline" => Some(Tier::Baseline),
+            _ => None,
+        }
+    }
+
+    /// Relative share of the job's wall-clock budget this tier receives:
+    /// the full search gets most of the time, each degraded retry
+    /// progressively less.
+    pub fn weight(self) -> u32 {
+        match self {
+            Tier::Full => 4,
+            Tier::Reduced => 2,
+            Tier::Direct | Tier::Baseline => 1,
+        }
+    }
+
+    /// Build the selector this tier runs: the driver's configured `rake`
+    /// with this tier's budget reductions applied on top.
+    pub fn apply(self, rake: &Rake) -> Rake {
+        match self {
+            Tier::Full | Tier::Baseline => rake.clone(),
+            Tier::Reduced => {
+                let verifier = Verifier {
+                    smt_conflict_budget: (rake.verifier().smt_conflict_budget / 10).max(500),
+                    ..rake.verifier().clone()
+                };
+                let options = LoweringOptions {
+                    backtrack: false,
+                    layouts: false,
+                    naive_swizzles: true,
+                    max_lift_depth: Some(6),
+                    ..rake.options()
+                };
+                rake.clone().with_options(options).with_verifier(verifier)
+            }
+            Tier::Direct => {
+                let verifier =
+                    Verifier { use_smt: false, random_envs: 2, ..rake.verifier().clone() };
+                let options = LoweringOptions {
+                    backtrack: false,
+                    layouts: false,
+                    naive_swizzles: true,
+                    max_lift_depth: Some(4),
+                    ..rake.options()
+                };
+                rake.clone().with_options(options).with_verifier(verifier)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rake::Target;
+
+    #[test]
+    fn names_round_trip() {
+        for tier in [Tier::Full, Tier::Reduced, Tier::Direct, Tier::Baseline] {
+            assert_eq!(Tier::from_name(tier.name()), Some(tier));
+        }
+        assert_eq!(Tier::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn ladder_excludes_baseline_and_descends_in_weight() {
+        let ladder = Tier::ladder();
+        assert!(!ladder.contains(&Tier::Baseline));
+        assert!(ladder.windows(2).all(|w| w[0].weight() > w[1].weight()));
+    }
+
+    #[test]
+    fn reduced_and_direct_tiers_cut_budgets() {
+        let rake = Rake::new(Target::hvx_small(8));
+        let reduced = Tier::Reduced.apply(&rake);
+        assert!(reduced.verifier().smt_conflict_budget < rake.verifier().smt_conflict_budget);
+        assert!(reduced.options().naive_swizzles);
+        assert!(!reduced.options().backtrack);
+        assert!(reduced.options().max_lift_depth.is_some());
+
+        let direct = Tier::Direct.apply(&rake);
+        assert!(!direct.verifier().use_smt);
+        assert!(direct.options().naive_swizzles);
+
+        // The geometry is preserved by every tier.
+        for tier in Tier::ladder() {
+            assert_eq!(tier.apply(&rake).target(), rake.target());
+        }
+    }
+}

@@ -13,7 +13,7 @@ use lanes::ElemType::{U16, U8};
 use rake::{Rake, Target};
 use rake_driver::cache::{CacheEntry, SynthCache, CACHE_FILE};
 use rake_driver::event::DriverEvent;
-use rake_driver::{canon, json, Driver, DriverConfig, JobOutcome};
+use rake_driver::{canon, json, Driver, DriverConfig, JobOutcome, Tier};
 use synth::Verifier;
 
 fn rake8() -> Rake {
@@ -162,7 +162,7 @@ fn stress_one_synthesis_per_unique_key_and_stable_order() {
             let syntheses = Arc::clone(&syntheses);
             let total = Arc::clone(&total);
             let rake = rake.clone();
-            move |e: &Expr, _deadline: Option<std::time::Instant>| {
+            move |e: &Expr, _deadline: Option<std::time::Instant>, _tier: rake_driver::Tier| {
                 let key = halide_ir::sexpr::to_sexpr(&canon::canonicalize(e).expr);
                 *syntheses.lock().unwrap().entry(key).or_insert(0) += 1;
                 total.fetch_add(1, Ordering::SeqCst);
@@ -212,7 +212,7 @@ fn panicking_job_is_isolated_with_baseline_fallback() {
     let inner = rake.clone();
     let driver = Driver::new(rake)
         .with_config(DriverConfig { workers: 2, ..DriverConfig::default() })
-        .with_compile_fn(move |e: &Expr, _| {
+        .with_compile_fn(move |e: &Expr, _, _| {
             if halide_ir::sexpr::to_sexpr(e).contains("boom") {
                 panic!("injected selector bug");
             }
@@ -300,22 +300,272 @@ fn jsonl_event_log_is_written_and_parseable() {
 
     let text = std::fs::read_to_string(&log).unwrap();
     let lines: Vec<&str> = text.lines().collect();
-    assert_eq!(lines.len(), 3); // batch_started, job_finished, batch_finished
+    // batch_started, the WAL job_completed record, job_finished,
+    // batch_finished.
+    assert_eq!(lines.len(), 4);
     let kinds: Vec<String> = lines
         .iter()
         .map(|l| json::parse(l).unwrap().get("event").unwrap().as_str().unwrap().to_owned())
         .collect();
-    assert_eq!(kinds, ["batch_started", "job_finished", "batch_finished"]);
-    let job = json::parse(lines[1]).unwrap();
+    assert_eq!(kinds, ["batch_started", "job_completed", "job_finished", "batch_finished"]);
+    let wal = json::parse(lines[1]).unwrap();
+    assert_eq!(wal.get("outcome").unwrap().as_str(), Some("compiled"));
+    assert_eq!(wal.get("tier").unwrap().as_str(), Some("full"));
+    let job = json::parse(lines[2]).unwrap();
     assert_eq!(job.get("name").unwrap().as_str(), Some("pair"));
     assert_eq!(job.get("outcome").unwrap().as_str(), Some("compiled"));
     assert_eq!(job.get("cache_hit").unwrap().as_bool(), Some(false));
+    assert_eq!(job.get("tier").unwrap().as_str(), Some("full"));
+    assert_eq!(job.get("retries").unwrap().as_i64(), Some(0));
+    assert_eq!(job.get("fault_injected").unwrap().as_bool(), Some(false));
     assert!(job.get("lifting_queries").unwrap().as_i64().unwrap() > 0);
 
     // The summary table covers the same jobs.
     let table = report.summary_table();
     assert!(table.contains("pair"));
     assert!(table.contains("total: 1 compiled"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn deadline_at_full_tier_degrades_to_reduced() {
+    let rake = rake8();
+    let inner = rake.clone();
+    let attempts: Arc<Mutex<Vec<Tier>>> = Arc::new(Mutex::new(Vec::new()));
+    let seen = Arc::clone(&attempts);
+    let driver = Driver::new(rake)
+        .with_config(DriverConfig {
+            workers: 1,
+            job_timeout: Some(Duration::from_secs(60)),
+            max_retries: 1,
+            retry_backoff: Duration::from_millis(1),
+            ..DriverConfig::default()
+        })
+        .with_compile_fn(move |e: &Expr, _, tier| {
+            seen.lock().unwrap().push(tier);
+            if tier == Tier::Full {
+                // A starved solver: gives up long before the tier budget.
+                return Err(rake::CompileError::DeadlineExceeded);
+            }
+            inner.compile(e)
+        });
+    let report = driver.compile_batch(&[pair_sum("in")]);
+    let r = &report.results[0];
+    assert!(matches!(r.outcome, JobOutcome::Compiled(_)), "got {:?}", r.outcome);
+    assert_eq!(r.tier, Tier::Reduced, "the ladder must land one rung down");
+    assert_eq!(r.retries, 1, "a transient deadline is retried once before degrading");
+    assert_eq!(report.degraded(), 1);
+    // Full was tried twice (attempt + retry), then Reduced succeeded.
+    assert_eq!(*attempts.lock().unwrap(), vec![Tier::Full, Tier::Full, Tier::Reduced]);
+    // The producing tier lands in the summary table and the cache entry.
+    assert!(report.summary_table().contains("reduced"));
+    let again = driver.compile_batch(&[pair_sum("in")]);
+    assert!(again.results[0].cache_hit);
+    assert_eq!(again.results[0].tier, Tier::Reduced);
+}
+
+#[test]
+fn panic_at_full_tier_recovers_on_degraded_tier() {
+    let rake = rake8();
+    let inner = rake.clone();
+    let driver = Driver::new(rake)
+        .with_config(DriverConfig { workers: 1, ..DriverConfig::default() })
+        .with_compile_fn(move |e: &Expr, _, tier| {
+            if tier == Tier::Full {
+                panic!("full-tier-only selector bug");
+            }
+            inner.compile(e)
+        });
+    let report = driver.compile_batch(&[pair_sum("in")]);
+    let r = &report.results[0];
+    assert!(matches!(r.outcome, JobOutcome::Compiled(_)), "got {:?}", r.outcome);
+    assert_eq!(r.tier, Tier::Reduced);
+}
+
+#[test]
+fn resume_replays_journal_and_recompiles_only_the_remainder() {
+    let dir = tmp_dir("resume");
+    let log = dir.join("events.jsonl");
+    let config = || DriverConfig {
+        workers: 1,
+        cache_dir: Some(dir.clone()),
+        log_path: Some(log.clone()),
+        ..DriverConfig::default()
+    };
+    let jobs = |n: usize| {
+        vec![
+            ("pair".to_owned(), pair_sum("in")),
+            ("absd".to_owned(), absd(load("a", U8, 0, 0), load("b", U8, 0, 0))),
+            ("madd".to_owned(), add(tile("in", 0), mul(tile("in", 1), bcast(3, U16)))),
+        ][..n]
+            .to_vec()
+    };
+    let counting_driver = |count: &Arc<AtomicUsize>| {
+        let rake = rake8();
+        let inner = rake.clone();
+        let count = Arc::clone(count);
+        Driver::new(rake).with_config(config()).with_compile_fn(move |e: &Expr, _, _| {
+            count.fetch_add(1, Ordering::SeqCst);
+            inner.compile(e)
+        })
+    };
+
+    // The "crashed" run: two of three jobs completed and journaled, then
+    // the process died mid-append, leaving a torn final record.
+    let partial = Arc::new(AtomicUsize::new(0));
+    let report = counting_driver(&partial).compile_batch_named(jobs(2));
+    assert_eq!(report.compiled(), 2);
+    assert_eq!(partial.load(Ordering::SeqCst), 2);
+    let mut journal = std::fs::read_to_string(&log).unwrap();
+    journal.push_str("{\"event\":\"job_completed\",\"key\":\"(add (cast u16"); // torn
+    std::fs::write(&log, &journal).unwrap();
+
+    // Resume with the full batch: the two journaled jobs replay (no new
+    // synthesis), only the remainder compiles.
+    let resumed_count = Arc::new(AtomicUsize::new(0));
+    let resumed = counting_driver(&resumed_count).resume_named(jobs(3));
+    assert_eq!(resumed.compiled(), 3);
+    assert_eq!(resumed_count.load(Ordering::SeqCst), 1, "only the third job recompiles");
+    assert!(resumed.results[0].replayed && resumed.results[1].replayed);
+    assert!(resumed.results[0].cache_hit && resumed.results[1].cache_hit);
+    assert!(!resumed.results[2].replayed && !resumed.results[2].cache_hit);
+
+    // The resumed report is byte-identical, in order, to a clean run of
+    // the full batch in a fresh directory.
+    let clean_dir = tmp_dir("resume-clean");
+    let clean = Driver::new(rake8())
+        .with_config(DriverConfig {
+            workers: 1,
+            cache_dir: Some(clean_dir.clone()),
+            ..DriverConfig::default()
+        })
+        .compile_batch_named(jobs(3));
+    let fingerprint = |rep: &rake_driver::BatchReport| {
+        rep.results
+            .iter()
+            .map(|r| {
+                let program = match &r.outcome {
+                    JobOutcome::Compiled(c) => c.hvx.to_string(),
+                    other => format!("{other:?}"),
+                };
+                format!("{}|{}|{}|{program}\n", r.index, r.name.as_deref().unwrap_or(""), r.key)
+            })
+            .collect::<String>()
+    };
+    assert_eq!(fingerprint(&resumed), fingerprint(&clean));
+
+    // Self-heal: if the cache file is lost, a journal-says-compiled job is
+    // transparently recompiled rather than trusted blindly.
+    std::fs::remove_file(dir.join(CACHE_FILE)).unwrap();
+    let healed_count = Arc::new(AtomicUsize::new(0));
+    let healed = counting_driver(&healed_count).resume_named(jobs(3));
+    assert_eq!(healed.compiled(), 3);
+    assert_eq!(healed_count.load(Ordering::SeqCst), 3, "lost cache entries recompile");
+    assert_eq!(fingerprint(&healed), fingerprint(&clean));
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&clean_dir);
+}
+
+#[test]
+fn resume_replays_failures_and_timeouts_verbatim() {
+    let dir = tmp_dir("resume-verbatim");
+    let log = dir.join("events.jsonl");
+    // A hand-written journal: one deterministic failure, one timeout, one
+    // panic — none backed by cache entries.
+    let driver = Driver::new(rake8()).with_config(DriverConfig {
+        workers: 1,
+        cache_dir: Some(dir.clone()),
+        log_path: Some(log.clone()),
+        ..DriverConfig::default()
+    });
+    let batch = vec![
+        ("f".to_owned(), pair_sum("in")),
+        ("t".to_owned(), absd(load("a", U8, 0, 0), load("b", U8, 0, 0))),
+        ("p".to_owned(), add(tile("in", 0), mul(tile("in", 1), bcast(3, U16)))),
+    ];
+    let keys: Vec<String> = batch.iter().map(|(_, e)| driver.cache_key(e)).collect();
+    let journal = format!(
+        concat!(
+            "{{\"event\":\"batch_started\",\"jobs\":3,\"unique\":3,\"workers\":1,\"cache_entries\":0}}\n",
+            "{{\"event\":\"job_completed\",\"key\":\"{}\",\"outcome\":\"failed\",\"detail\":\"lower_failed\",\"tier\":\"baseline\",\"retries\":0,\"fault_injected\":false,\"run_ms\":1.0}}\n",
+            "{{\"event\":\"job_completed\",\"key\":\"{}\",\"outcome\":\"timed_out\",\"tier\":\"baseline\",\"retries\":2,\"fault_injected\":false,\"run_ms\":1.0}}\n",
+            "{{\"event\":\"job_completed\",\"key\":\"{}\",\"outcome\":\"panicked\",\"detail\":\"injected selector bug\",\"tier\":\"baseline\",\"retries\":0,\"fault_injected\":true,\"run_ms\":1.0}}\n",
+        ),
+        keys[0], keys[1], keys[2]
+    );
+    std::fs::write(&log, journal).unwrap();
+
+    let report = driver.resume_named(batch);
+    assert!(matches!(report.results[0].outcome, JobOutcome::Failed(_)));
+    assert!(matches!(report.results[1].outcome, JobOutcome::TimedOut));
+    assert_eq!(report.results[1].retries, 2, "retry count replays with the record");
+    let JobOutcome::Panicked(msg) = &report.results[2].outcome else {
+        panic!("panic outcome must replay");
+    };
+    assert!(msg.contains("injected selector bug"));
+    for r in &report.results {
+        assert!(r.replayed, "job {} must come from the journal", r.index);
+    }
+    // Replayed non-compiles still get the baseline fallback.
+    assert!(report.results[0].fallback.is_some());
+    assert!(report.results[1].fallback.is_some());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_tail_cache_file_rebuilds_and_repersists() {
+    let dir = tmp_dir("torn-tail");
+    let config =
+        || DriverConfig { workers: 1, cache_dir: Some(dir.clone()), ..DriverConfig::default() };
+    let seeded = Driver::new(rake8()).with_config(config());
+    assert_eq!(seeded.compile_batch(&[pair_sum("in")]).compiled(), 1);
+
+    // Tear the tail off the cache file, as a crash mid-write would.
+    let path = dir.join(CACHE_FILE);
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+    let driver = Driver::new(rake8()).with_config(config());
+    assert_eq!(driver.cache().stats().corrupted, 1, "torn file must not be silently reused");
+    assert_eq!(driver.cache().len(), 0);
+    let report = driver.compile_batch(&[pair_sum("in")]);
+    assert_eq!(report.compiled(), 1);
+    assert_eq!(report.stats.cache_hits, 0, "a torn cache cannot serve stale hits");
+
+    let healed = SynthCache::persistent(&dir);
+    assert_eq!(healed.stats().corrupted, 0);
+    assert_eq!(healed.len(), 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn version_mismatch_cache_file_cold_starts_and_repersists() {
+    let dir = tmp_dir("version-mismatch");
+    let config =
+        || DriverConfig { workers: 1, cache_dir: Some(dir.clone()), ..DriverConfig::default() };
+    let seeded = Driver::new(rake8()).with_config(config());
+    assert_eq!(seeded.compile_batch(&[pair_sum("in")]).compiled(), 1);
+
+    // A future (or mangled) schema version must cold-start, never be
+    // misread as current-format entries.
+    let path = dir.join(CACHE_FILE);
+    let text = std::fs::read_to_string(&path).unwrap().replace("\"version\":1", "\"version\":999");
+    std::fs::write(&path, text).unwrap();
+
+    let driver = Driver::new(rake8()).with_config(config());
+    assert_eq!(driver.cache().stats().corrupted, 1);
+    assert_eq!(driver.cache().len(), 0);
+    let report = driver.compile_batch(&[pair_sum("in")]);
+    assert_eq!(report.compiled(), 1);
+    assert_eq!(report.stats.cache_hits, 0);
+
+    let healed = SynthCache::persistent(&dir);
+    assert_eq!(healed.stats().corrupted, 0);
+    assert_eq!(healed.len(), 1);
 
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -353,7 +603,7 @@ fn validation_flags_a_miscompiled_program() {
     let inner = rake.clone();
     let driver = Driver::new(rake)
         .with_config(DriverConfig { workers: 1, validate: true, ..DriverConfig::default() })
-        .with_compile_fn(move |e: &Expr, _| {
+        .with_compile_fn(move |e: &Expr, _, _| {
             let wrong = match e {
                 Expr::Binary(b) if b.op == halide_ir::BinOp::Add => {
                     Expr::Binary(halide_ir::Binary {

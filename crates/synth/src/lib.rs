@@ -36,7 +36,7 @@ pub mod swizzle_search;
 pub mod symexec;
 pub mod verify;
 
-pub use lift::{lift_expr, lift_expr_with_deadline, LiftRule, LiftStep, LiftTrace};
+pub use lift::{lift_expr, lift_expr_budgeted, lift_expr_with_deadline, LiftRule, LiftStep, LiftTrace};
 pub use lower::{lower_expr, Layout, Lowered, LoweringOptions};
 pub use stats::SynthStats;
 pub use verify::Verifier;

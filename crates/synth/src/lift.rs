@@ -61,6 +61,11 @@ struct Lifter<'a> {
     stats: &'a mut SynthStats,
     trace: LiftTrace,
     deadline: Option<Instant>,
+    /// Cap on the lifting recursion depth (a reduced-budget knob):
+    /// sub-expressions nested deeper than this fail to lift instead of
+    /// spending the budget on a deep candidate search.
+    max_depth: Option<usize>,
+    depth: usize,
 }
 
 /// Lift a Halide IR expression into the Uber-Instruction IR.
@@ -87,8 +92,23 @@ pub fn lift_expr_with_deadline(
     deadline: Option<Instant>,
     stats: &mut SynthStats,
 ) -> Option<(UberExpr, LiftTrace)> {
+    lift_expr_budgeted(e, verifier, deadline, None, stats)
+}
+
+/// [`lift_expr_with_deadline`] with an additional recursion-depth cap —
+/// the degraded-tier entry point: `max_depth: Some(n)` makes expressions
+/// nesting deeper than `n` fail fast (as non-qualifying) instead of
+/// burning wall-clock on a deep candidate search.
+pub fn lift_expr_budgeted(
+    e: &Expr,
+    verifier: &Verifier,
+    deadline: Option<Instant>,
+    max_depth: Option<usize>,
+    stats: &mut SynthStats,
+) -> Option<(UberExpr, LiftTrace)> {
     let start = Instant::now();
-    let mut lifter = Lifter { verifier, stats, trace: LiftTrace::default(), deadline };
+    let mut lifter =
+        Lifter { verifier, stats, trace: LiftTrace::default(), deadline, max_depth, depth: 0 };
     let result = lifter.lift(e);
     let trace = lifter.trace;
     stats.lifting_time += start.elapsed();
@@ -117,8 +137,14 @@ impl Lifter<'_> {
                 Some(u)
             }
             _ => {
-                let kids: Vec<UberExpr> =
-                    e.children().iter().map(|c| self.lift(c)).collect::<Option<_>>()?;
+                if self.max_depth.is_some_and(|cap| self.depth >= cap) {
+                    return None;
+                }
+                self.depth += 1;
+                let kids: Option<Vec<UberExpr>> =
+                    e.children().iter().map(|c| self.lift(c)).collect();
+                self.depth -= 1;
+                let kids = kids?;
                 for (rule, cand) in self.candidates(e, &kids) {
                     if let Some(deadline) = self.deadline {
                         if Instant::now() >= deadline {
@@ -603,6 +629,20 @@ mod tests {
         );
         let u = lift(&e).expect("must lift");
         assert!(matches!(u, UberExpr::VvMpyAdd(_)));
+    }
+
+    #[test]
+    fn depth_cap_fails_deep_expressions_but_keeps_shallow_ones() {
+        // The three-tap row nests four operator levels; a cap of 2 must
+        // reject it fast while a generous cap still lifts it.
+        let t = |dx| hb::widen(hb::load("in", ElemType::U8, dx, 0));
+        let e = hb::add(hb::add(t(-1), hb::mul(t(0), hb::bcast(2, ElemType::U16))), t(1));
+        let verifier = Verifier::fast();
+        let mut stats = SynthStats::default();
+        assert!(lift_expr_budgeted(&e, &verifier, None, Some(2), &mut stats).is_none());
+        assert!(!stats.deadline_exceeded, "a depth reject is not a timeout");
+        let mut stats = SynthStats::default();
+        assert!(lift_expr_budgeted(&e, &verifier, None, Some(16), &mut stats).is_some());
     }
 
     /// Found by `oracle_fuzz`: stacked right shifts must not deepen a

@@ -60,6 +60,16 @@ pub struct LoweringOptions {
     /// synthesis returns whatever it has (usually `None`), flagging
     /// [`SynthStats::deadline_exceeded`].
     pub deadline: Option<std::time::Instant>,
+    /// Cap on the lifting recursion depth (a *reduced-budget* knob for
+    /// degraded retries): expressions nesting deeper than this fail to
+    /// lift instead of burning the budget on a deep search. `None`
+    /// imposes no cap.
+    pub max_lift_depth: Option<usize>,
+    /// Concretize data-movement holes with the closed-form recipes only,
+    /// skipping the enumerative swizzle search and its cost accounting
+    /// (another reduced-budget knob: the recipe always answers, whatever
+    /// it costs).
+    pub naive_swizzles: bool,
 }
 
 impl Default for LoweringOptions {
@@ -71,6 +81,8 @@ impl Default for LoweringOptions {
             layouts: true,
             aligned_loads: false,
             deadline: None,
+            max_lift_depth: None,
+            naive_swizzles: false,
         }
     }
 }
@@ -184,13 +196,16 @@ impl Lowerer<'_> {
 
     fn load(&mut self, l: &halide_ir::Load) -> HvxExpr {
         let lanes = self.opts.lanes;
-        if self.opts.aligned_loads && l.dx.rem_euclid(lanes as i32) != 0 {
+        if self.opts.aligned_loads
+            && !self.opts.naive_swizzles
+            && l.dx.rem_euclid(lanes as i32) != 0
+        {
             // Synthesize the unaligned window from aligned loads with the
             // enumerative swizzle searcher (Figure 8's query).
             let spec: crate::envs::BufferSpec =
                 [(l.buffer.clone(), l.ty)].into_iter().collect();
             let envs = crate::envs::test_envs(&spec, lanes * 4, 4, 2);
-            let search = crate::swizzle_search::SwizzleSearch::new(
+            let mut search = crate::swizzle_search::SwizzleSearch::new(
                 &envs,
                 crate::swizzle_search::SearchCtx {
                     x0: (lanes * 2) as i64,
@@ -199,6 +214,7 @@ impl Lowerer<'_> {
                     vec_bytes: self.opts.vec_bytes,
                 },
             );
+            search.deadline = self.opts.deadline;
             let target = HvxExpr::vmem(&l.buffer, l.ty, l.dx, l.dy);
             let base = l.dx.div_euclid(lanes as i32) * lanes as i32;
             let sources = vec![

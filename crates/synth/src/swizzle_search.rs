@@ -14,6 +14,7 @@
 //! actual synthesis query whose solution is discovered, not computed.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use halide_ir::Env;
 use hvx::{CostModel, ExecCtx, HvxExpr, Op, Value};
@@ -47,12 +48,26 @@ pub struct SwizzleSearch<'a> {
     pub max_pool: usize,
     /// Hard cap on candidate evaluations.
     pub max_queries: u64,
+    /// Cooperative wall-clock deadline: once the instant passes, no
+    /// further candidates are evaluated and the search declines with
+    /// [`SynthStats::deadline_exceeded`] set — Algorithm 2's backtracking
+    /// loop otherwise checks only the cost budget β, so one swizzle query
+    /// could overrun the whole job's time budget unchecked.
+    pub deadline: Option<Instant>,
 }
 
 impl<'a> SwizzleSearch<'a> {
     /// A searcher evaluating candidates on the given environments.
     pub fn new(envs: &'a [Env], ctx: SearchCtx) -> SwizzleSearch<'a> {
-        SwizzleSearch { envs, ctx, max_depth: 3, max_units: 6, max_pool: 300, max_queries: 20_000 }
+        SwizzleSearch {
+            envs,
+            ctx,
+            max_depth: 3,
+            max_units: 6,
+            max_pool: 300,
+            max_queries: 20_000,
+            deadline: None,
+        }
     }
 
     fn eval_all(&self, e: &HvxExpr) -> Option<Vec<Value>> {
@@ -128,6 +143,12 @@ impl<'a> SwizzleSearch<'a> {
                 || stats.swizzling_queries - start_queries >= self.max_queries
             {
                 return None;
+            }
+            if let Some(deadline) = self.deadline {
+                if Instant::now() >= deadline {
+                    stats.deadline_exceeded = true;
+                    return None;
+                }
             }
             stats.swizzling_queries += 1;
             if self.units(&e) > self.max_units {
@@ -292,6 +313,23 @@ mod tests {
         let mut stats = SynthStats::default();
         assert!(search.synthesize(&target, &sources, ElemType::U8, &mut stats).is_none());
         assert!(stats.swizzling_queries > 10, "must have searched before giving up");
+    }
+
+    #[test]
+    fn expired_deadline_declines_without_querying() {
+        // A deadline already in the past: the search must issue zero
+        // candidate evaluations, decline, and flag the run as
+        // out-of-time rather than proved-infeasible.
+        let envs = envs();
+        let mut search = SwizzleSearch::new(&envs, ctx());
+        search.deadline = Some(Instant::now() - std::time::Duration::from_millis(1));
+        let target = HvxExpr::vmem("in", ElemType::U8, -1, 0);
+        let sources =
+            vec![HvxExpr::vmem("in", ElemType::U8, -8, 0), HvxExpr::vmem("in", ElemType::U8, 0, 0)];
+        let mut stats = SynthStats::default();
+        assert!(search.synthesize(&target, &sources, ElemType::U8, &mut stats).is_none());
+        assert!(stats.deadline_exceeded, "must report the deadline, not infeasibility");
+        assert_eq!(stats.swizzling_queries, 0, "no queries past an expired deadline");
     }
 
     #[test]

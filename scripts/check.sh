@@ -12,7 +12,9 @@ cargo fmt -p rake-driver --check
 
 echo "== cargo clippy (rake-driver, -D warnings)"
 # The new service layer is held to a stricter bar than the older crates.
+# Linted twice: the production build and the chaos (fault-injection) build.
 cargo clippy --offline --locked -p rake-driver --all-targets -- -D warnings
+cargo clippy --offline --locked -p rake-driver --features chaos --all-targets -- -D warnings
 
 echo "== cargo test (workspace)"
 cargo test -q --offline --locked --workspace
@@ -23,5 +25,14 @@ echo "== oracle smoke (seeded differential fuzz, 60s budget)"
 # failure here is immediately reproducible.
 cargo run -q --release --offline --locked -p rake-bench --bin oracle_fuzz -- \
   --seed 0xRAKE --cases 60 --budget 60
+
+echo "== chaos smoke (seeded fault injection, one schedule, ~60s budget)"
+# The full 21-workload suite under one deterministic fault schedule:
+# injected panics, forced deadline exhaustion, latency, and cache
+# corruption. Asserts the resilience invariants (batches terminate in
+# order, compiled programs stay oracle-clean, the degradation ladder
+# recovers starved jobs, the cache self-heals). Same seed every run.
+cargo run -q --release --offline --locked -p rake-bench --features chaos --bin chaos -- \
+  --seeds 1
 
 echo "all checks passed"
