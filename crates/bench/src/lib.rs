@@ -125,7 +125,22 @@ impl WorkloadRun {
     }
 }
 
+/// Read a boolean toggle from the environment: unset or anything other
+/// than `0`/`false`/`off` means on.
+fn env_toggle(name: &str) -> bool {
+    match std::env::var(name) {
+        Ok(v) => !matches!(v.as_str(), "0" | "false" | "off"),
+        Err(_) => true,
+    }
+}
+
 /// Verifier effort for harness runs: differential-heavy, SMT proofs on.
+///
+/// Two environment toggles select the hot-path configuration so the same
+/// harness (and the golden tests) can run both ways: `RAKE_MEMO=0`
+/// disables verdict/env/SMT-term memoization, `RAKE_PARALLEL_LIFT=0`
+/// disables intra-job parallel candidate screening. Synthesized programs
+/// are identical under every combination.
 pub fn bench_verifier(cfg: RunConfig) -> Verifier {
     Verifier {
         lanes: cfg.lanes,
@@ -136,6 +151,9 @@ pub fn bench_verifier(cfg: RunConfig) -> Verifier {
         smt_lanes: 1,
         smt_conflict_budget: 10_000,
         smt_lowering: false,
+        memoize: env_toggle("RAKE_MEMO"),
+        parallel_lifting: env_toggle("RAKE_PARALLEL_LIFT"),
+        ..Verifier::default()
     }
 }
 

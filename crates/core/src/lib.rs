@@ -192,6 +192,7 @@ impl Rake {
             return Err(CompileError::NotQualifying);
         }
         let mut stats = SynthStats::default();
+        let memo_before = self.verifier.memo_snapshot();
         let lifted = lift_expr_budgeted(
             e,
             &self.verifier,
@@ -219,6 +220,14 @@ impl Rake {
             return Err(CompileError::FinalCheckFailed);
         }
         let program = hvx.to_program();
+        // Attribute the verifier's memo/SMT counter movement to this
+        // compilation (exact when the Rake instance compiles one
+        // expression at a time, which is how the driver uses it).
+        let memo = self.verifier.memo_snapshot().delta_since(&memo_before);
+        stats.smt_queries += memo.smt_queries;
+        stats.smt_time += memo.smt_time();
+        stats.verdict_cache_hits += memo.verdict_hits;
+        stats.env_cache_hits += memo.env_hits;
         Ok(Compiled { uber, hvx, program, trace, stats })
     }
 

@@ -591,6 +591,12 @@ impl Driver {
         let queue: Mutex<std::collections::VecDeque<usize>> = Mutex::new((0..jobs.len()).collect());
         let slots: Mutex<Vec<Option<UniqueResult>>> = Mutex::new(vec![None; jobs.len()]);
         let workers = self.config.workers.max(1).min(jobs.len().max(1));
+        // The batch shares one process-wide thread budget of
+        // `config.workers`: each spawned worker holds a permit for its
+        // lifetime, and intra-job parallel lifting claims only what is
+        // left (e.g. the idle worker slots of a one-job batch).
+        synth::pool::set_thread_budget(self.config.workers.max(1));
+        let permits = synth::pool::global().reserve_up_to(workers);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
@@ -635,6 +641,7 @@ impl Driver {
                 });
             }
         });
+        drop(permits);
         slots
             .into_inner()
             .unwrap()

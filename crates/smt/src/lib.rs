@@ -30,8 +30,10 @@
 //! ```
 
 mod blast;
+mod shared;
 mod solver;
 mod term;
 
+pub use shared::SharedSolver;
 pub use solver::{check_equivalent, BvModel, BvSolver, SmtResult};
 pub use term::{Context, TermId};

@@ -29,6 +29,7 @@ pub mod linear;
 pub mod lower;
 #[cfg(test)]
 mod lower_proptests;
+pub mod pool;
 pub mod range;
 pub mod stats;
 pub mod swizzle;
@@ -39,4 +40,4 @@ pub mod verify;
 pub use lift::{lift_expr, lift_expr_budgeted, lift_expr_with_deadline, LiftRule, LiftStep, LiftTrace};
 pub use lower::{lower_expr, Layout, Lowered, LoweringOptions};
 pub use stats::SynthStats;
-pub use verify::Verifier;
+pub use verify::{MemoHandle, MemoSnapshot, Verifier};

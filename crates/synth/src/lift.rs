@@ -145,21 +145,98 @@ impl Lifter<'_> {
                     e.children().iter().map(|c| self.lift(c)).collect();
                 self.depth -= 1;
                 let kids = kids?;
-                for (rule, cand) in self.candidates(e, &kids) {
-                    if let Some(deadline) = self.deadline {
-                        if Instant::now() >= deadline {
-                            self.stats.deadline_exceeded = true;
-                            return None;
-                        }
+                let cands = self.candidates(e, &kids);
+                let winner = self.screen(e, &cands)?;
+                let (rule, cand) = cands.into_iter().nth(winner).expect("winner in range");
+                self.trace.push_step(rule, e, &cand);
+                Some(cand)
+            }
+        }
+    }
+
+    /// Screen `cands` against the oracle and return the index of the
+    /// first (in input order) accepted candidate.
+    ///
+    /// When the verifier enables parallel lifting and the process-wide
+    /// [`crate::pool`] has spare permits, screening fans across helper
+    /// threads. Helpers claim candidate indices from a shared atomic
+    /// counter (so claims are monotone: whenever index `i` is claimed,
+    /// every index below `i` has been claimed too), record accepts with
+    /// `fetch_min`, and stop once their next claim exceeds the current
+    /// best. A claim is only ever abandoned when it exceeds the best at
+    /// that moment — and the best never increases — so every index up to
+    /// the final winner is fully checked. The returned index is therefore
+    /// exactly the serial first-accept, and synthesized programs are
+    /// byte-identical to the serial path. Only `lifting_queries` may
+    /// differ: helpers past the winner may have been mid-check.
+    fn screen(&mut self, e: &Expr, cands: &[(LiftRule, UberExpr)]) -> Option<usize> {
+        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+        let reservation = if self.verifier.parallel_lifting && cands.len() >= 2 {
+            Some(crate::pool::global().reserve_up_to(cands.len() - 1))
+        } else {
+            None
+        };
+        let helpers = reservation.as_ref().map_or(0, |r| r.count());
+        if helpers == 0 {
+            for (i, (_, cand)) in cands.iter().enumerate() {
+                if let Some(deadline) = self.deadline {
+                    if Instant::now() >= deadline {
+                        self.stats.deadline_exceeded = true;
+                        return None;
                     }
-                    self.stats.lifting_queries += 1;
-                    if self.verifier.equiv_halide_uber(e, &cand) {
-                        self.trace.push_step(rule, e, &cand);
-                        return Some(cand);
-                    }
+                }
+                self.stats.lifting_queries += 1;
+                if self.verifier.equiv_halide_uber(e, cand) {
+                    return Some(i);
+                }
+            }
+            return None;
+        }
+
+        let next = AtomicUsize::new(0);
+        let best = AtomicUsize::new(usize::MAX);
+        let timed_out = AtomicBool::new(false);
+        let queries = AtomicUsize::new(0);
+        let verifier = self.verifier;
+        let deadline = self.deadline;
+        let worker = || loop {
+            let i = next.fetch_add(1, Ordering::SeqCst);
+            if i >= cands.len() || i > best.load(Ordering::SeqCst) {
+                break;
+            }
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    timed_out.store(true, Ordering::SeqCst);
+                    break;
+                }
+            }
+            queries.fetch_add(1, Ordering::SeqCst);
+            if verifier.equiv_halide_uber(e, &cands[i].1) {
+                best.fetch_min(i, Ordering::SeqCst);
+                break;
+            }
+        };
+        std::thread::scope(|scope| {
+            let worker = &worker;
+            for _ in 0..helpers {
+                scope.spawn(worker);
+            }
+            // The calling thread participates too; its permit is implicit.
+            worker();
+        });
+        drop(reservation);
+        self.stats.lifting_queries += queries.load(Ordering::SeqCst) as u64;
+        match best.load(Ordering::SeqCst) {
+            usize::MAX => {
+                if timed_out.load(Ordering::SeqCst) {
+                    self.stats.deadline_exceeded = true;
                 }
                 None
             }
+            // An accepted candidate is oracle-verified even if the
+            // deadline passed while other helpers were still checking.
+            i => Some(i),
         }
     }
 

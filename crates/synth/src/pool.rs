@@ -1,0 +1,142 @@
+//! A process-wide synthesis thread budget.
+//!
+//! Parallelism exists at two levels: the driver fans compilation *jobs*
+//! over a worker pool, and lifting fans candidate *screening* over helper
+//! threads within one job. Both draw from one budget so their sum never
+//! exceeds the configured cap — the driver reserves one permit per worker
+//! it spawns, and lifting helpers only claim whatever is left (for
+//! example the idle workers of a one-job batch).
+//!
+//! The caller's own thread is never counted: a reservation covers *extra*
+//! threads only. With a budget of N and one busy caller, lifting may
+//! therefore spawn at most N minus the permits already held.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Sentinel for "never configured": fall back to the machine's parallelism.
+const UNSET: usize = usize::MAX;
+
+/// A counting permit pool. The process-wide instance is [`global`]; tests
+/// construct private instances to stay isolated.
+#[derive(Debug)]
+pub struct Budget {
+    total: AtomicUsize,
+    in_use: AtomicUsize,
+}
+
+/// RAII permits for extra threads; dropping returns them to the budget.
+#[derive(Debug)]
+pub struct Reservation<'a> {
+    pool: &'a Budget,
+    n: usize,
+}
+
+impl Budget {
+    /// An unconfigured budget (defaults to the machine's parallelism).
+    pub const fn new() -> Budget {
+        Budget { total: AtomicUsize::new(UNSET), in_use: AtomicUsize::new(0) }
+    }
+
+    /// Set the total thread budget, clamped to at least 1.
+    pub fn set_total(&self, n: usize) {
+        self.total.store(n.max(1), Ordering::SeqCst);
+    }
+
+    /// The total budget in effect: the configured value, or the machine's
+    /// available parallelism when never configured.
+    pub fn total(&self) -> usize {
+        match self.total.load(Ordering::SeqCst) {
+            UNSET => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            n => n,
+        }
+    }
+
+    /// Claim up to `max` permits from whatever is currently unclaimed.
+    /// Never blocks; returns an empty reservation when the budget is spent.
+    pub fn reserve_up_to(&self, max: usize) -> Reservation<'_> {
+        let total = self.total();
+        loop {
+            let used = self.in_use.load(Ordering::SeqCst);
+            let take = total.saturating_sub(used).min(max);
+            if take == 0 {
+                return Reservation { pool: self, n: 0 };
+            }
+            if self
+                .in_use
+                .compare_exchange(used, used + take, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return Reservation { pool: self, n: take };
+            }
+        }
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Budget {
+        Budget::new()
+    }
+}
+
+impl Reservation<'_> {
+    /// Number of permits held.
+    pub fn count(&self) -> usize {
+        self.n
+    }
+}
+
+impl Drop for Reservation<'_> {
+    fn drop(&mut self) {
+        if self.n > 0 {
+            self.pool.in_use.fetch_sub(self.n, Ordering::SeqCst);
+        }
+    }
+}
+
+static GLOBAL: Budget = Budget::new();
+
+/// The process-wide budget shared by the driver and the lifting helpers.
+pub fn global() -> &'static Budget {
+    &GLOBAL
+}
+
+/// Set the process-wide budget (driver `--jobs`, perf `--jobs`).
+pub fn set_thread_budget(n: usize) {
+    GLOBAL.set_total(n);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_is_shared_and_returned() {
+        let pool = Budget::new();
+        pool.set_total(3);
+        assert_eq!(pool.total(), 3);
+        let a = pool.reserve_up_to(2);
+        assert_eq!(a.count(), 2);
+        let b = pool.reserve_up_to(5);
+        assert_eq!(b.count(), 1, "only the remainder is available");
+        assert_eq!(pool.reserve_up_to(1).count(), 0, "budget exhausted");
+        drop(a);
+        let d = pool.reserve_up_to(5);
+        assert_eq!(d.count(), 2, "dropped permits return");
+        drop(b);
+        drop(d);
+        assert_eq!(pool.reserve_up_to(9).count(), 3);
+    }
+
+    #[test]
+    fn zero_clamps_to_one() {
+        let pool = Budget::new();
+        pool.set_total(0);
+        assert_eq!(pool.total(), 1);
+    }
+
+    #[test]
+    fn unconfigured_uses_machine_parallelism() {
+        let pool = Budget::new();
+        assert!(pool.total() >= 1);
+    }
+}

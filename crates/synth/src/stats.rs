@@ -18,6 +18,18 @@ pub struct SynthStats {
     pub sketching_time: Duration,
     /// Wall-clock time in swizzle synthesis.
     pub swizzling_time: Duration,
+    /// SMT solver queries actually issued (after the linear fast path and
+    /// the verdict cache; counted whether or not memoization is on).
+    pub smt_queries: u64,
+    /// Wall-clock time inside the SMT solver (term construction through
+    /// the CDCL search), across all stages.
+    pub smt_time: Duration,
+    /// Equivalence queries answered by the verifier's verdict cache
+    /// instead of re-running differential tests and proofs.
+    pub verdict_cache_hits: u64,
+    /// Test-environment families served from the verifier's env cache
+    /// instead of regenerated.
+    pub env_cache_hits: u64,
     /// Results served from a synthesis cache instead of fresh queries
     /// (filled in by callers that layer caching over the engine).
     pub cache_hits: u64,
@@ -41,6 +53,10 @@ impl SynthStats {
         self.lifting_time += other.lifting_time;
         self.sketching_time += other.sketching_time;
         self.swizzling_time += other.swizzling_time;
+        self.smt_queries += other.smt_queries;
+        self.smt_time += other.smt_time;
+        self.verdict_cache_hits += other.verdict_cache_hits;
+        self.env_cache_hits += other.env_cache_hits;
         self.cache_hits += other.cache_hits;
         self.deadline_exceeded |= other.deadline_exceeded;
     }
@@ -59,12 +75,20 @@ mod tests {
             lifting_time: Duration::from_millis(10),
             sketching_time: Duration::from_millis(20),
             swizzling_time: Duration::from_millis(30),
+            smt_queries: 5,
+            smt_time: Duration::from_millis(40),
+            verdict_cache_hits: 6,
+            env_cache_hits: 7,
             cache_hits: 1,
             deadline_exceeded: false,
         };
         a.merge(&a.clone());
         assert_eq!(a.lifting_queries, 4);
         assert_eq!(a.swizzling_queries, 8);
+        assert_eq!(a.smt_queries, 10);
+        assert_eq!(a.smt_time, Duration::from_millis(80));
+        assert_eq!(a.verdict_cache_hits, 12);
+        assert_eq!(a.env_cache_hits, 14);
         assert_eq!(a.cache_hits, 2);
         assert!(!a.deadline_exceeded);
         assert_eq!(a.total_time(), Duration::from_millis(120));

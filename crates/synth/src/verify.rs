@@ -6,11 +6,24 @@
 //! candidates that survive screening are finally *proved* with a
 //! bit-vector SMT query over a symbolic tile window (DESIGN.md documents
 //! this split of duties between testing and proof).
+//!
+//! The oracle memoizes its hot path (on by default, [`Verifier::memoize`]):
+//! test-environment families are generated once per buffer signature, SMT
+//! terms are hash-consed in one shared [`SharedSolver`] context, and full
+//! verdicts are cached keyed by the canonicalized (alpha-renamed) query
+//! pair plus the oracle configuration. Clones of a `Verifier` — including
+//! the re-pinned clones the lowering stages make — share one memo, so a
+//! query answered during lifting is free when sketch synthesis asks again.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 use halide_ir::{Env, EvalCtx, Expr};
 use hvx::{HvxExpr, Op};
 use lanes::{ElemType, Vector};
-use smt::{BvSolver, Context, SmtResult};
+use smt::{Context, SharedSolver};
 use uber_ir::{eval_uber, ScalarSource, UberExpr};
 
 use crate::encode::{encode_halide_lane, encode_uber_lane};
@@ -19,8 +32,6 @@ use crate::envs::{test_envs, BufferSpec};
 /// Geometry of the differential test tile.
 const MARGIN_X: i64 = 32;
 const MARGIN_Y: i64 = 8;
-
-
 
 /// The equivalence oracle used by all three synthesis stages.
 #[derive(Debug, Clone)]
@@ -45,6 +56,17 @@ pub struct Verifier {
     /// to the target width; off by default — lowering is otherwise
     /// verified differentially).
     pub smt_lowering: bool,
+    /// Memoize verdicts, test environments, and SMT terms across queries.
+    /// Off reproduces the unmemoized path exactly (fresh contexts and
+    /// envs per query); verdicts are identical either way.
+    pub memoize: bool,
+    /// Fan lifting candidate screening across helper threads drawn from
+    /// [`crate::pool`]. Winner selection is input-order equivalent, so
+    /// output programs are byte-identical to the serial path.
+    pub parallel_lifting: bool,
+    /// Shared memo state (verdict cache, env cache, SMT context, query
+    /// counters). Clones share it; a fresh handle starts cold.
+    pub memo: MemoHandle,
 }
 
 impl Default for Verifier {
@@ -58,6 +80,178 @@ impl Default for Verifier {
             smt_lanes: 2,
             smt_conflict_budget: 50_000,
             smt_lowering: false,
+            memoize: true,
+            parallel_lifting: true,
+            memo: MemoHandle::default(),
+        }
+    }
+}
+
+/// Point-in-time reading of the verifier's monotone query counters.
+/// Subtract two snapshots (see [`MemoSnapshot::delta_since`]) to attribute
+/// work to one compilation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoSnapshot {
+    /// SMT solver queries issued (counted with memoization on or off).
+    pub smt_queries: u64,
+    /// Nanoseconds spent inside SMT queries.
+    pub smt_time_nanos: u64,
+    /// Verdict-cache hits.
+    pub verdict_hits: u64,
+    /// Env-cache hits.
+    pub env_hits: u64,
+}
+
+impl MemoSnapshot {
+    /// The counter increments between `earlier` and `self`.
+    pub fn delta_since(&self, earlier: &MemoSnapshot) -> MemoSnapshot {
+        MemoSnapshot {
+            smt_queries: self.smt_queries - earlier.smt_queries,
+            smt_time_nanos: self.smt_time_nanos - earlier.smt_time_nanos,
+            verdict_hits: self.verdict_hits - earlier.verdict_hits,
+            env_hits: self.env_hits - earlier.env_hits,
+        }
+    }
+
+    /// SMT time as a [`Duration`].
+    pub fn smt_time(&self) -> Duration {
+        Duration::from_nanos(self.smt_time_nanos)
+    }
+}
+
+/// The oracle configuration fields a verdict depends on. Embedded in every
+/// cache key so re-pinned clones (different lanes) sharing one memo can
+/// never serve each other stale verdicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct OracleConfig {
+    lanes: usize,
+    vec_bytes: usize,
+    alt_lanes: usize,
+    random_envs: usize,
+    use_smt: bool,
+    smt_lanes: usize,
+    smt_conflict_budget: u64,
+    smt_lowering: bool,
+}
+
+/// A memoized equivalence query.
+#[derive(PartialEq, Eq, Hash)]
+enum VerdictKey {
+    /// Lifting oracle: Halide vs uber, canonicalized by joint buffer
+    /// alpha-renaming.
+    HalideUber { cfg: OracleConfig, h: Expr, u: UberExpr },
+    /// Sketch/swizzle oracle.
+    UberHvx { cfg: OracleConfig, deinterleaved: bool, u: UberExpr, h: HvxExpr },
+    /// Final end-to-end check.
+    HalideHvx { cfg: OracleConfig, e: Expr, h: HvxExpr },
+}
+
+/// A memoized SMT proof outcome, keyed by the offset-translated canonical
+/// pair (see [`Canon::proof`]): the solver's result is a function of the
+/// term DAG alone, so translated copies of one query share one solve.
+#[derive(PartialEq, Eq, Hash)]
+struct ProofKey {
+    smt_lanes: usize,
+    budget: u64,
+    h: Expr,
+    u: UberExpr,
+}
+
+/// The proof map is process-global rather than per-[`MemoHandle`]: the key
+/// carries every proof-relevant parameter and the encoder and solver are
+/// deterministic, so an outcome is a pure function of the key no matter
+/// which `Rake` instance computed it. Harness runs that build one `Rake`
+/// per workload still share proofs for the recurring stencil/matmul query
+/// shapes. Hit counters stay per-handle (only storage is shared).
+fn global_proofs() -> &'static Mutex<HashMap<ProofKey, Option<bool>>> {
+    static PROOFS: OnceLock<Mutex<HashMap<ProofKey, Option<bool>>>> = OnceLock::new();
+    PROOFS.get_or_init(Mutex::default)
+}
+
+/// Env-cache key: (buffer signature, lanes, random env count).
+type EnvKey = (BufferSpec, usize, usize);
+
+#[derive(Default)]
+struct MemoState {
+    solver: SharedSolver,
+    verdicts: Mutex<HashMap<VerdictKey, bool>>,
+    envs: Mutex<HashMap<EnvKey, Arc<Vec<Env>>>>,
+    smt_queries: AtomicU64,
+    smt_nanos: AtomicU64,
+    verdict_hits: AtomicU64,
+    env_hits: AtomicU64,
+}
+
+/// Recover a possibly-poisoned cache lock: the maps hold plain data whose
+/// invariants hold between every insert, so a payload panicked elsewhere
+/// (e.g. injected by the driver's chaos plane) must not cascade here.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Shared handle to a verifier's memo state. Cloning shares the state
+/// (the intended per-[`rake::Rake`] scope); `MemoHandle::default()` starts
+/// a fresh, cold memo.
+#[derive(Clone, Default)]
+pub struct MemoHandle(Arc<MemoState>);
+
+impl std::fmt::Debug for MemoHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoHandle")
+            .field("verdicts", &lock(&self.0.verdicts).len())
+            .field("proofs", &lock(global_proofs()).len())
+            .field("envs", &lock(&self.0.envs).len())
+            .field("smt_queries", &self.0.smt_queries.load(Ordering::Relaxed))
+            .field("verdict_hits", &self.0.verdict_hits.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl MemoHandle {
+    fn lookup(&self, key: &VerdictKey) -> Option<bool> {
+        let hit = lock(&self.0.verdicts).get(key).copied();
+        if hit.is_some() {
+            self.0.verdict_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    fn insert(&self, key: VerdictKey, verdict: bool) {
+        lock(&self.0.verdicts).insert(key, verdict);
+    }
+
+    fn lookup_proof(&self, key: &ProofKey) -> Option<Option<bool>> {
+        let hit = lock(global_proofs()).get(key).copied();
+        if hit.is_some() {
+            self.0.verdict_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    fn insert_proof(&self, key: ProofKey, outcome: Option<bool>) {
+        lock(global_proofs()).insert(key, outcome);
+    }
+
+    fn record_smt(&self, elapsed: Duration) {
+        self.0.smt_queries.fetch_add(1, Ordering::Relaxed);
+        self.0.smt_nanos.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    fn solver(&self) -> &SharedSolver {
+        &self.0.solver
+    }
+
+    /// Terms interned in the shared SMT context (a reuse metric).
+    pub fn smt_terms(&self) -> usize {
+        self.0.solver.terms()
+    }
+
+    fn snapshot(&self) -> MemoSnapshot {
+        MemoSnapshot {
+            smt_queries: self.0.smt_queries.load(Ordering::Relaxed),
+            smt_time_nanos: self.0.smt_nanos.load(Ordering::Relaxed),
+            verdict_hits: self.0.verdict_hits.load(Ordering::Relaxed),
+            env_hits: self.0.env_hits.load(Ordering::Relaxed),
         }
     }
 }
@@ -104,6 +298,182 @@ fn add_hvx_loads(e: &HvxExpr, spec: &mut BufferSpec) {
     }
 }
 
+/// A joint rewrite of a (Halide, uber) query pair used to canonicalize
+/// cache keys: buffer alpha-renaming, optionally with per-buffer uniform
+/// offset translation.
+#[derive(Default)]
+struct Canon {
+    /// Buffer → canonical name (`b0`, `b1`, ... in first-appearance order
+    /// over the Halide expression, then the candidate).
+    names: HashMap<String, String>,
+    /// Buffer → (min dx, min dy) over its vector loads on both sides;
+    /// subtracted so the minimum becomes 0.
+    load_shift: HashMap<String, (i32, i32)>,
+    /// Buffer → (min x, min dy) over its scalar reads on both sides.
+    scalar_shift: HashMap<String, (i32, i32)>,
+}
+
+impl Canon {
+    /// Alpha-renaming only: verdict-preserving for the whole oracle
+    /// (differential + proof), since buffer names are opaque to both.
+    fn alpha(h: &Expr, u: &UberExpr) -> Canon {
+        let mut canon = Canon::default();
+        canon.collect_names(h, u);
+        canon
+    }
+
+    /// Alpha-renaming plus per-buffer offset translation. This preserves
+    /// the *SMT* verdict exactly — the encoder names a load variable by
+    /// `(buffer, dx + lane, dy)` and a scalar by `(buffer, x, dy)`, so a
+    /// uniform per-buffer shift yields the identical term DAG, identical
+    /// CNF, and the identical solver trajectory (including budget
+    /// exhaustion). It does NOT preserve differential verdicts (concrete
+    /// test data varies by offset), so it keys [`ProofKey`] only.
+    fn proof(h: &Expr, u: &UberExpr) -> Canon {
+        let mut canon = Canon::default();
+        canon.collect_names(h, u);
+        let mut note_load = |buffer: &str, dx: i32, dy: i32| {
+            let e = canon.load_shift.entry(buffer.to_owned()).or_insert((dx, dy));
+            e.0 = e.0.min(dx);
+            e.1 = e.1.min(dy);
+        };
+        let mut note_scalar_shifts: Vec<(String, i32, i32)> = Vec::new();
+        halide_ir::analysis::visit(h, &mut |n| match n {
+            Expr::Load(l) => note_load(&l.buffer, l.dx, l.dy),
+            Expr::BroadcastLoad(b) => note_scalar_shifts.push((b.buffer.clone(), b.x, b.dy)),
+            _ => {}
+        });
+        visit_uber(u, &mut |n| match n {
+            UberExpr::Data(l) => note_load(&l.buffer, l.dx, l.dy),
+            UberExpr::Bcast { value: ScalarSource::Scalar { buffer, x, dy }, .. } => {
+                note_scalar_shifts.push((buffer.clone(), *x, *dy));
+            }
+            _ => {}
+        });
+        for (buffer, x, dy) in note_scalar_shifts {
+            let e = canon.scalar_shift.entry(buffer).or_insert((x, dy));
+            e.0 = e.0.min(x);
+            e.1 = e.1.min(dy);
+        }
+        canon
+    }
+
+    fn collect_names(&mut self, h: &Expr, u: &UberExpr) {
+        let mut order: Vec<String> = Vec::new();
+        let mut note = |name: &str| {
+            if !order.iter().any(|n| n == name) {
+                order.push(name.to_owned());
+            }
+        };
+        halide_ir::analysis::visit(h, &mut |n| match n {
+            Expr::Load(l) => note(&l.buffer),
+            Expr::BroadcastLoad(b) => note(&b.buffer),
+            _ => {}
+        });
+        visit_uber(u, &mut |n| match n {
+            UberExpr::Data(l) => note(&l.buffer),
+            UberExpr::Bcast { value: ScalarSource::Scalar { buffer, .. }, .. } => note(buffer),
+            _ => {}
+        });
+        self.names =
+            order.into_iter().enumerate().map(|(i, n)| (n, format!("b{i}"))).collect();
+    }
+
+    fn name(&self, n: &str) -> String {
+        self.names.get(n).cloned().unwrap_or_else(|| n.to_owned())
+    }
+
+    fn load(&self, l: &halide_ir::Load) -> halide_ir::Load {
+        let (sx, sy) = self.load_shift.get(&l.buffer).copied().unwrap_or((0, 0));
+        halide_ir::Load {
+            buffer: self.name(&l.buffer),
+            dx: l.dx - sx,
+            dy: l.dy - sy,
+            ty: l.ty,
+        }
+    }
+
+    fn scalar(&self, buffer: &str, x: i32, dy: i32) -> ScalarSource {
+        let (sx, sy) = self.scalar_shift.get(buffer).copied().unwrap_or((0, 0));
+        ScalarSource::Scalar { buffer: self.name(buffer), x: x - sx, dy: dy - sy }
+    }
+
+    fn halide(&self, e: &Expr) -> Expr {
+        use halide_ir::{Binary, Cast, Shift};
+        match e {
+            Expr::Load(l) => Expr::Load(self.load(l)),
+            Expr::Broadcast(b) => Expr::Broadcast(b.clone()),
+            Expr::BroadcastLoad(b) => {
+                let ScalarSource::Scalar { buffer, x, dy } = self.scalar(&b.buffer, b.x, b.dy)
+                else {
+                    unreachable!("scalar() always returns Scalar")
+                };
+                Expr::BroadcastLoad(halide_ir::BroadcastLoad { buffer, x, dy, ty: b.ty })
+            }
+            Expr::Cast(c) => Expr::Cast(Cast {
+                to: c.to,
+                saturating: c.saturating,
+                arg: Box::new(self.halide(&c.arg)),
+            }),
+            Expr::Binary(b) => Expr::Binary(Binary {
+                op: b.op,
+                lhs: Box::new(self.halide(&b.lhs)),
+                rhs: Box::new(self.halide(&b.rhs)),
+            }),
+            Expr::Shift(s) => Expr::Shift(Shift {
+                dir: s.dir,
+                amount: s.amount,
+                arg: Box::new(self.halide(&s.arg)),
+            }),
+        }
+    }
+
+    fn uber(&self, u: &UberExpr) -> UberExpr {
+        use uber_ir::{VsMpyAdd, VvMpyAdd};
+        let r = |c: &UberExpr| Box::new(self.uber(c));
+        match u {
+            UberExpr::Data(l) => UberExpr::Data(self.load(l)),
+            UberExpr::Bcast { value: ScalarSource::Scalar { buffer, x, dy }, ty } => {
+                UberExpr::Bcast { value: self.scalar(buffer, *x, *dy), ty: *ty }
+            }
+            UberExpr::Bcast { value, ty } => UberExpr::Bcast { value: value.clone(), ty: *ty },
+            UberExpr::VsMpyAdd(v) => UberExpr::VsMpyAdd(VsMpyAdd {
+                inputs: v.inputs.iter().map(|i| self.uber(i)).collect(),
+                kernel: v.kernel.clone(),
+                saturating: v.saturating,
+                out: v.out,
+            }),
+            UberExpr::VvMpyAdd(v) => UberExpr::VvMpyAdd(VvMpyAdd {
+                pairs: v.pairs.iter().map(|(a, b)| (self.uber(a), self.uber(b))).collect(),
+                saturating: v.saturating,
+                out: v.out,
+            }),
+            UberExpr::AbsDiff(a, b) => UberExpr::AbsDiff(r(a), r(b)),
+            UberExpr::Min(a, b) => UberExpr::Min(r(a), r(b)),
+            UberExpr::Max(a, b) => UberExpr::Max(r(a), r(b)),
+            UberExpr::Average { a, b, round } => {
+                UberExpr::Average { a: r(a), b: r(b), round: *round }
+            }
+            UberExpr::Narrow { arg, shift, round, saturating, out } => UberExpr::Narrow {
+                arg: r(arg),
+                shift: *shift,
+                round: *round,
+                saturating: *saturating,
+                out: *out,
+            },
+            UberExpr::Widen { arg, out } => UberExpr::Widen { arg: r(arg), out: *out },
+            UberExpr::Shl { arg, amount } => UberExpr::Shl { arg: r(arg), amount: *amount },
+        }
+    }
+}
+
+fn visit_uber(u: &UberExpr, f: &mut impl FnMut(&UberExpr)) {
+    f(u);
+    for c in u.children() {
+        visit_uber(c, f);
+    }
+}
+
 /// Rearrange natural-order lanes into deinterleaved pair order (even lanes
 /// first, then odd) — the layout a widening HVX instruction leaves a pair
 /// in, flattened to natural register order `lo ++ hi`.
@@ -130,18 +500,63 @@ impl Verifier {
             smt_lanes: 2,
             smt_conflict_budget: 50_000,
             smt_lowering: false,
+            ..Verifier::default()
         }
     }
 
-    fn envs_for(&self, spec: &BufferSpec, lanes: usize) -> Vec<Env> {
+    /// Current reading of the monotone query counters (SMT queries, SMT
+    /// time, cache hits). Counted with memoization on or off.
+    pub fn memo_snapshot(&self) -> MemoSnapshot {
+        self.memo.snapshot()
+    }
+
+    fn oracle_config(&self) -> OracleConfig {
+        OracleConfig {
+            lanes: self.lanes,
+            vec_bytes: self.vec_bytes,
+            alt_lanes: self.alt_lanes,
+            random_envs: self.random_envs,
+            use_smt: self.use_smt,
+            smt_lanes: self.smt_lanes,
+            smt_conflict_budget: self.smt_conflict_budget,
+            smt_lowering: self.smt_lowering,
+        }
+    }
+
+    fn envs_for(&self, spec: &BufferSpec, lanes: usize) -> Arc<Vec<Env>> {
         let width = lanes + 2 * MARGIN_X as usize;
         let height = 2 * MARGIN_Y as usize + 1;
-        test_envs(spec, width, height, self.random_envs)
+        if !self.memoize {
+            return Arc::new(test_envs(spec, width, height, self.random_envs));
+        }
+        let key = (spec.clone(), lanes, self.random_envs);
+        if let Some(envs) = lock(&self.memo.0.envs).get(&key) {
+            self.memo.0.env_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(envs);
+        }
+        let envs = Arc::new(test_envs(spec, width, height, self.random_envs));
+        lock(&self.memo.0.envs).entry(key).or_insert_with(|| Arc::clone(&envs));
+        envs
     }
 
     /// Differential + SMT equivalence of a Halide expression and an
     /// uber-expression (the lifting oracle).
     pub fn equiv_halide_uber(&self, h: &Expr, u: &UberExpr) -> bool {
+        if !self.memoize {
+            return self.equiv_halide_uber_uncached(h, u);
+        }
+        let canon = Canon::alpha(h, u);
+        let key =
+            VerdictKey::HalideUber { cfg: self.oracle_config(), h: canon.halide(h), u: canon.uber(u) };
+        if let Some(v) = self.memo.lookup(&key) {
+            return v;
+        }
+        let v = self.equiv_halide_uber_uncached(h, u);
+        self.memo.insert(key, v);
+        v
+    }
+
+    fn equiv_halide_uber_uncached(&self, h: &Expr, u: &UberExpr) -> bool {
         if h.ty() != u.ty() {
             return false;
         }
@@ -151,7 +566,7 @@ impl Verifier {
         for &lanes in &[self.lanes, self.alt_lanes] {
             let envs = self.envs_for(&spec, lanes);
             // Lane-0-first pruning pass.
-            for env in &envs {
+            for env in envs.iter() {
                 let ctx = EvalCtx { env, x0: MARGIN_X, y0: MARGIN_Y, lanes: 1 };
                 let (Ok(a), Ok(b)) = (halide_ir::eval(h, &ctx), eval_uber(u, &ctx)) else {
                     return false;
@@ -160,7 +575,7 @@ impl Verifier {
                     return false;
                 }
             }
-            for env in &envs {
+            for env in envs.iter() {
                 let ctx = EvalCtx { env, x0: MARGIN_X, y0: MARGIN_Y, lanes };
                 let (Ok(a), Ok(b)) = (halide_ir::eval(h, &ctx), eval_uber(u, &ctx)) else {
                     return false;
@@ -182,29 +597,73 @@ impl Verifier {
         if let Some(eq) = crate::linear::decide_linear(h, u) {
             return eq;
         }
-        let mut ctx = Context::new();
-        let mut any_ne = ctx.ff();
-        for lane in 0..self.smt_lanes {
-            let th = encode_halide_lane(&mut ctx, h, lane);
-            let tu = encode_uber_lane(&mut ctx, u, lane);
-            let ne = ctx.ne(th, tu);
-            any_ne = ctx.or(any_ne, ne);
+        // The proof cache keys on the translation-canonicalized pair: the
+        // encoder names variables by per-buffer relative offsets, so two
+        // queries that differ only in a uniform per-buffer shift produce
+        // the same term DAG and hence the same proof outcome (including
+        // budget exhaustion). The stencil workloads hit this constantly —
+        // every row of a separable filter is a dy-translation of the rest.
+        let key = self.memoize.then(|| {
+            let canon = Canon::proof(h, u);
+            ProofKey {
+                smt_lanes: self.smt_lanes,
+                budget: self.smt_conflict_budget,
+                h: canon.halide(h),
+                u: canon.uber(u),
+            }
+        });
+        if let Some(hit) = key.as_ref().and_then(|k| self.memo.lookup_proof(k)) {
+            return hit.unwrap_or(true);
         }
-        let mut solver = BvSolver::new(&ctx);
-        solver.assert_term(any_ne);
-        match solver.check_limited(self.smt_conflict_budget) {
-            Some(r) => r == SmtResult::Unsat,
-            // Proof effort exhausted: fall back on the differential
-            // evidence that already screened this candidate (documented in
-            // DESIGN.md's verification-strategy table).
-            None => true,
+        let t0 = Instant::now();
+        let build = |ctx: &mut Context| {
+            let mut any_ne = ctx.ff();
+            for lane in 0..self.smt_lanes {
+                let th = encode_halide_lane(ctx, h, lane);
+                let tu = encode_uber_lane(ctx, u, lane);
+                let ne = ctx.ne(th, tu);
+                any_ne = ctx.or(any_ne, ne);
+            }
+            any_ne
+        };
+        let result = if self.memoize {
+            self.memo.solver().prove_unsat(build, self.smt_conflict_budget)
+        } else {
+            // Unmemoized: a throwaway context per query, as before.
+            SharedSolver::new().prove_unsat(build, self.smt_conflict_budget)
+        };
+        self.memo.record_smt(t0.elapsed());
+        if let Some(key) = key {
+            self.memo.insert_proof(key, result);
         }
+        // Proof effort exhausted: fall back on the differential evidence
+        // that already screened this candidate (documented in DESIGN.md's
+        // verification-strategy table).
+        result.unwrap_or(true)
     }
 
     /// Differential equivalence of an uber-expression and a lowered HVX
     /// expression (the sketch/swizzle oracle). `deinterleaved` states the
     /// layout the HVX value is expected in.
     pub fn equiv_uber_hvx(&self, u: &UberExpr, h: &HvxExpr, deinterleaved: bool) -> bool {
+        if !self.memoize {
+            return self.equiv_uber_hvx_uncached(h, u, deinterleaved);
+        }
+        let key = VerdictKey::UberHvx {
+            cfg: self.oracle_config(),
+            deinterleaved,
+            u: u.clone(),
+            h: h.clone(),
+        };
+        if let Some(v) = self.memo.lookup(&key) {
+            return v;
+        }
+        let v = self.equiv_uber_hvx_uncached(h, u, deinterleaved);
+        self.memo.insert(key, v);
+        v
+    }
+
+    fn equiv_uber_hvx_uncached(&self, h: &HvxExpr, u: &UberExpr, deinterleaved: bool) -> bool {
         let out_ty = u.ty();
         let mut spec = BufferSpec::new();
         add_uber_loads(u, &mut spec);
@@ -214,7 +673,7 @@ impl Verifier {
         {
             let lanes = self.lanes;
             let envs = self.envs_for(&spec, lanes);
-            for env in &envs {
+            for env in envs.iter() {
                 let ctx = EvalCtx { env, x0: MARGIN_X, y0: MARGIN_Y, lanes };
                 let Ok(expected) = eval_uber(u, &ctx) else { return false };
                 let expected =
@@ -236,14 +695,25 @@ impl Verifier {
             }
         }
         if self.smt_lowering {
-            if let Some(proved) = crate::symexec::smt_equiv_uber_hvx(
+            let t0 = Instant::now();
+            let fresh;
+            let solver = if self.memoize {
+                self.memo.solver()
+            } else {
+                fresh = SharedSolver::new();
+                &fresh
+            };
+            let proved = crate::symexec::smt_equiv_uber_hvx(
                 u,
                 h,
                 self.lanes,
                 self.vec_bytes,
                 deinterleaved,
                 self.smt_conflict_budget,
-            ) {
+                solver,
+            );
+            self.memo.record_smt(t0.elapsed());
+            if let Some(proved) = proved {
                 return proved;
             }
             // Unsupported op or budget exhausted: the differential
@@ -255,6 +725,20 @@ impl Verifier {
     /// End-to-end differential check: Halide expression against the final
     /// lowered HVX expression in natural order.
     pub fn equiv_halide_hvx(&self, e: &Expr, h: &HvxExpr) -> bool {
+        if !self.memoize {
+            return self.equiv_halide_hvx_uncached(e, h);
+        }
+        let key =
+            VerdictKey::HalideHvx { cfg: self.oracle_config(), e: e.clone(), h: h.clone() };
+        if let Some(v) = self.memo.lookup(&key) {
+            return v;
+        }
+        let v = self.equiv_halide_hvx_uncached(e, h);
+        self.memo.insert(key, v);
+        v
+    }
+
+    fn equiv_halide_hvx_uncached(&self, e: &Expr, h: &HvxExpr) -> bool {
         let out_ty = e.ty();
         let mut spec = BufferSpec::new();
         add_halide_loads(e, &mut spec);
@@ -262,7 +746,7 @@ impl Verifier {
         {
             let lanes = self.lanes;
             let envs = self.envs_for(&spec, lanes);
-            for env in &envs {
+            for env in envs.iter() {
                 let ctx = EvalCtx { env, x0: MARGIN_X, y0: MARGIN_Y, lanes };
                 let Ok(expected) = halide_ir::eval(e, &ctx) else { return false };
                 let hctx = hvx::ExecCtx {
@@ -364,5 +848,160 @@ mod tests {
         assert!(v().proves_non_negative(&u));
         assert!(v().proves_fits(&u, ElemType::U16));
         assert!(!v().proves_fits(&u, ElemType::U8));
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_verdict_cache() {
+        let ver = v();
+        let h = hb::add(
+            hb::mul(hb::widen(hb::load("in", ElemType::U8, 0, 0)), hb::bcast(2, ElemType::U16)),
+            hb::widen(hb::load("in", ElemType::U8, 1, 0)),
+        );
+        let u = UberExpr::conv("in", ElemType::U8, 0, 0, &[2, 1], ElemType::U16);
+        assert!(ver.equiv_halide_uber(&h, &u));
+        let before = ver.memo_snapshot();
+        assert!(ver.equiv_halide_uber(&h, &u));
+        let delta = ver.memo_snapshot().delta_since(&before);
+        assert_eq!(delta.verdict_hits, 1);
+        assert_eq!(delta.smt_queries, 0, "cached verdicts issue no proofs");
+    }
+
+    #[test]
+    fn buffer_renaming_shares_one_cache_entry() {
+        let ver = v();
+        let query = |buf: &str| {
+            let h = hb::add(
+                hb::widen(hb::load(buf, ElemType::U8, 0, 0)),
+                hb::widen(hb::load(buf, ElemType::U8, 1, 0)),
+            );
+            let u = UberExpr::conv(buf, ElemType::U8, 0, 0, &[1, 1], ElemType::U16);
+            (h, u)
+        };
+        let (h1, u1) = query("alpha");
+        let (h2, u2) = query("beta");
+        assert!(ver.equiv_halide_uber(&h1, &u1));
+        let before = ver.memo_snapshot();
+        assert!(ver.equiv_halide_uber(&h2, &u2));
+        let delta = ver.memo_snapshot().delta_since(&before);
+        assert_eq!(delta.verdict_hits, 1, "alpha-renamed pair must hit");
+    }
+
+    #[test]
+    fn translated_queries_share_one_proof() {
+        // Two queries whose loads differ only by a uniform per-buffer
+        // offset shift: distinct verdict-cache entries (the differential
+        // data differs), but one shared SMT proof. absd is outside the
+        // linear fast path, so each verdict would otherwise prove afresh.
+        let ver = v();
+        let query = |(ax, ay): (i32, i32), (bx, by): (i32, i32)| {
+            let h = hb::absd(
+                hb::load("a", ElemType::U8, ax, ay),
+                hb::load("b", ElemType::U8, bx, by),
+            );
+            let u = UberExpr::AbsDiff(
+                Box::new(UberExpr::Data(Load {
+                    buffer: "a".into(),
+                    dx: ax,
+                    dy: ay,
+                    ty: ElemType::U8,
+                })),
+                Box::new(UberExpr::Data(Load {
+                    buffer: "b".into(),
+                    dx: bx,
+                    dy: by,
+                    ty: ElemType::U8,
+                })),
+            );
+            (h, u)
+        };
+        let (h1, u1) = query((2, 0), (5, 0));
+        assert!(ver.equiv_halide_uber(&h1, &u1));
+        let before = ver.memo_snapshot();
+        // Buffers shift independently: a by (+2, +3), b by (-4, +7).
+        let (h2, u2) = query((4, 3), (1, 7));
+        assert!(ver.equiv_halide_uber(&h2, &u2));
+        let delta = ver.memo_snapshot().delta_since(&before);
+        assert_eq!(delta.smt_queries, 0, "translated query must reuse the proof");
+        assert_eq!(delta.verdict_hits, 1, "the proof-cache hit is counted");
+    }
+
+    #[test]
+    fn clones_share_the_memo_but_not_stale_configs() {
+        let ver = v();
+        let h = hb::absd(hb::load("a", ElemType::U8, 0, 0), hb::load("b", ElemType::U8, 0, 0));
+        let u = UberExpr::AbsDiff(
+            Box::new(UberExpr::Data(Load {
+                buffer: "a".into(),
+                dx: 0,
+                dy: 0,
+                ty: ElemType::U8,
+            })),
+            Box::new(UberExpr::Data(Load {
+                buffer: "b".into(),
+                dx: 0,
+                dy: 0,
+                ty: ElemType::U8,
+            })),
+        );
+        assert!(ver.equiv_halide_uber(&h, &u));
+        // A re-pinned clone (the lowering pattern) shares the memo...
+        let clone = Verifier { lanes: ver.lanes, vec_bytes: ver.vec_bytes, ..ver.clone() };
+        let before = clone.memo_snapshot();
+        assert!(clone.equiv_halide_uber(&h, &u));
+        assert_eq!(clone.memo_snapshot().delta_since(&before).verdict_hits, 1);
+        // ...a different differential geometry re-runs the differential
+        // under its own verdict key, sharing only the SMT proof (which
+        // depends on smt_lanes and budget, not on the test geometry)...
+        let wider = Verifier { lanes: 16, vec_bytes: 16, ..ver.clone() };
+        let before = wider.memo_snapshot();
+        assert!(wider.equiv_halide_uber(&h, &u));
+        let delta = wider.memo_snapshot().delta_since(&before);
+        assert_eq!(delta.smt_queries, 0, "proof is geometry-independent");
+        assert_eq!(delta.verdict_hits, 1, "the hit is the proof, not the verdict");
+        // ...and a different proof configuration misses both cache layers.
+        let deeper = Verifier { smt_lanes: ver.smt_lanes + 1, ..ver.clone() };
+        let before = deeper.memo_snapshot();
+        assert!(deeper.equiv_halide_uber(&h, &u));
+        let delta = deeper.memo_snapshot().delta_since(&before);
+        assert_eq!(delta.verdict_hits, 0, "no stale hits across configs");
+        assert_eq!(delta.smt_queries, 1);
+    }
+
+    #[test]
+    fn memoized_and_unmemoized_verdicts_agree() {
+        let memo = v();
+        let plain = Verifier { memoize: false, ..v() };
+        let h_ok = hb::add(
+            hb::widen(hb::load("in", ElemType::U8, 0, 0)),
+            hb::widen(hb::load("in", ElemType::U8, 1, 0)),
+        );
+        let u_ok = UberExpr::conv("in", ElemType::U8, 0, 0, &[1, 1], ElemType::U16);
+        let u_bad = UberExpr::conv("in", ElemType::U8, 0, 0, &[1, 2], ElemType::U16);
+        for _ in 0..2 {
+            assert_eq!(
+                memo.equiv_halide_uber(&h_ok, &u_ok),
+                plain.equiv_halide_uber(&h_ok, &u_ok)
+            );
+            assert_eq!(
+                memo.equiv_halide_uber(&h_ok, &u_bad),
+                plain.equiv_halide_uber(&h_ok, &u_bad)
+            );
+        }
+        assert!(plain.memo_snapshot().smt_queries >= memo.memo_snapshot().smt_queries);
+    }
+
+    #[test]
+    fn env_cache_serves_repeat_signatures() {
+        let ver = v();
+        let mut spec = BufferSpec::new();
+        spec.insert("in".to_owned(), ElemType::U8);
+        let a = ver.envs_for(&spec, 8);
+        let before = ver.memo_snapshot();
+        let b = ver.envs_for(&spec, 8);
+        assert_eq!(ver.memo_snapshot().delta_since(&before).env_hits, 1);
+        assert!(Arc::ptr_eq(&a, &b));
+        // A different width is a different family.
+        let c = ver.envs_for(&spec, 4);
+        assert!(!Arc::ptr_eq(&a, &c));
     }
 }

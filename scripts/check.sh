@@ -26,6 +26,17 @@ echo "== oracle smoke (seeded differential fuzz, 60s budget)"
 cargo run -q --release --offline --locked -p rake-bench --bin oracle_fuzz -- \
   --seed 0xRAKE --cases 60 --budget 60
 
+echo "== perf smoke (3 workloads, snapshot structure only)"
+# Runs the synthesis performance harness on the first three workloads and
+# validates the emitted snapshot's structure (schema tag, totals keys,
+# verified flags). No timing thresholds — machine speed must not fail CI.
+perf_snapshot="$(mktemp /tmp/rake-perf-XXXXXX.json)"
+cargo run -q --release --offline --locked -p rake-bench --bin perf -- \
+  --workloads 3 --out "$perf_snapshot"
+cargo run -q --release --offline --locked -p rake-bench --bin perf -- \
+  --check "$perf_snapshot"
+rm -f "$perf_snapshot"
+
 echo "== chaos smoke (seeded fault injection, one schedule, ~60s budget)"
 # The full 21-workload suite under one deterministic fault schedule:
 # injected panics, forced deadline exhaustion, latency, and cache

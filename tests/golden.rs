@@ -1,0 +1,81 @@
+//! Golden snapshots of the programs Rake synthesizes for all 21 paper
+//! workloads at the quick geometry (fixed harness seed).
+//!
+//! The snapshot for each workload lives in `tests/golden/<name>.txt`.
+//! Regenerate after an intended codegen change with:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --release -p rake-bench --test golden
+//! ```
+//!
+//! The suite runs twice — once with memoization and parallel lifting on
+//! (the default) and once with both off — and requires byte-identical
+//! output under both configurations: the hot-path machinery must be a
+//! pure speedup, never a behavioral change.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use rake_bench::{run_workload, RunConfig};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+fn snapshot(w: &workloads::Workload) -> String {
+    let run = run_workload(w, RunConfig::quick(w));
+    assert!(run.all_verified(), "{}: output mismatch against the interpreter", w.name);
+    let mut out = String::new();
+    let _ = writeln!(out, "# {} (quick geometry)", w.name);
+    for (i, e) in run.exprs.iter().enumerate() {
+        let _ = writeln!(out, "\n[{i}] {}", e.halide);
+        match &e.rake_program {
+            Some(p) => {
+                let _ = writeln!(out, "{p}");
+            }
+            None => {
+                let _ = writeln!(out, "(baseline: not optimized)");
+            }
+        }
+    }
+    out
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "synthesizes all 21 workloads twice; run with: cargo test --release"
+)]
+fn golden_snapshots_hold_under_both_hot_path_configs() {
+    let dir = golden_dir();
+    let update = std::env::var("UPDATE_GOLDEN").is_ok();
+    if update {
+        std::fs::create_dir_all(&dir).expect("create golden dir");
+    }
+    // The toggles are read per `Rake` construction, and this binary holds
+    // only this test, so setting them here is race-free.
+    for (memo, parallel) in [(true, true), (false, false)] {
+        std::env::set_var("RAKE_MEMO", if memo { "1" } else { "0" });
+        std::env::set_var("RAKE_PARALLEL_LIFT", if parallel { "1" } else { "0" });
+        for w in workloads::all() {
+            let got = snapshot(&w);
+            let path = dir.join(format!("{}.txt", w.name));
+            if update && memo {
+                std::fs::write(&path, &got).expect("write golden");
+                continue;
+            }
+            let want = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+                panic!("missing {}; regenerate with UPDATE_GOLDEN=1", path.display())
+            });
+            assert_eq!(
+                got, want,
+                "{} diverged from its golden snapshot under memo={memo} \
+                 parallel={parallel}; if the change is intended, regenerate \
+                 with UPDATE_GOLDEN=1",
+                w.name
+            );
+        }
+    }
+    std::env::remove_var("RAKE_MEMO");
+    std::env::remove_var("RAKE_PARALLEL_LIFT");
+}
