@@ -1,0 +1,481 @@
+//! `loadgen` — closed-loop load generator for `rake-served`.
+//!
+//! Drives N persistent connections against a running server with a
+//! deterministic, seeded mix of the 21 seed workloads, then reports
+//! latency percentiles, outcome tallies, and a `/metrics` cross-check
+//! (the server's counters must agree with what the client measured),
+//! and writes the whole report to `BENCH_5.json`.
+//!
+//! ```sh
+//! rake-served --addr 127.0.0.1:8347 --cache /tmp/rake-cache &
+//! loadgen --addr 127.0.0.1:8347 --connections 8 --requests 200 --check
+//! ```
+//!
+//! Options:
+//!   --addr HOST:PORT   server to drive (required unless --spawn)
+//!   --spawn            start an in-process server instead (self-contained)
+//!   --connections N    concurrent closed-loop connections (default 8)
+//!   --requests M       measured requests total (default 200)
+//!   --seed S           workload-mix seed (default 42)
+//!   --no-warm          skip the warm-up pass (measure cold latencies)
+//!   --out FILE         report path (default BENCH_5.json)
+//!   --check            exit non-zero unless: zero errors, warm p50 under
+//!                      50 ms, and /metrics agrees with client tallies
+//!
+//! Exit codes: 0 ok, 1 usage/connection error, 2 --check failed.
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use driver::json::{self, Json};
+use served::http::roundtrip;
+
+const WARM_P50_BUDGET_MS: f64 = 50.0;
+
+/// One workload-derived request template.
+struct Template {
+    name: &'static str,
+    body: Vec<u8>,
+    exprs: usize,
+}
+
+/// One measured exchange.
+struct Sample {
+    latency: Duration,
+    status: u16,
+    outcome: String,
+    template: usize,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr: Option<String> = None;
+    let mut spawn = false;
+    let mut connections = 8usize;
+    let mut requests = 200usize;
+    let mut seed = 42u64;
+    let mut warm = true;
+    let mut out_path = std::path::PathBuf::from("BENCH_5.json");
+    let mut check = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => addr = Some(v.clone()),
+                None => return usage("--addr needs HOST:PORT"),
+            },
+            "--spawn" => spawn = true,
+            "--connections" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => connections = v,
+                None => return usage("--connections needs an integer"),
+            },
+            "--requests" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => requests = v,
+                None => return usage("--requests needs an integer"),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage("--seed needs an integer"),
+            },
+            "--no-warm" => warm = false,
+            "--out" => match it.next() {
+                Some(v) => out_path = v.into(),
+                None => return usage("--out needs a path"),
+            },
+            "--check" => check = true,
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown option `{other}`")),
+        }
+    }
+    if connections == 0 || requests == 0 {
+        return usage("--connections and --requests must be positive");
+    }
+
+    // --spawn: a self-contained run against an in-process server.
+    let spawned = if spawn {
+        let handle = match served::serve(served::ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            ..served::ServerConfig::default()
+        }) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("loadgen: cannot spawn server: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        addr = Some(handle.addr().to_string());
+        Some(handle)
+    } else {
+        None
+    };
+    let Some(addr) = addr else {
+        return usage("--addr is required (or pass --spawn)");
+    };
+
+    let templates: Vec<Template> = workloads::all()
+        .into_iter()
+        .map(|w| {
+            let exprs: Vec<Json> = w
+                .exprs
+                .iter()
+                .map(|e| Json::Str(halide_ir::sexpr::to_sexpr(e)))
+                .collect();
+            let n = exprs.len();
+            let body = Json::obj([
+                ("exprs", Json::Arr(exprs)),
+                ("lanes", w.lanes.into()),
+            ])
+            .to_string()
+            .into_bytes();
+            Template { name: w.name, body, exprs: n }
+        })
+        .collect();
+    eprintln!(
+        "loadgen: {} workload templates against {addr} ({connections} connections, \
+         {requests} requests, seed {seed})",
+        templates.len()
+    );
+
+    let before = match scrape_metrics(&addr) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("loadgen: cannot scrape /metrics: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Warm-up: every template once, serially, so the measured phase hits
+    // a warm cache (the steady-state serving regime).
+    let mut warm_errors = 0usize;
+    if warm {
+        let t0 = Instant::now();
+        match TcpStream::connect(&addr) {
+            Ok(mut stream) => {
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(900)));
+                for t in &templates {
+                    let start = Instant::now();
+                    match roundtrip(&mut stream, "POST", "/compile", Some(&t.body)) {
+                        Ok((200, reply)) => eprintln!(
+                            "loadgen: warm-up `{}` {} in {:.0} ms",
+                            t.name,
+                            first_outcome(&reply),
+                            start.elapsed().as_secs_f64() * 1e3,
+                        ),
+                        Ok((status, _)) => {
+                            eprintln!("loadgen: warm-up `{}` answered {status}", t.name);
+                            warm_errors += 1;
+                        }
+                        Err(e) => {
+                            eprintln!("loadgen: warm-up `{}` failed: {e}", t.name);
+                            warm_errors += 1;
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("loadgen: cannot connect for warm-up: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        eprintln!("loadgen: warm-up done in {:.1}s", t0.elapsed().as_secs_f64());
+    }
+
+    // Measured closed loop: a shared ticket counter hands out request
+    // numbers; request i deterministically maps to a template via an LCG
+    // stream, so the mix is reproducible regardless of thread timing.
+    let tickets = Arc::new(AtomicUsize::new(0));
+    let samples: Arc<Mutex<Vec<Sample>>> = Arc::new(Mutex::new(Vec::with_capacity(requests)));
+    let hard_errors = Arc::new(AtomicUsize::new(0));
+    let t0 = Instant::now();
+    let threads: Vec<_> = (0..connections)
+        .map(|_| {
+            let addr = addr.clone();
+            let tickets = Arc::clone(&tickets);
+            let samples = Arc::clone(&samples);
+            let hard_errors = Arc::clone(&hard_errors);
+            let bodies: Vec<Vec<u8>> = templates.iter().map(|t| t.body.clone()).collect();
+            std::thread::spawn(move || {
+                let Ok(mut stream) = TcpStream::connect(&addr) else {
+                    hard_errors.fetch_add(1, Ordering::SeqCst);
+                    return;
+                };
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(900)));
+                loop {
+                    let i = tickets.fetch_add(1, Ordering::SeqCst);
+                    if i >= requests {
+                        return;
+                    }
+                    let template = pick(seed, i as u64, bodies.len());
+                    let start = Instant::now();
+                    match roundtrip(&mut stream, "POST", "/compile", Some(&bodies[template])) {
+                        Ok((status, reply)) => {
+                            let outcome = first_outcome(&reply);
+                            samples.lock().unwrap().push(Sample {
+                                latency: start.elapsed(),
+                                status,
+                                outcome,
+                                template,
+                            });
+                        }
+                        Err(e) => {
+                            eprintln!("loadgen: request {i} failed: {e}");
+                            hard_errors.fetch_add(1, Ordering::SeqCst);
+                            // The connection state is unknown; reconnect.
+                            match TcpStream::connect(&addr) {
+                                Ok(s) => {
+                                    stream = s;
+                                    let _ = stream
+                                        .set_read_timeout(Some(Duration::from_secs(900)));
+                                }
+                                Err(_) => return,
+                            }
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        let _ = t.join();
+    }
+    let wall = t0.elapsed();
+
+    let after = match scrape_metrics(&addr) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("loadgen: cannot scrape /metrics after the run: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut samples = match Arc::try_unwrap(samples) {
+        Ok(m) => m.into_inner().unwrap(),
+        Err(_) => {
+            eprintln!("loadgen: internal: samples still shared");
+            return ExitCode::FAILURE;
+        }
+    };
+    let hard_errors = hard_errors.load(Ordering::SeqCst);
+
+    // Tallies.
+    let mut by_status: BTreeMap<u16, usize> = BTreeMap::new();
+    let mut by_outcome: BTreeMap<String, usize> = BTreeMap::new();
+    let mut exprs_sent = 0usize;
+    for s in &samples {
+        *by_status.entry(s.status).or_insert(0) += 1;
+        *by_outcome.entry(s.outcome.clone()).or_insert(0) += 1;
+        if s.status == 200 {
+            exprs_sent += templates[s.template].exprs;
+        }
+    }
+    let errors = hard_errors + samples.iter().filter(|s| s.status != 200).count();
+
+    samples.sort_by_key(|s| s.latency);
+    let lat_ms = |p: f64| -> f64 {
+        if samples.is_empty() {
+            return f64::NAN;
+        }
+        let idx = ((p / 100.0) * (samples.len() - 1) as f64).round() as usize;
+        samples[idx].latency.as_secs_f64() * 1e3
+    };
+    let p50 = lat_ms(50.0);
+    let p95 = lat_ms(95.0);
+    let p99 = lat_ms(99.0);
+    let max = samples.last().map(|s| s.latency.as_secs_f64() * 1e3).unwrap_or(f64::NAN);
+    let mean = if samples.is_empty() {
+        f64::NAN
+    } else {
+        samples.iter().map(|s| s.latency.as_secs_f64()).sum::<f64>() / samples.len() as f64 * 1e3
+    };
+
+    // /metrics cross-check: the server's counters must have advanced by
+    // exactly what this client did (loadgen is the only traffic source in
+    // the bench setup; --check asserts this).
+    let measured_plus_warm =
+        samples.len() as f64 + if warm { templates.len() as f64 } else { 0.0 };
+    let requests_delta = after.compile_requests - before.compile_requests;
+    let jobs_delta = after.jobs_total - before.jobs_total;
+    let metrics_ok = requests_delta == measured_plus_warm && jobs_delta >= exprs_sent as f64;
+
+    let ok_errors = errors == 0 && warm_errors == 0;
+    let ok_p50 = !warm || p50 < WARM_P50_BUDGET_MS;
+    let passed = ok_errors && ok_p50 && metrics_ok;
+
+    eprintln!(
+        "loadgen: {} requests in {:.1}s ({:.1} req/s), {} errors",
+        samples.len(),
+        wall.as_secs_f64(),
+        samples.len() as f64 / wall.as_secs_f64().max(1e-9),
+        errors,
+    );
+    eprintln!(
+        "loadgen: latency ms: p50 {p50:.2}  p95 {p95:.2}  p99 {p99:.2}  mean {mean:.2}  \
+         max {max:.2}"
+    );
+    eprintln!(
+        "loadgen: metrics cross-check: compile requests +{requests_delta} \
+         (client sent {measured_plus_warm}), jobs +{jobs_delta} \
+         (client submitted >= {exprs_sent} exprs) => {}",
+        if metrics_ok { "consistent" } else { "MISMATCH" }
+    );
+
+    let report = Json::obj([
+        ("schema", "rake-served-loadgen-v1".into()),
+        (
+            "config",
+            Json::obj([
+                ("connections", connections.into()),
+                ("requests", requests.into()),
+                ("seed", seed.into()),
+                ("warm", warm.into()),
+                ("templates", templates.len().into()),
+            ]),
+        ),
+        (
+            "latency_ms",
+            Json::obj([
+                ("p50", p50.into()),
+                ("p95", p95.into()),
+                ("p99", p99.into()),
+                ("mean", mean.into()),
+                ("max", max.into()),
+            ]),
+        ),
+        (
+            "requests",
+            Json::obj([
+                ("measured", samples.len().into()),
+                ("errors", errors.into()),
+                ("warm_errors", warm_errors.into()),
+                ("wall_s", wall.as_secs_f64().into()),
+                (
+                    "by_status",
+                    Json::Obj(
+                        by_status
+                            .iter()
+                            .map(|(code, n)| (code.to_string(), (*n).into()))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "by_outcome",
+                    Json::Obj(
+                        by_outcome
+                            .iter()
+                            .map(|(o, n)| (o.clone(), (*n).into()))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        (
+            "metrics_delta",
+            Json::obj([
+                ("compile_requests", requests_delta.into()),
+                ("jobs_total", jobs_delta.into()),
+                ("consistent", metrics_ok.into()),
+            ]),
+        ),
+        ("passed", passed.into()),
+    ]);
+    if let Err(e) = std::fs::File::create(&out_path)
+        .and_then(|mut f| f.write_all(report.to_string().as_bytes()))
+    {
+        eprintln!("loadgen: cannot write {}: {e}", out_path.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("loadgen: report written to {}", out_path.display());
+
+    if let Some(handle) = spawned {
+        handle.shutdown();
+    }
+    if check && !passed {
+        eprintln!(
+            "loadgen: CHECK FAILED (errors ok: {ok_errors}, warm p50 < \
+             {WARM_P50_BUDGET_MS} ms: {ok_p50}, metrics consistent: {metrics_ok})"
+        );
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("loadgen: {err}");
+    }
+    eprintln!(
+        "usage: loadgen (--addr HOST:PORT | --spawn) [--connections N] [--requests M] \
+         [--seed S] [--no-warm] [--out FILE] [--check]"
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Deterministic template pick for request `i`: one LCG step over
+/// `seed ^ i`, so the mix is stable under any thread interleaving.
+fn pick(seed: u64, i: u64, n: usize) -> usize {
+    let mut state = seed ^ (i.wrapping_mul(0x9e3779b97f4a7c15));
+    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    ((state >> 33) as usize) % n.max(1)
+}
+
+/// Outcome of the first result in a `/compile` reply (the tallied one).
+fn first_outcome(reply: &[u8]) -> String {
+    let text = String::from_utf8_lossy(reply);
+    let Ok(doc) = json::parse(&text) else { return "unparseable".to_owned() };
+    doc.get("results")
+        .and_then(Json::as_arr)
+        .and_then(|r| r.first())
+        .and_then(|r| r.get("outcome"))
+        .and_then(Json::as_str)
+        .unwrap_or("missing")
+        .to_owned()
+}
+
+/// The server-side counters the cross-check needs.
+struct MetricsSnapshot {
+    compile_requests: f64,
+    jobs_total: f64,
+}
+
+fn scrape_metrics(addr: &str) -> std::io::Result<MetricsSnapshot> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let (status, body) = roundtrip(&mut stream, "GET", "/metrics", None)?;
+    if status != 200 {
+        return Err(std::io::Error::other(format!("/metrics answered {status}")));
+    }
+    let text = String::from_utf8_lossy(&body).into_owned();
+    Ok(MetricsSnapshot {
+        compile_requests: metric_value(
+            &text,
+            "rake_served_requests_total{endpoint=\"compile\"}",
+        ),
+        jobs_total: metric_sum(&text, "rake_served_jobs_total{"),
+    })
+}
+
+/// Value of an exactly-named sample in Prometheus text format.
+fn metric_value(text: &str, name: &str) -> f64 {
+    text.lines()
+        .find_map(|line| line.strip_prefix(name))
+        .and_then(|rest| rest.trim().parse().ok())
+        .unwrap_or(0.0)
+}
+
+/// Sum across every sample of a labeled family.
+fn metric_sum(text: &str, prefix: &str) -> f64 {
+    text.lines()
+        .filter(|line| line.starts_with(prefix))
+        .filter_map(|line| line.rsplit(' ').next())
+        .filter_map(|v| v.parse::<f64>().ok())
+        .sum()
+}

@@ -210,6 +210,12 @@ fn main() -> ExitCode {
             print_fallback(result, lanes, vec_bytes);
             ExitCode::from(EXIT_PANICKED)
         }
+        // rakec never arms a cancellation flag; report it like a timeout
+        // if a future caller does.
+        JobOutcome::Cancelled => {
+            eprintln!("rakec: compilation cancelled");
+            ExitCode::from(EXIT_TIMED_OUT)
+        }
     }
 }
 

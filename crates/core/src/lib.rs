@@ -36,7 +36,7 @@ use std::fmt;
 
 use halide_ir::Expr;
 use hvx::{HvxExpr, Program};
-use synth::{lift_expr_budgeted, lower_expr, LiftTrace, LoweringOptions, SynthStats, Verifier};
+use synth::{lift_expr_cancellable, lower_expr, LiftTrace, LoweringOptions, SynthStats, Verifier};
 use uber_ir::UberExpr;
 
 /// The compilation target: vector geometry of the HVX-style machine.
@@ -193,10 +193,11 @@ impl Rake {
         }
         let mut stats = SynthStats::default();
         let memo_before = self.verifier.memo_snapshot();
-        let lifted = lift_expr_budgeted(
+        let lifted = lift_expr_cancellable(
             e,
             &self.verifier,
             self.options.deadline,
+            self.options.cancel,
             self.options.max_lift_depth,
             &mut stats,
         );

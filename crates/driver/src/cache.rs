@@ -17,6 +17,7 @@
 use std::collections::HashMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
 use rake::CompileError;
@@ -77,6 +78,10 @@ pub struct SynthCache {
     /// persist after every completed job) so two threads never race on
     /// the same temporary file.
     persist_lock: Mutex<()>,
+    /// Set by [`SynthCache::store`], cleared by [`SynthCache::persist`]:
+    /// a clean cache makes persist a no-op, so all-cache-hit batches
+    /// (the serving layer's warm path) never rewrite the file.
+    dirty: AtomicBool,
 }
 
 impl SynthCache {
@@ -87,6 +92,7 @@ impl SynthCache {
             path: None,
             stats: Mutex::default(),
             persist_lock: Mutex::new(()),
+            dirty: AtomicBool::new(false),
         }
     }
 
@@ -122,6 +128,7 @@ impl SynthCache {
             path: Some(path),
             stats: Mutex::new(stats),
             persist_lock: Mutex::new(()),
+            dirty: AtomicBool::new(false),
         }
     }
 
@@ -136,6 +143,12 @@ impl SynthCache {
         found
     }
 
+    /// Whether a key is present, without counting a hit or miss — for
+    /// admission decisions that precede the real (counted) lookup.
+    pub fn contains(&self, key: &str) -> bool {
+        self.mem.lock().unwrap().contains_key(key)
+    }
+
     /// Insert an entry. Deadline failures are rejected (they are not
     /// deterministic verdicts) — the call is a no-op for them.
     pub fn store(&self, key: &str, entry: CacheEntry) {
@@ -143,6 +156,7 @@ impl SynthCache {
             return;
         }
         self.mem.lock().unwrap().insert(key.to_owned(), entry);
+        self.dirty.store(true, Ordering::Release);
     }
 
     /// Number of entries currently held.
@@ -160,26 +174,64 @@ impl SynthCache {
         *self.stats.lock().unwrap()
     }
 
-    /// Write the persistent layer (if configured) atomically: serialize to
-    /// `<file>.tmp`, then rename over the target.
+    /// Write the persistent layer (if configured) atomically: take the
+    /// cross-process advisory lock, merge entries other processes persisted
+    /// since we last read the file, serialize to a per-process `<file>.tmp`,
+    /// then rename over the target. Concurrent producers therefore union
+    /// their entries instead of last-writer-wins dropping each other's work.
     ///
     /// # Errors
     ///
-    /// Propagates I/O failures (the caller decides whether they are fatal).
+    /// Propagates I/O failures, including a timeout waiting on another live
+    /// process's lock (the caller decides whether they are fatal).
     pub fn persist(&self) -> std::io::Result<()> {
         let Some(path) = &self.path else { return Ok(()) };
         let _serialized = self.persist_lock.lock().unwrap();
-        if let Some(dir) = path.parent() {
-            std::fs::create_dir_all(dir)?;
+        // Nothing stored since the last write: the file already holds
+        // everything we know (entries only ever accumulate), so skip the
+        // read-merge-rewrite cycle. A store racing this check re-marks
+        // the cache dirty and the next persist picks it up.
+        if !self.dirty.swap(false, Ordering::AcqRel) {
+            return Ok(());
         }
-        let doc = dump_entries(&self.mem.lock().unwrap());
-        let tmp = path.with_extension("json.tmp");
-        {
-            let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(doc.to_string().as_bytes())?;
-            f.sync_all()?;
+        let write = || -> std::io::Result<()> {
+            if let Some(dir) = path.parent() {
+                std::fs::create_dir_all(dir)?;
+            }
+            let _cross_process = crate::lockfile::LockFile::acquire(
+                &path.with_extension("json.lock"),
+                std::time::Duration::from_secs(10),
+            )?;
+            self.merge_from_disk(path);
+            let doc = dump_entries(&self.mem.lock().unwrap());
+            let tmp = path.with_extension(format!("json.tmp.{}", std::process::id()));
+            {
+                let mut f = std::fs::File::create(&tmp)?;
+                f.write_all(doc.to_string().as_bytes())?;
+                f.sync_all()?;
+            }
+            std::fs::rename(&tmp, path)
+        };
+        let result = write();
+        if result.is_err() {
+            // The entries are still only in memory; make sure a later
+            // persist retries instead of skipping as clean.
+            self.dirty.store(true, Ordering::Release);
         }
-        std::fs::rename(&tmp, path)
+        result
+    }
+
+    /// Fold entries currently on disk into memory, keeping our own entry on
+    /// key collisions (ours is at least as fresh). Unreadable or corrupted
+    /// files are ignored — persist then simply rewrites them.
+    fn merge_from_disk(&self, path: &Path) {
+        let Ok(text) = std::fs::read_to_string(path) else { return };
+        let mut ignored = CacheStats::default();
+        let Ok(disk) = load_entries(&text, &mut ignored) else { return };
+        let mut mem = self.mem.lock().unwrap();
+        for (key, entry) in disk {
+            mem.entry(key).or_insert(entry);
+        }
     }
 }
 

@@ -29,6 +29,9 @@ pub enum OutcomeKind {
     TimedOut,
     /// The selector panicked; the job was isolated and the batch continued.
     Panicked,
+    /// The batch's cancellation flag was raised before the job finished;
+    /// not a verdict — resume recompiles these.
+    Cancelled,
 }
 
 impl OutcomeKind {
@@ -39,6 +42,7 @@ impl OutcomeKind {
             OutcomeKind::Failed => "failed",
             OutcomeKind::TimedOut => "timed_out",
             OutcomeKind::Panicked => "panicked",
+            OutcomeKind::Cancelled => "cancelled",
         }
     }
 
@@ -49,6 +53,7 @@ impl OutcomeKind {
             "failed" => Some(OutcomeKind::Failed),
             "timed_out" => Some(OutcomeKind::TimedOut),
             "panicked" => Some(OutcomeKind::Panicked),
+            "cancelled" => Some(OutcomeKind::Cancelled),
             _ => None,
         }
     }
@@ -153,6 +158,8 @@ pub enum DriverEvent {
         timed_out: usize,
         /// Jobs whose worker panicked.
         panicked: usize,
+        /// Jobs cancelled before they finished.
+        cancelled: usize,
         /// Jobs served from the cache.
         cache_hits: usize,
         /// End-to-end batch wall-clock time.
@@ -254,6 +261,7 @@ impl DriverEvent {
                 failed,
                 timed_out,
                 panicked,
+                cancelled,
                 cache_hits,
                 wall,
             } => Json::obj([
@@ -262,6 +270,7 @@ impl DriverEvent {
                 ("failed", (*failed).into()),
                 ("timed_out", (*timed_out).into()),
                 ("panicked", (*panicked).into()),
+                ("cancelled", (*cancelled).into()),
                 ("cache_hits", (*cache_hits).into()),
                 ("wall_ms", ms(*wall)),
             ]),
@@ -305,15 +314,22 @@ pub fn summary_table(events: &[DriverEvent]) -> String {
         ));
     }
     for event in events {
-        let DriverEvent::BatchFinished { compiled, failed, timed_out, panicked, cache_hits, wall } =
-            event
+        let DriverEvent::BatchFinished {
+            compiled,
+            failed,
+            timed_out,
+            panicked,
+            cancelled,
+            cache_hits,
+            wall,
+        } = event
         else {
             continue;
         };
         out.push_str(&format!(
             "total: {compiled} compiled ({degraded} on degraded tiers), {failed} failed, \
-             {timed_out} timed out, {panicked} panicked; {cache_hits} cache hits, \
-             {total_queries} queries, {:.1} ms wall\n",
+             {timed_out} timed out, {panicked} panicked, {cancelled} cancelled; \
+             {cache_hits} cache hits, {total_queries} queries, {:.1} ms wall\n",
             wall.as_secs_f64() * 1e3
         ));
     }
@@ -354,6 +370,7 @@ mod tests {
                 failed: 1,
                 timed_out: 0,
                 panicked: 0,
+                cancelled: 0,
                 cache_hits: 1,
                 wall: Duration::from_millis(40),
             },
@@ -405,6 +422,7 @@ mod tests {
                 failed: 0,
                 timed_out: 0,
                 panicked: 0,
+                cancelled: 0,
                 cache_hits: 1,
                 wall: Duration::from_millis(12),
             },

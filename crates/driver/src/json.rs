@@ -5,6 +5,14 @@
 //! the small subset needed: objects, arrays, strings, integers, floats,
 //! booleans and null. Object key order is preserved (serialization is
 //! deterministic).
+//!
+//! The parser is also the front door for *untrusted network input* (the
+//! `rake-served` compilation server feeds request bodies through it), so
+//! it is hardened: document size and nesting depth are bounded
+//! ([`ParseLimits`]), raw control bytes in strings are rejected per RFC
+//! 8259, and non-finite number literals are errors. Malformed input of
+//! any shape returns [`JsonError`] — never a panic, never unbounded
+//! recursion.
 
 use std::fmt;
 
@@ -179,13 +187,48 @@ impl fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
-/// Parse a JSON document.
+/// Resource bounds enforced while parsing. The defaults are generous for
+/// trusted files (cache, journal); network-facing callers tighten
+/// `max_bytes` to their request-size limit.
+#[derive(Debug, Clone, Copy)]
+pub struct ParseLimits {
+    /// Maximum nesting depth of arrays/objects. Parsing is recursive, so
+    /// this bounds stack use; exceeding it is an error, not an overflow.
+    pub max_depth: usize,
+    /// Maximum document size in bytes.
+    pub max_bytes: usize,
+}
+
+impl Default for ParseLimits {
+    fn default() -> ParseLimits {
+        ParseLimits { max_depth: 128, max_bytes: 64 << 20 }
+    }
+}
+
+/// Parse a JSON document under [`ParseLimits::default`].
 ///
 /// # Errors
 ///
-/// Returns [`JsonError`] on malformed input or trailing garbage.
+/// Returns [`JsonError`] on malformed input, trailing garbage, or a
+/// document exceeding the default limits.
 pub fn parse(input: &str) -> Result<Json, JsonError> {
-    let mut p = P { input: input.as_bytes(), pos: 0 };
+    parse_with_limits(input, ParseLimits::default())
+}
+
+/// [`parse`] with explicit resource bounds.
+///
+/// # Errors
+///
+/// Returns [`JsonError`] on malformed input, trailing garbage, or a
+/// document exceeding `limits`.
+pub fn parse_with_limits(input: &str, limits: ParseLimits) -> Result<Json, JsonError> {
+    if input.len() > limits.max_bytes {
+        return Err(JsonError {
+            offset: limits.max_bytes,
+            message: format!("document exceeds {} bytes", limits.max_bytes),
+        });
+    }
+    let mut p = P { input: input.as_bytes(), pos: 0, depth: 0, limits };
     let v = p.value()?;
     p.skip_ws();
     if p.pos != p.input.len() {
@@ -197,6 +240,8 @@ pub fn parse(input: &str) -> Result<Json, JsonError> {
 struct P<'s> {
     input: &'s [u8],
     pos: usize,
+    depth: usize,
+    limits: ParseLimits,
 }
 
 impl P<'_> {
@@ -233,6 +278,15 @@ impl P<'_> {
         }
     }
 
+    /// Descend into a nested array/object; errors past the depth limit.
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > self.limits.max_depth {
+            return self.err(format!("nesting exceeds {} levels", self.limits.max_depth));
+        }
+        Ok(())
+    }
+
     fn value(&mut self) -> Result<Json, JsonError> {
         match self.peek() {
             Some(b'n') => self.lit("null", Json::Null),
@@ -240,6 +294,7 @@ impl P<'_> {
             Some(b'f') => self.lit("false", Json::Bool(false)),
             Some(b'"') => Ok(Json::Str(self.string()?)),
             Some(b'[') => {
+                self.enter()?;
                 self.eat(b'[')?;
                 let mut items = Vec::new();
                 if self.peek() != Some(b']') {
@@ -252,9 +307,11 @@ impl P<'_> {
                     }
                 }
                 self.eat(b']')?;
+                self.depth -= 1;
                 Ok(Json::Arr(items))
             }
             Some(b'{') => {
+                self.enter()?;
                 self.eat(b'{')?;
                 let mut pairs = Vec::new();
                 if self.peek() != Some(b'}') {
@@ -269,6 +326,7 @@ impl P<'_> {
                     }
                 }
                 self.eat(b'}')?;
+                self.depth -= 1;
                 Ok(Json::Obj(pairs))
             }
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
@@ -327,6 +385,12 @@ impl P<'_> {
                         other => return self.err(format!("bad escape `\\{}`", other as char)),
                     }
                 }
+                // RFC 8259: control characters must be escaped. This also
+                // rejects raw NUL bytes smuggled into strings.
+                0x00..=0x1f => {
+                    self.pos -= 1;
+                    return self.err(format!("unescaped control character 0x{b:02x} in string"));
+                }
                 _ => {
                     // Collect the full UTF-8 sequence starting at b.
                     let start = self.pos - 1;
@@ -367,9 +431,16 @@ impl P<'_> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.input[start..self.pos]).unwrap();
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| JsonError { offset: start, message: format!("bad number `{text}`") })
+        match text.parse::<f64>() {
+            // `1e999` parses to infinity; JSON has no representation for
+            // non-finite values, so refuse rather than round-trip a lie.
+            Ok(n) if n.is_finite() => Ok(Json::Num(n)),
+            Ok(_) => Err(JsonError {
+                offset: start,
+                message: format!("number `{text}` is out of range"),
+            }),
+            Err(_) => Err(JsonError { offset: start, message: format!("bad number `{text}`") }),
+        }
     }
 }
 
@@ -449,5 +520,97 @@ mod tests {
         assert!(parse("{\"a\":1} junk").is_err());
         assert!(parse("\"unterminated").is_err());
         assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn enforces_depth_limit() {
+        // A document just under the limit parses; one past it errors.
+        let deep = |n: usize| format!("{}1{}", "[".repeat(n), "]".repeat(n));
+        let limits = ParseLimits { max_depth: 16, ..ParseLimits::default() };
+        assert!(parse_with_limits(&deep(16), limits).is_ok());
+        let err = parse_with_limits(&deep(17), limits).unwrap_err();
+        assert!(err.message.contains("nesting"), "{}", err.message);
+        // Alternating object/array nesting counts every level.
+        let mixed = format!("{}1{}", "{\"k\":[".repeat(9), "]}".repeat(9));
+        assert!(parse_with_limits(&mixed, limits).is_err());
+        // Pathologically deep input errors instead of blowing the stack,
+        // even under the (larger) default limit.
+        assert!(parse(&deep(100_000)).is_err());
+        assert!(parse(&"[".repeat(100_000)).is_err());
+    }
+
+    #[test]
+    fn enforces_size_limit() {
+        let limits = ParseLimits { max_bytes: 8, ..ParseLimits::default() };
+        assert!(parse_with_limits("[1,2]", limits).is_ok());
+        let err = parse_with_limits("[1,2,3,4]", limits).unwrap_err();
+        assert!(err.message.contains("bytes"), "{}", err.message);
+    }
+
+    #[test]
+    fn rejects_raw_control_bytes_in_strings() {
+        assert!(parse("\"a\u{0}b\"").is_err());
+        assert!(parse("\"a\nb\"").is_err());
+        assert!(parse("\"a\tb\"").is_err());
+        // The escaped forms are fine.
+        assert_eq!(parse("\"a\\u0000b\\nc\"").unwrap().as_str().unwrap(), "a\u{0}b\nc");
+    }
+
+    #[test]
+    fn rejects_non_finite_numbers() {
+        assert!(parse("1e999").is_err());
+        assert!(parse("-1e999").is_err());
+        assert!(parse("NaN").is_err());
+        assert!(parse("1e308").is_ok());
+    }
+
+    #[test]
+    fn malformed_inputs_error_without_panicking() {
+        // Fuzz-style sweep: every prefix of a representative document, the
+        // same with NUL bytes spliced at each position, and a grab bag of
+        // adversarial fragments. All must return Err or Ok — never panic.
+        let doc = r#"{"expr":"(add a b)","opts":{"lanes":128,"t":[1,-2.5e3,"\u0041\ud83e\udd80"]},"ok":true,"n":null}"#;
+        for end in 0..doc.len() {
+            if !doc.is_char_boundary(end) {
+                continue;
+            }
+            assert!(parse(&doc[..end]).is_err(), "prefix of len {end} accepted");
+        }
+        for at in 0..doc.len() {
+            if !doc.is_char_boundary(at) {
+                continue;
+            }
+            let mut s = String::with_capacity(doc.len() + 1);
+            s.push_str(&doc[..at]);
+            s.push('\u{0}');
+            s.push_str(&doc[at..]);
+            assert!(parse(&s).is_err(), "NUL at {at} accepted");
+        }
+        for bad in [
+            "\u{0}",
+            "[,]",
+            "{,}",
+            "{\"a\"}",
+            "{\"a\":}",
+            "[1 2]",
+            "01x",
+            "--1",
+            "+1",
+            ".5",
+            "1.",
+            "\"\\\"",
+            "\"\\u12\"",
+            "truefalse",
+            "[\"\\udead\"]",
+            "{\"\u{0}\":1}",
+            "[[[[\"\\ud800\"]]]]",
+            "\t\r\n ",
+            "}",
+            "]",
+            "\\",
+            "\"a\" \"b\"",
+        ] {
+            let _ = parse(bad);
+        }
     }
 }

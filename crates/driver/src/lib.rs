@@ -56,6 +56,7 @@ pub mod canon;
 pub mod chaos;
 pub mod event;
 pub mod json;
+pub mod lockfile;
 pub mod tier;
 
 use std::collections::HashMap;
@@ -108,6 +109,19 @@ pub struct DriverConfig {
     /// Halide IR interpreter. Mismatch counts land on
     /// [`JobResult::validation`] and a `job_validated` event per job.
     pub validate: bool,
+    /// Cooperative cancellation flag for the whole batch (see
+    /// [`synth::cancel`]). When raised mid-batch, queued jobs conclude
+    /// [`JobOutcome::Cancelled`] without running, and in-flight synthesis
+    /// stops at its next deadline-check point. The serving layer raises it
+    /// when a client disconnects. The flag must stay readable until the
+    /// batch returns; release it to the pool only afterwards.
+    pub cancel: Option<synth::CancelFlag>,
+    /// Whether the batch sets the process-wide [`synth::pool`] thread
+    /// budget to [`DriverConfig::workers`] before running (the historical
+    /// single-driver behavior). A server hosting many concurrent drivers
+    /// sets this to `false` and configures the budget once at startup, so
+    /// one request's worker count does not clobber the shared cap.
+    pub manage_thread_budget: bool,
 }
 
 impl Default for DriverConfig {
@@ -122,15 +136,26 @@ impl Default for DriverConfig {
             cache_dir: None,
             log_path: None,
             validate: false,
+            cancel: None,
+            manage_thread_budget: true,
         }
     }
 }
 
 /// The compile function a worker runs per cache miss. Receives the
-/// *original* (non-canonical) expression, the attempt deadline, and the
-/// degradation-ladder tier being tried.
-pub type CompileFn =
-    Arc<dyn Fn(&Expr, Option<Instant>, Tier) -> Result<Compiled, CompileError> + Send + Sync>;
+/// *original* (non-canonical) expression, the attempt deadline, the
+/// degradation-ladder tier being tried, and the batch's cancellation flag
+/// (if any) to forward into the cooperative deadline plumbing.
+pub type CompileFn = Arc<
+    dyn Fn(
+            &Expr,
+            Option<Instant>,
+            Tier,
+            Option<synth::CancelFlag>,
+        ) -> Result<Compiled, CompileError>
+        + Send
+        + Sync,
+>;
 
 /// How one input expression concluded.
 #[derive(Debug, Clone)]
@@ -145,6 +170,10 @@ pub enum JobOutcome {
     /// The selector panicked on this job (on the full tier; degraded
     /// retries did not recover it); the batch continued.
     Panicked(String),
+    /// The batch's cancellation flag was raised before the job finished
+    /// (e.g. the requesting client disconnected). Proves nothing about the
+    /// tile: never cached, recompiled on resume.
+    Cancelled,
 }
 
 impl JobOutcome {
@@ -154,6 +183,7 @@ impl JobOutcome {
             JobOutcome::Failed(_) => OutcomeKind::Failed,
             JobOutcome::TimedOut => OutcomeKind::TimedOut,
             JobOutcome::Panicked(_) => OutcomeKind::Panicked,
+            JobOutcome::Cancelled => OutcomeKind::Cancelled,
         }
     }
 }
@@ -260,6 +290,12 @@ impl BatchReport {
     }
 }
 
+/// Observer invoked on every [`DriverEvent`] as it is produced (streamed
+/// events the moment a worker finishes, tail events at batch end). The
+/// serving layer uses this to feed its metrics registry without parsing
+/// the JSONL journal back.
+pub type EventSink = Arc<dyn Fn(&DriverEvent) + Send + Sync>;
+
 /// The batch compilation service. Construct with [`Driver::new`], then
 /// submit work with [`Driver::compile_batch`] /
 /// [`Driver::compile_batch_named`], or resume an interrupted batch with
@@ -269,6 +305,7 @@ pub struct Driver {
     cache: Arc<SynthCache>,
     config: DriverConfig,
     compile_fn: CompileFn,
+    sink: Option<EventSink>,
     #[cfg(feature = "chaos")]
     chaos: Option<chaos::FaultPlan>,
 }
@@ -283,6 +320,7 @@ impl Driver {
             cache: Arc::new(SynthCache::in_memory()),
             config: DriverConfig::default(),
             compile_fn,
+            sink: None,
             #[cfg(feature = "chaos")]
             chaos: None,
         }
@@ -299,13 +337,44 @@ impl Driver {
         self
     }
 
+    /// Share a pre-built cache across drivers: the serving layer builds
+    /// one [`SynthCache`] at startup and hands the same handle to every
+    /// per-request driver, so all connections warm one content-addressed
+    /// store. Call *after* [`Driver::with_config`] (which installs its own
+    /// cache from `cache_dir`).
+    pub fn with_shared_cache(mut self, cache: Arc<SynthCache>) -> Driver {
+        self.cache = cache;
+        self
+    }
+
+    /// Install an event observer called on every [`DriverEvent`] the
+    /// moment it is produced, alongside (and independent of) the JSONL
+    /// journal.
+    pub fn with_event_sink(mut self, sink: EventSink) -> Driver {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Arm (or disarm) cooperative cancellation on an already-configured
+    /// driver. Unlike [`Driver::with_config`], this touches nothing else —
+    /// the serving layer decides per request whether a compile is worth a
+    /// cancel slot only after it knows the cache can't answer outright.
+    pub fn set_cancel(&mut self, cancel: Option<synth::CancelFlag>) {
+        self.config.cancel = cancel;
+    }
+
     /// Replace the per-job compile function. Intended for tests (fault
     /// injection, synthesis counting); production callers should rely on
     /// the default, which runs [`Rake::compile`] under the tier's budget
-    /// reductions with the attempt deadline.
+    /// reductions with the attempt deadline and cancellation flag.
     pub fn with_compile_fn(
         mut self,
-        f: impl Fn(&Expr, Option<Instant>, Tier) -> Result<Compiled, CompileError>
+        f: impl Fn(
+                &Expr,
+                Option<Instant>,
+                Tier,
+                Option<synth::CancelFlag>,
+            ) -> Result<Compiled, CompileError>
             + Send
             + Sync
             + 'static,
@@ -426,7 +495,10 @@ impl Driver {
             cache_entries: self.cache.len(),
         };
         if let Some(journal) = &journal {
-            journal.append(&started);
+            journal.append_relaxed(&started);
+        }
+        if let Some(sink) = &self.sink {
+            sink(&started);
         }
         let mut events = vec![started];
 
@@ -474,10 +546,13 @@ impl Driver {
                 UniqueOutcome::Panicked(msg) => {
                     (JobOutcome::Panicked(msg.clone()), SynthStats::default())
                 }
+                UniqueOutcome::Cancelled => (JobOutcome::Cancelled, SynthStats::default()),
             };
             stats.merge(&job_stats);
             let fallback = match &outcome {
-                JobOutcome::Compiled(_) => None,
+                // Cancelled jobs get no baseline fallback either: the
+                // requester is gone, so the work would be wasted.
+                JobOutcome::Compiled(_) | JobOutcome::Cancelled => None,
                 _ => baseline_fallback(&input.expr, target),
             };
             let validation = if self.config.validate {
@@ -497,7 +572,7 @@ impl Driver {
             let (instructions, detail) = match &outcome {
                 JobOutcome::Compiled(c) => (Some(c.program.len()), None),
                 JobOutcome::Failed(err) => (None, Some(err.to_string())),
-                JobOutcome::TimedOut => (None, None),
+                JobOutcome::TimedOut | JobOutcome::Cancelled => (None, None),
                 JobOutcome::Panicked(msg) => (None, Some(msg.clone())),
             };
             events.push(DriverEvent::JobFinished(JobRecord {
@@ -540,6 +615,7 @@ impl Driver {
             failed: count(OutcomeKind::Failed),
             timed_out: count(OutcomeKind::TimedOut),
             panicked: count(OutcomeKind::Panicked),
+            cancelled: count(OutcomeKind::Cancelled),
             cache_hits: results.iter().filter(|r| r.cache_hit).count(),
             wall,
         });
@@ -547,9 +623,12 @@ impl Driver {
         if let Err(err) = self.cache.persist() {
             eprintln!("warning: failed to persist synthesis cache: {err}");
         }
-        if let Some(journal) = &journal {
-            for event in &events[tail_start..] {
-                journal.append(event);
+        for event in &events[tail_start..] {
+            if let Some(journal) = &journal {
+                journal.append_relaxed(event);
+            }
+            if let Some(sink) = &self.sink {
+                sink(event);
             }
         }
 
@@ -594,8 +673,12 @@ impl Driver {
         // The batch shares one process-wide thread budget of
         // `config.workers`: each spawned worker holds a permit for its
         // lifetime, and intra-job parallel lifting claims only what is
-        // left (e.g. the idle worker slots of a one-job batch).
-        synth::pool::set_thread_budget(self.config.workers.max(1));
+        // left (e.g. the idle worker slots of a one-job batch). A server
+        // hosting many concurrent drivers opts out and sets the budget
+        // once at startup instead.
+        if self.config.manage_thread_budget {
+            synth::pool::set_thread_budget(self.config.workers.max(1));
+        }
         let permits = synth::pool::global().reserve_up_to(workers);
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -634,7 +717,17 @@ impl Driver {
                         run_time: result.run_time,
                     };
                     if let Some(journal) = journal {
-                        journal.append(&event);
+                        // WAL durability is only worth an fsync when the
+                        // record prevents redoing real work on resume; a
+                        // cache-hit completion is re-derivable instantly.
+                        if result.cache_hit {
+                            journal.append_relaxed(&event);
+                        } else {
+                            journal.append(&event);
+                        }
+                    }
+                    if let Some(sink) = &self.sink {
+                        sink(&event);
                     }
                     completed.lock().unwrap().push(event);
                     slots.lock().unwrap()[job_index] = Some(result);
@@ -672,6 +765,13 @@ impl Driver {
             outcome,
         };
 
+        // A raised cancellation flag concludes queued jobs outright:
+        // nothing about the tile is learned, nothing is cached, and resume
+        // recompiles them.
+        if synth::cancel::cancelled(self.config.cancel) {
+            return finish(UniqueOutcome::Cancelled, false, false, 0, false);
+        }
+
         // Journal replay: terminal non-compiled outcomes are replayed
         // verbatim; compiled ones fall through to the cache lookup below
         // (and to a fresh compile — self-healing — if the entry is gone).
@@ -696,6 +796,8 @@ impl Driver {
                         .unwrap_or_else(|| "replayed panic (detail lost)".to_owned());
                     return finish(UniqueOutcome::Panicked(msg), false, true, rec.retries, false);
                 }
+                // A cancelled record is not a verdict: recompile.
+                OutcomeKind::Cancelled => {}
             }
         }
 
@@ -733,6 +835,9 @@ impl Driver {
 
             let mut attempt = 0u32;
             let tier_terminal = loop {
+                if synth::cancel::cancelled(self.config.cancel) {
+                    break UniqueOutcome::Cancelled;
+                }
                 let result = self.compile_attempt(job, tier, tier_end, &mut fault_injected);
                 match result {
                     Ok(Ok(c)) => {
@@ -750,6 +855,12 @@ impl Driver {
                         return finish(outcome, false, false, retries, fault_injected);
                     }
                     Ok(Err(CompileError::DeadlineExceeded)) => {
+                        // Cancellation surfaces through the deadline
+                        // plumbing: a raised flag means the "timeout" was
+                        // a cancelled search, never retried or degraded.
+                        if synth::cancel::cancelled(self.config.cancel) {
+                            break UniqueOutcome::Cancelled;
+                        }
                         // Transient if the tier's budget was NOT actually
                         // exhausted (a starved solver gave up early);
                         // retry with backoff. Real exhaustion degrades.
@@ -782,6 +893,11 @@ impl Driver {
                     Err(msg) => break UniqueOutcome::Panicked(msg),
                 }
             };
+            // A cancelled job skips the rest of the ladder: weaker tiers
+            // would only burn budget nobody is waiting for.
+            if matches!(tier_terminal, UniqueOutcome::Cancelled) {
+                return finish(UniqueOutcome::Cancelled, false, false, retries, fault_injected);
+            }
             // No tier compiled so far: the reported outcome mirrors the
             // primary tier's terminal state (that is the honest verdict on
             // the configured search; degraded rungs were bonus attempts).
@@ -825,7 +941,10 @@ impl Driver {
             }
         }
         let _ = fault_injected;
-        match catch_unwind(AssertUnwindSafe(|| (self.compile_fn)(&job.expr, deadline, tier))) {
+        let cancel = self.config.cancel;
+        match catch_unwind(AssertUnwindSafe(|| {
+            (self.compile_fn)(&job.expr, deadline, tier, cancel)
+        })) {
             Ok(result) => Ok(result),
             Err(payload) => Err(panic_message(payload.as_ref())),
         }
@@ -855,6 +974,7 @@ enum UniqueOutcome {
     Failed(CompileError),
     TimedOut,
     Panicked(String),
+    Cancelled,
 }
 
 #[derive(Clone)]
@@ -875,6 +995,7 @@ impl UniqueResult {
             UniqueOutcome::Failed(_) => OutcomeKind::Failed,
             UniqueOutcome::TimedOut => OutcomeKind::TimedOut,
             UniqueOutcome::Panicked(_) => OutcomeKind::Panicked,
+            UniqueOutcome::Cancelled => OutcomeKind::Cancelled,
         }
     }
 
@@ -937,13 +1058,33 @@ impl Journal {
         Ok(Journal { file: Mutex::new(file), path: path.to_owned() })
     }
 
-    /// Append one record and flush it to disk (write-ahead semantics: a
-    /// record is only promised once it survives a crash).
+    /// Append one record and fsync it (write-ahead semantics: a record
+    /// is only promised once it survives a crash). Reserve this for
+    /// records that gate recovery — `job_completed` for fresh work.
     fn append(&self, event: &DriverEvent) {
+        self.write(event, true);
+    }
+
+    /// Append one record without forcing it to disk. For informational
+    /// records (batch markers, per-input stats, cache-hit completions):
+    /// losing them to a crash costs nothing on resume, and skipping the
+    /// fsync keeps all-cache-hit batches off the disk's commit path.
+    fn append_relaxed(&self, event: &DriverEvent) {
+        self.write(event, false);
+    }
+
+    fn write(&self, event: &DriverEvent, durable: bool) {
         let mut line = event.to_jsonl();
         line.push('\n');
         let mut file = self.file.lock().unwrap();
-        if let Err(err) = file.write_all(line.as_bytes()).and_then(|()| file.sync_data()) {
+        let result = file.write_all(line.as_bytes()).and_then(|()| {
+            if durable {
+                file.sync_data()
+            } else {
+                Ok(())
+            }
+        });
+        if let Err(err) = result {
             eprintln!("warning: failed to append event journal {}: {err}", self.path.display());
         }
     }
@@ -953,15 +1094,20 @@ fn default_compile_fn(rake: &Rake) -> CompileFn {
     let full = rake.clone();
     let reduced = Tier::Reduced.apply(rake);
     let direct = Tier::Direct.apply(rake);
-    Arc::new(move |e: &Expr, deadline: Option<Instant>, tier: Tier| {
-        let base = match tier {
-            Tier::Full | Tier::Baseline => &full,
-            Tier::Reduced => &reduced,
-            Tier::Direct => &direct,
-        };
-        let opts = LoweringOptions { deadline, ..base.options() };
-        base.clone().with_options(opts).compile(e)
-    })
+    Arc::new(
+        move |e: &Expr,
+              deadline: Option<Instant>,
+              tier: Tier,
+              cancel: Option<synth::CancelFlag>| {
+            let base = match tier {
+                Tier::Full | Tier::Baseline => &full,
+                Tier::Reduced => &reduced,
+                Tier::Direct => &direct,
+            };
+            let opts = LoweringOptions { deadline, cancel, ..base.options() };
+            base.clone().with_options(opts).compile(e)
+        },
+    )
 }
 
 /// Geometry + search-option fingerprint mixed into every cache key. The

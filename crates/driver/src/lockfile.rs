@@ -1,0 +1,165 @@
+//! Advisory cross-process file locks.
+//!
+//! The synthesis cache file can be written by several *processes* at once
+//! (a long-lived `rake-served` instance plus ad-hoc `rakec` runs pointed
+//! at the same `--cache` directory). The in-process `persist_lock` mutex
+//! cannot see those writers, so [`SynthCache::persist`] additionally takes
+//! an advisory lock file next to the cache before its read-merge-write
+//! cycle.
+//!
+//! The lock is a plain file created with `O_CREAT|O_EXCL` (the only
+//! primitive that is atomic on every filesystem std reaches) holding the
+//! owner's PID. Liveness is checked through `/proc/<pid>` on Linux, with
+//! an mtime-based staleness fallback elsewhere, so a crashed holder never
+//! wedges the cache forever: the next acquirer breaks the stale lock and
+//! re-arbitrates through `create_new`.
+//!
+//! [`SynthCache::persist`]: crate::cache::SynthCache::persist
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// A lock file considered stale by age when the holder's liveness cannot
+/// be determined (non-Linux, or a lock file with no readable PID).
+const STALE_AFTER: Duration = Duration::from_secs(300);
+
+/// An acquired advisory lock. Dropping it releases the lock by removing
+/// the file.
+#[derive(Debug)]
+pub struct LockFile {
+    path: PathBuf,
+}
+
+impl LockFile {
+    /// Acquire the lock at `path`, waiting up to `timeout` for a live
+    /// holder to release it. Stale locks (holder dead, or unidentifiable
+    /// and older than five minutes) are broken immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns `ErrorKind::TimedOut` if a live holder keeps the lock past
+    /// the deadline, or any I/O error creating the lock file.
+    pub fn acquire(path: &Path, timeout: Duration) -> io::Result<LockFile> {
+        let deadline = Instant::now() + timeout;
+        let mut backoff = Duration::from_millis(2);
+        loop {
+            match fs::OpenOptions::new().write(true).create_new(true).open(path) {
+                Ok(mut f) => {
+                    // Best-effort: the PID is advisory metadata for the
+                    // staleness check, not part of lock correctness.
+                    let _ = write!(f, "{}", std::process::id());
+                    let _ = f.sync_all();
+                    return Ok(LockFile { path: path.to_owned() });
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    if holder_is_dead(path) {
+                        // Several waiters may break the same stale lock;
+                        // the race is benign because `create_new` above
+                        // re-arbitrates who actually wins it.
+                        let _ = fs::remove_file(path);
+                        continue;
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            format!("lock {} held by a live process", path.display()),
+                        ));
+                    }
+                    std::thread::sleep(backoff.min(deadline - now));
+                    backoff = (backoff * 2).min(Duration::from_millis(50));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The lock file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for LockFile {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// Whether the process that created `path` is known to be gone (or the
+/// lock is old enough to presume so). Returns `true` when the file has
+/// already vanished — the caller's retry loop handles that case.
+fn holder_is_dead(path: &Path) -> bool {
+    match fs::read_to_string(path) {
+        Ok(text) => match text.trim().parse::<u32>() {
+            Ok(pid) => pid_is_dead(pid, path),
+            Err(_) => stale_by_age(path),
+        },
+        Err(e) if e.kind() == io::ErrorKind::NotFound => true,
+        Err(_) => stale_by_age(path),
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn pid_is_dead(pid: u32, _path: &Path) -> bool {
+    !Path::new("/proc").join(pid.to_string()).exists()
+}
+
+#[cfg(not(target_os = "linux"))]
+fn pid_is_dead(_pid: u32, path: &Path) -> bool {
+    stale_by_age(path)
+}
+
+fn stale_by_age(path: &Path) -> bool {
+    match fs::metadata(path).and_then(|m| m.modified()) {
+        Ok(mtime) => mtime.elapsed().map(|age| age > STALE_AFTER).unwrap_or(false),
+        // File vanished → effectively released; other errors → assume live.
+        Err(e) => e.kind() == io::ErrorKind::NotFound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("rake-lockfile-{name}-{}", std::process::id()));
+        let _ = fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn acquire_release_reacquire() {
+        let path = tmp("basic");
+        let lock = LockFile::acquire(&path, Duration::from_secs(1)).unwrap();
+        assert!(path.exists());
+        drop(lock);
+        assert!(!path.exists(), "drop must release the lock");
+        let lock = LockFile::acquire(&path, Duration::from_secs(1)).unwrap();
+        drop(lock);
+    }
+
+    #[test]
+    fn live_holder_times_out_second_acquirer() {
+        let path = tmp("contended");
+        // Held by this (live) process: a second acquire must time out
+        // rather than break the lock.
+        let _held = LockFile::acquire(&path, Duration::from_secs(1)).unwrap();
+        let start = Instant::now();
+        let err = LockFile::acquire(&path, Duration::from_millis(80)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(start.elapsed() >= Duration::from_millis(80));
+    }
+
+    #[test]
+    fn stale_lock_from_dead_pid_is_broken() {
+        let path = tmp("stale");
+        // No real system has a PID this large (kernel max is < 2^22).
+        fs::write(&path, "4194999999").unwrap();
+        let lock = LockFile::acquire(&path, Duration::from_millis(200)).unwrap();
+        drop(lock);
+        assert!(!path.exists());
+    }
+}

@@ -162,7 +162,10 @@ fn stress_one_synthesis_per_unique_key_and_stable_order() {
             let syntheses = Arc::clone(&syntheses);
             let total = Arc::clone(&total);
             let rake = rake.clone();
-            move |e: &Expr, _deadline: Option<std::time::Instant>, _tier: rake_driver::Tier| {
+            move |e: &Expr,
+                  _deadline: Option<std::time::Instant>,
+                  _tier: rake_driver::Tier,
+                  _cancel: Option<synth::CancelFlag>| {
                 let key = halide_ir::sexpr::to_sexpr(&canon::canonicalize(e).expr);
                 *syntheses.lock().unwrap().entry(key).or_insert(0) += 1;
                 total.fetch_add(1, Ordering::SeqCst);
@@ -212,7 +215,7 @@ fn panicking_job_is_isolated_with_baseline_fallback() {
     let inner = rake.clone();
     let driver = Driver::new(rake)
         .with_config(DriverConfig { workers: 2, ..DriverConfig::default() })
-        .with_compile_fn(move |e: &Expr, _, _| {
+        .with_compile_fn(move |e: &Expr, _, _, _| {
             if halide_ir::sexpr::to_sexpr(e).contains("boom") {
                 panic!("injected selector bug");
             }
@@ -342,7 +345,7 @@ fn deadline_at_full_tier_degrades_to_reduced() {
             retry_backoff: Duration::from_millis(1),
             ..DriverConfig::default()
         })
-        .with_compile_fn(move |e: &Expr, _, tier| {
+        .with_compile_fn(move |e: &Expr, _, tier, _| {
             seen.lock().unwrap().push(tier);
             if tier == Tier::Full {
                 // A starved solver: gives up long before the tier budget.
@@ -371,7 +374,7 @@ fn panic_at_full_tier_recovers_on_degraded_tier() {
     let inner = rake.clone();
     let driver = Driver::new(rake)
         .with_config(DriverConfig { workers: 1, ..DriverConfig::default() })
-        .with_compile_fn(move |e: &Expr, _, tier| {
+        .with_compile_fn(move |e: &Expr, _, tier, _| {
             if tier == Tier::Full {
                 panic!("full-tier-only selector bug");
             }
@@ -405,7 +408,7 @@ fn resume_replays_journal_and_recompiles_only_the_remainder() {
         let rake = rake8();
         let inner = rake.clone();
         let count = Arc::clone(count);
-        Driver::new(rake).with_config(config()).with_compile_fn(move |e: &Expr, _, _| {
+        Driver::new(rake).with_config(config()).with_compile_fn(move |e: &Expr, _, _, _| {
             count.fetch_add(1, Ordering::SeqCst);
             inner.compile(e)
         })
@@ -603,7 +606,7 @@ fn validation_flags_a_miscompiled_program() {
     let inner = rake.clone();
     let driver = Driver::new(rake)
         .with_config(DriverConfig { workers: 1, validate: true, ..DriverConfig::default() })
-        .with_compile_fn(move |e: &Expr, _, _| {
+        .with_compile_fn(move |e: &Expr, _, _, _| {
             let wrong = match e {
                 Expr::Binary(b) if b.op == halide_ir::BinOp::Add => {
                     Expr::Binary(halide_ir::Binary {

@@ -1,0 +1,238 @@
+//! `rake-client` — command-line client for `rake-served`.
+//!
+//! ```sh
+//! echo '(add (load a u8 0 0) (load b u8 0 0))' | rake-client --addr 127.0.0.1:8347
+//! rake-client --addr 127.0.0.1:8347 --metrics
+//! ```
+//!
+//! Options:
+//!   --addr HOST:PORT   server address (required)
+//!   --lanes N          vectorization width knob (default 128)
+//!   --timeout-ms N     per-job synthesis budget
+//!   --validate         differentially validate the compiled program
+//!   --tier-floor T     lowest degradation tier to try (full|reduced|direct)
+//!   --json             print the raw response JSON instead of the program
+//!   --metrics          GET /metrics and print it
+//!   --healthz          GET /healthz and print it
+//!   [file.sexp]        expression file (default: stdin)
+//!
+//! Exit codes mirror `rakec` where they overlap:
+//!   0 compiled, 1 usage/connection error, 2 synthesis failed,
+//!   3 timed out, 4 validation mismatch, 5 panicked, 6 server busy (429)
+
+use std::io::Read as _;
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use driver::json::{self, Json};
+use served::http::roundtrip;
+
+const EXIT_FAILED: u8 = 2;
+const EXIT_TIMED_OUT: u8 = 3;
+const EXIT_MISCOMPILE: u8 = 4;
+const EXIT_PANICKED: u8 = 5;
+const EXIT_BUSY: u8 = 6;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr: Option<String> = None;
+    let mut lanes: Option<u64> = None;
+    let mut timeout_ms: Option<u64> = None;
+    let mut validate = false;
+    let mut tier_floor: Option<String> = None;
+    let mut raw_json = false;
+    let mut do_metrics = false;
+    let mut do_healthz = false;
+    let mut path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => addr = Some(v.clone()),
+                None => return usage("--addr needs HOST:PORT"),
+            },
+            "--lanes" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => lanes = Some(v),
+                None => return usage("--lanes needs an integer"),
+            },
+            "--timeout-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => timeout_ms = Some(v),
+                None => return usage("--timeout-ms needs an integer"),
+            },
+            "--validate" => validate = true,
+            "--tier-floor" => match it.next() {
+                Some(v) => tier_floor = Some(v.clone()),
+                None => return usage("--tier-floor needs a tier name"),
+            },
+            "--json" => raw_json = true,
+            "--metrics" => do_metrics = true,
+            "--healthz" => do_healthz = true,
+            "--help" | "-h" => return usage(""),
+            other if !other.starts_with('-') => path = Some(other.to_owned()),
+            other => return usage(&format!("unknown option `{other}`")),
+        }
+    }
+    let Some(addr) = addr else {
+        return usage("--addr is required");
+    };
+
+    let mut stream = match TcpStream::connect(&addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rake-client: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(900)));
+
+    if do_metrics || do_healthz {
+        let path = if do_metrics { "/metrics" } else { "/healthz" };
+        return match roundtrip(&mut stream, "GET", path, None) {
+            Ok((status, body)) => {
+                print!("{}", String::from_utf8_lossy(&body));
+                if status == 200 {
+                    ExitCode::SUCCESS
+                } else {
+                    eprintln!("rake-client: server answered {status}");
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("rake-client: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let input = match path {
+        Some(p) => match std::fs::read_to_string(&p) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("rake-client: cannot read {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            let mut s = String::new();
+            if std::io::stdin().read_to_string(&mut s).is_err() {
+                eprintln!("rake-client: cannot read stdin");
+                return ExitCode::FAILURE;
+            }
+            s
+        }
+    };
+
+    let mut req = vec![("expr".to_owned(), Json::Str(input.trim().to_owned()))];
+    if let Some(n) = lanes {
+        req.push(("lanes".to_owned(), n.into()));
+    }
+    if let Some(ms) = timeout_ms {
+        req.push(("timeout_ms".to_owned(), ms.into()));
+    }
+    if validate {
+        req.push(("validate".to_owned(), true.into()));
+    }
+    if let Some(floor) = tier_floor {
+        req.push(("tier_floor".to_owned(), floor.into()));
+    }
+    let body = Json::Obj(req).to_string();
+
+    let (status, body) = match roundtrip(&mut stream, "POST", "/compile", Some(body.as_bytes())) {
+        Ok(reply) => reply,
+        Err(e) => {
+            eprintln!("rake-client: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = String::from_utf8_lossy(&body);
+    if status == 429 {
+        eprintln!("rake-client: server busy (429); retry later");
+        return ExitCode::from(EXIT_BUSY);
+    }
+    if status != 200 {
+        eprintln!("rake-client: server answered {status}: {}", text.trim_end());
+        return ExitCode::FAILURE;
+    }
+    if raw_json {
+        println!("{text}");
+        return ExitCode::SUCCESS;
+    }
+
+    let Ok(doc) = json::parse(&text) else {
+        eprintln!("rake-client: unparseable response: {text}");
+        return ExitCode::FAILURE;
+    };
+    let Some(result) = doc.get("results").and_then(Json::as_arr).and_then(|r| r.first()) else {
+        eprintln!("rake-client: response has no results: {text}");
+        return ExitCode::FAILURE;
+    };
+    let outcome = result.get("outcome").and_then(Json::as_str).unwrap_or("?");
+    let tier = result.get("tier").and_then(Json::as_str).unwrap_or("?");
+    let cache_hit = result.get("cache_hit").and_then(Json::as_bool).unwrap_or(false);
+    match outcome {
+        "compiled" => {
+            println!(
+                "; compiled on the `{tier}` tier{}",
+                if cache_hit { " (cache hit)" } else { "" }
+            );
+            if let Some(cost) = result.get("cost") {
+                println!(
+                    "; cost: latency {} loads {} cycles {}",
+                    cost.get("latency_sum").and_then(Json::as_i64).unwrap_or(0),
+                    cost.get("load_units").and_then(Json::as_i64).unwrap_or(0),
+                    cost.get("cycles").and_then(Json::as_i64).unwrap_or(0),
+                );
+            }
+            if let Some(program) = result.get("program").and_then(Json::as_str) {
+                print!("{program}");
+            }
+            if let Some(v) = result.get("validation") {
+                let mismatches = v.get("mismatches").and_then(Json::as_i64).unwrap_or(0);
+                let checks = v.get("checks").and_then(Json::as_i64).unwrap_or(0);
+                println!("; differential validation: {checks} points, {mismatches} mismatches");
+                if mismatches > 0 {
+                    eprintln!("rake-client: MISCOMPILE reported by the server oracle");
+                    return ExitCode::from(EXIT_MISCOMPILE);
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        "failed" => {
+            let detail = result.get("detail").and_then(Json::as_str).unwrap_or("unknown");
+            eprintln!("rake-client: synthesis failed: {detail}");
+            ExitCode::from(EXIT_FAILED)
+        }
+        "timed_out" | "cancelled" => {
+            eprintln!("rake-client: synthesis {outcome}");
+            ExitCode::from(EXIT_TIMED_OUT)
+        }
+        "panicked" => {
+            let detail = result.get("detail").and_then(Json::as_str).unwrap_or("unknown");
+            eprintln!("rake-client: selector panicked: {detail}");
+            ExitCode::from(EXIT_PANICKED)
+        }
+        other => {
+            eprintln!("rake-client: unknown outcome `{other}`");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("rake-client: {err}");
+    }
+    eprintln!(
+        "usage: rake-client --addr HOST:PORT [--lanes N] [--timeout-ms N] [--validate] \
+         [--tier-floor full|reduced|direct] [--json] [file.sexp]\n\
+         \x20      rake-client --addr HOST:PORT --metrics | --healthz\n\
+         exit codes: 0 compiled, 1 usage/connection, 2 failed, 3 timed out/cancelled, \
+         4 miscompile, 5 panicked, 6 busy"
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,151 @@
+//! `rake-served` — the compilation server daemon.
+//!
+//! ```sh
+//! rake-served --addr 127.0.0.1:8347 --cache /var/cache/rake --log rake.jsonl
+//! ```
+//!
+//! Options:
+//!   --addr HOST:PORT   bind address (default 127.0.0.1:8347; port 0 = ephemeral)
+//!   --port-file FILE   write the bound `host:port` to FILE after listening
+//!                      (how scripts discover an ephemeral port)
+//!   --permits N        concurrent compile permits (default: cores, max 4)
+//!   --queue N          admission queue slots (default 16)
+//!   --cache DIR        persistent synthesis cache directory
+//!   --log FILE         JSONL event journal (write-ahead log)
+//!   --timeout SEC      default per-job synthesis budget (default 30)
+//!   --threads N        process-wide synthesis thread budget
+//!   --verdict-ttl SEC  how long a timed-out verdict is served from memory
+//!                      instead of re-running synthesis (default 300; 0 off)
+//!
+//! SIGTERM/SIGINT drain gracefully: in-flight requests finish, the cache
+//! is persisted, then the process exits 0.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use served::{serve, ServerConfig};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Raw libc signal hookup — std links libc on every supported platform,
+/// so declaring the one symbol we need keeps the workspace free of
+/// external crates. The handler only flips an atomic (async-signal-safe).
+#[cfg(unix)]
+mod sig {
+    use super::SHUTDOWN;
+    use std::sync::atomic::Ordering;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut config = ServerConfig::default();
+    let mut port_file: Option<std::path::PathBuf> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => config.addr = v.clone(),
+                None => return usage("--addr needs HOST:PORT"),
+            },
+            "--port-file" => match it.next() {
+                Some(v) => port_file = Some(v.into()),
+                None => return usage("--port-file needs a path"),
+            },
+            "--permits" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => config.permits = v,
+                None => return usage("--permits needs an integer"),
+            },
+            "--queue" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => config.queue_slots = v,
+                None => return usage("--queue needs an integer"),
+            },
+            "--cache" => match it.next() {
+                Some(v) => config.cache_dir = Some(v.into()),
+                None => return usage("--cache needs a directory"),
+            },
+            "--log" => match it.next() {
+                Some(v) => config.log_path = Some(v.into()),
+                None => return usage("--log needs a file"),
+            },
+            "--timeout" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(secs) => config.default_timeout = Some(Duration::from_secs_f64(secs)),
+                None => return usage("--timeout needs seconds"),
+            },
+            "--threads" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => config.thread_budget = v,
+                None => return usage("--threads needs an integer"),
+            },
+            "--verdict-ttl" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(secs) => config.timeout_verdict_ttl = Duration::from_secs_f64(secs),
+                None => return usage("--verdict-ttl needs seconds"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown option `{other}`")),
+        }
+    }
+
+    #[cfg(unix)]
+    sig::install();
+
+    let handle = match serve(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("rake-served: cannot listen: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("rake-served: listening on {}", handle.addr());
+    if let Some(path) = &port_file {
+        // Write via a temp file + rename so a watcher never reads a
+        // half-written address.
+        let tmp = path.with_extension("tmp");
+        let write = std::fs::write(&tmp, handle.addr().to_string())
+            .and_then(|()| std::fs::rename(&tmp, path));
+        if let Err(e) = write {
+            eprintln!("rake-served: cannot write port file {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    while !SHUTDOWN.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("rake-served: draining");
+    handle.shutdown();
+    eprintln!("rake-served: bye");
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("rake-served: {err}");
+    }
+    eprintln!(
+        "usage: rake-served [--addr HOST:PORT] [--port-file FILE] [--permits N] [--queue N] \
+         [--cache DIR] [--log FILE] [--timeout SEC] [--threads N] [--verdict-ttl SEC]"
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

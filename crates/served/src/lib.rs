@@ -1,0 +1,31 @@
+//! `rake-served` — an HTTP/1.1 JSON compilation service over the
+//! [`driver`] layer, built entirely on `std` (no external crates, like
+//! the rest of the workspace).
+//!
+//! The binary [`rake-served`](../rake_served/index.html) serves:
+//!
+//! * `POST /compile` — S-expression Halide exprs plus per-request knobs
+//!   (`lanes`, `timeout_ms`, `validate`, `tier_floor`) → synthesized HVX
+//!   programs with cost, producing tier, and cache statistics. Duplicate
+//!   expressions are deduplicated within a request by the driver and
+//!   across concurrent requests by a single-flight key registry.
+//! * `GET /metrics` — Prometheus text exposition ([`metrics`]).
+//! * `GET /healthz` — liveness (503 while draining).
+//!
+//! Admission control bounds concurrent synthesis with a permit gate and
+//! a bounded wait queue (429 + `Retry-After` past it); oversized bodies
+//! are 413; a client that disconnects mid-compile has its synthesis
+//! cooperatively cancelled via [`synth::cancel`]. One process-wide
+//! content-addressed cache and memo handle back every connection, and
+//! `--cache`/`--log` make the warm state survive restarts.
+//!
+//! The companion binary `rake-client` speaks the same protocol from the
+//! command line, and the `loadgen` bench drives a server closed-loop for
+//! the `BENCH_5` latency baseline.
+
+pub mod http;
+pub mod metrics;
+pub mod server;
+
+pub use metrics::Metrics;
+pub use server::{serve, ServerConfig, ServerHandle};

@@ -1,0 +1,1013 @@
+//! The compilation server: accept loop, admission control, request
+//! routing, and the `/compile` pipeline over [`driver::Driver`].
+//!
+//! ## Architecture
+//!
+//! One thread per connection (requests are seconds-long synthesis runs;
+//! connection counts are small), with three shared structures behind
+//! `Arc`: the content-addressed [`SynthCache`], the [`Metrics`] registry,
+//! and the admission [`Gate`]. Each `/compile` request builds a
+//! short-lived [`driver::Driver`] around a clone of the lane-width's base
+//! [`rake::Rake`] — cloning shares the selector's memo tables, so every
+//! connection warms the same SMT-proof and verdict caches — and hands it
+//! the shared cache plus an event sink into the registry.
+//!
+//! ## Admission
+//!
+//! A fixed number of compile permits bounds concurrent synthesis; a
+//! bounded wait queue sits in front of the permits, and everything past
+//! it is answered `429 Too Many Requests` with `Retry-After`. The
+//! process-wide [`synth::pool`] thread budget is set once at startup
+//! (per-request drivers run with `manage_thread_budget: false`), so a
+//! request cannot resize the global cap under its neighbors.
+//!
+//! ## Cancellation
+//!
+//! While a compile runs, a monitor thread `peek`s the connection; when
+//! the client vanishes, it raises the request's [`synth::cancel`] flag
+//! and the synthesis stops at its next deadline-check point, freeing the
+//! permit for the next request.
+
+use std::collections::HashSet;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use driver::cache::SynthCache;
+use driver::json::{self, Json, ParseLimits};
+use driver::{Driver, DriverConfig, JobOutcome, Tier};
+use halide_ir::Expr;
+use hvx::SlotBudget;
+use rake::{Rake, Target};
+
+use crate::http::{read_request, ReadError, Request, Response};
+use crate::metrics::{CacheSnapshot, Endpoint, Metrics};
+
+/// Hard cap on expressions per `/compile` request.
+pub const MAX_EXPRS_PER_REQUEST: usize = 64;
+
+/// Hard cap on S-expression paren nesting (the S-expression parser is
+/// recursive; this is its stack guard, mirroring the JSON depth limit).
+pub const MAX_SEXPR_DEPTH: usize = 256;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Concurrent compile permits (requests synthesizing at once).
+    pub permits: usize,
+    /// Admission queue slots in front of the permits; a request arriving
+    /// with the queue full is answered 429 immediately.
+    pub queue_slots: usize,
+    /// How long a queued request waits for a permit before giving up
+    /// with 429.
+    pub queue_wait: Duration,
+    /// `Content-Length` cap; larger requests are answered 413.
+    pub max_body_bytes: usize,
+    /// Default per-job synthesis budget when the request does not send
+    /// `timeout_ms`.
+    pub default_timeout: Option<Duration>,
+    /// Hard ceiling on the per-request `timeout_ms` knob.
+    pub max_timeout: Duration,
+    /// Directory for the persistent synthesis cache (also the warm-start
+    /// source after a restart). `None` keeps the cache in memory.
+    pub cache_dir: Option<PathBuf>,
+    /// JSONL event journal (the driver's write-ahead log). `None`
+    /// disables journaling.
+    pub log_path: Option<PathBuf>,
+    /// How long a timed-out synthesis verdict is served from memory
+    /// before the same expression (under identical knobs) is allowed to
+    /// burn a fresh budget. Timeouts are budget-dependent, so the
+    /// synthesis cache refuses to store them — but a server replaying a
+    /// 30-second dead end for every repeat of a hard expression would
+    /// starve its permits. `Duration::ZERO` disables the verdict cache.
+    pub timeout_verdict_ttl: Duration,
+    /// Per-connection idle read timeout.
+    pub idle_timeout: Duration,
+    /// Process-wide [`synth::pool`] thread budget, set once at startup.
+    pub thread_budget: usize,
+    /// How long [`ServerHandle::shutdown`] waits for in-flight work.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+        ServerConfig {
+            addr: "127.0.0.1:8347".to_owned(),
+            permits: cores.clamp(1, 4),
+            queue_slots: 16,
+            queue_wait: Duration::from_secs(5),
+            max_body_bytes: 256 * 1024,
+            default_timeout: Some(Duration::from_secs(30)),
+            max_timeout: Duration::from_secs(600),
+            cache_dir: None,
+            log_path: None,
+            timeout_verdict_ttl: Duration::from_secs(300),
+            idle_timeout: Duration::from_secs(60),
+            thread_budget: cores,
+            drain_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Admission outcome.
+enum Admission {
+    /// A permit, released on drop.
+    Granted(Permit),
+    /// Queue full or permit wait timed out.
+    Busy,
+}
+
+/// Compile-permit gate: `permits` concurrent holders, at most
+/// `queue_slots` waiters.
+struct Gate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+    permits: usize,
+    queue_slots: usize,
+    queue_wait: Duration,
+}
+
+struct GateState {
+    active: usize,
+    waiting: usize,
+}
+
+impl Gate {
+    fn new(permits: usize, queue_slots: usize, queue_wait: Duration) -> Gate {
+        Gate {
+            state: Mutex::new(GateState { active: 0, waiting: 0 }),
+            cv: Condvar::new(),
+            permits: permits.max(1),
+            queue_slots,
+            queue_wait,
+        }
+    }
+
+    fn acquire(self: &Arc<Gate>, metrics: &Metrics) -> Admission {
+        let mut st = self.state.lock().unwrap();
+        if st.active < self.permits {
+            st.active += 1;
+            return Admission::Granted(Permit { gate: Arc::clone(self) });
+        }
+        if st.waiting >= self.queue_slots {
+            return Admission::Busy;
+        }
+        st.waiting += 1;
+        metrics.queue_changed(1);
+        let deadline = Instant::now() + self.queue_wait;
+        loop {
+            let now = Instant::now();
+            if st.active < self.permits {
+                st.waiting -= 1;
+                metrics.queue_changed(-1);
+                st.active += 1;
+                return Admission::Granted(Permit { gate: Arc::clone(self) });
+            }
+            if now >= deadline {
+                st.waiting -= 1;
+                metrics.queue_changed(-1);
+                return Admission::Busy;
+            }
+            let (guard, _) = self.cv.wait_timeout(st, deadline - now).unwrap();
+            st = guard;
+        }
+    }
+}
+
+/// RAII compile permit.
+struct Permit {
+    gate: Arc<Gate>,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        let mut st = self.gate.state.lock().unwrap();
+        st.active -= 1;
+        drop(st);
+        self.gate.cv.notify_one();
+    }
+}
+
+/// Cross-request single-flight registry: at most one request compiles a
+/// given cache key at a time; later arrivals wait, then hit the cache.
+#[derive(Default)]
+struct InFlight {
+    keys: Mutex<HashSet<String>>,
+    cv: Condvar,
+}
+
+impl InFlight {
+    /// Block until none of `keys` is being compiled elsewhere, then claim
+    /// them. Callers MUST hold a compile permit (so a claim-holder always
+    /// makes progress) and must call [`InFlight::release`] afterwards.
+    fn claim(&self, keys: &[String]) {
+        let mut held = self.keys.lock().unwrap();
+        loop {
+            if keys.iter().all(|k| !held.contains(k)) {
+                for k in keys {
+                    held.insert(k.clone());
+                }
+                return;
+            }
+            held = self.cv.wait(held).unwrap();
+        }
+    }
+
+    fn release(&self, keys: &[String]) {
+        let mut held = self.keys.lock().unwrap();
+        for k in keys {
+            held.remove(k);
+        }
+        drop(held);
+        self.cv.notify_all();
+    }
+}
+
+/// Upper bound on remembered timeout verdicts; oldest evicted past it.
+const VERDICT_CACHE_CAP: usize = 1024;
+
+/// TTL memory for timed-out synthesis verdicts, keyed by cache key plus
+/// a fingerprint of the request knobs (tiers, budget, validate). The
+/// [`SynthCache`] deliberately refuses timeouts — they are verdicts
+/// about a budget, not about the expression — so without this layer
+/// every repeat of a hard expression would re-burn its full budget and
+/// starve the admission gate. Entries expire after the TTL, letting the
+/// expression retry on a quieter server.
+struct VerdictCache {
+    ttl: Duration,
+    entries: Mutex<std::collections::HashMap<String, (Instant, Json)>>,
+}
+
+impl VerdictCache {
+    fn new(ttl: Duration) -> VerdictCache {
+        VerdictCache { ttl, entries: Mutex::new(std::collections::HashMap::new()) }
+    }
+
+    /// A still-fresh remembered verdict, if any.
+    fn get(&self, key: &str) -> Option<Json> {
+        if self.ttl.is_zero() {
+            return None;
+        }
+        let entries = self.entries.lock().unwrap();
+        let (at, verdict) = entries.get(key)?;
+        (at.elapsed() < self.ttl).then(|| verdict.clone())
+    }
+
+    fn put(&self, key: String, verdict: Json) {
+        if self.ttl.is_zero() {
+            return;
+        }
+        let mut entries = self.entries.lock().unwrap();
+        entries.retain(|_, (at, _)| at.elapsed() < self.ttl);
+        if entries.len() >= VERDICT_CACHE_CAP {
+            if let Some(oldest) = entries
+                .iter()
+                .min_by_key(|(_, (at, _))| *at)
+                .map(|(k, _)| k.clone())
+            {
+                entries.remove(&oldest);
+            }
+        }
+        entries.insert(key, (Instant::now(), verdict));
+    }
+}
+
+/// State shared by every connection thread.
+struct Shared {
+    config: ServerConfig,
+    cache: Arc<SynthCache>,
+    metrics: Arc<Metrics>,
+    gate: Arc<Gate>,
+    inflight: InFlight,
+    verdicts: VerdictCache,
+    /// Base selector per lane width; cloned per request so every
+    /// connection shares one memo handle per geometry.
+    rakes: Mutex<std::collections::HashMap<usize, Rake>>,
+    draining: AtomicBool,
+    connections: AtomicUsize,
+    started: Instant,
+}
+
+impl Shared {
+    fn base_rake(&self, lanes: usize) -> Rake {
+        let vec_bytes = 128.min(lanes.max(8));
+        self.rakes
+            .lock()
+            .unwrap()
+            .entry(lanes)
+            .or_insert_with(|| Rake::new(Target { lanes, vec_bytes }))
+            .clone()
+    }
+
+    fn cache_snapshot(&self) -> CacheSnapshot {
+        let stats = self.cache.stats();
+        CacheSnapshot {
+            hits: stats.hits,
+            misses: stats.misses,
+            entries: self.cache.len(),
+            loaded: stats.loaded,
+        }
+    }
+}
+
+/// A running server. Dropping the handle does NOT stop the server; call
+/// [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_join: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The metrics registry (shared with every connection).
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// The shared synthesis cache.
+    pub fn cache(&self) -> Arc<SynthCache> {
+        Arc::clone(&self.shared.cache)
+    }
+
+    /// Graceful drain: stop accepting, let in-flight requests finish (up
+    /// to [`ServerConfig::drain_timeout`]), persist the cache, return.
+    pub fn shutdown(mut self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        if let Some(join) = self.accept_join.take() {
+            let _ = join.join();
+        }
+        let deadline = Instant::now() + self.shared.config.drain_timeout;
+        while self.shared.connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        if let Err(err) = self.shared.cache.persist() {
+            eprintln!("rake-served: cache persist on shutdown failed: {err}");
+        }
+    }
+}
+
+/// Bind and start serving on background threads; returns immediately.
+///
+/// # Errors
+///
+/// Propagates bind/listen failures.
+pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    synth::pool::set_thread_budget(config.thread_budget.max(1));
+    let cache = Arc::new(match &config.cache_dir {
+        Some(dir) => SynthCache::persistent(dir),
+        None => SynthCache::in_memory(),
+    });
+    let gate = Arc::new(Gate::new(config.permits, config.queue_slots, config.queue_wait));
+    let verdicts = VerdictCache::new(config.timeout_verdict_ttl);
+    let shared = Arc::new(Shared {
+        config,
+        cache,
+        metrics: Metrics::new(),
+        gate,
+        inflight: InFlight::default(),
+        verdicts,
+        rakes: Mutex::new(std::collections::HashMap::new()),
+        draining: AtomicBool::new(false),
+        connections: AtomicUsize::new(0),
+        started: Instant::now(),
+    });
+
+    let accept_shared = Arc::clone(&shared);
+    let accept_join = std::thread::Builder::new()
+        .name("rake-served-accept".to_owned())
+        .spawn(move || accept_loop(&listener, &accept_shared))
+        .expect("spawn accept thread");
+
+    Ok(ServerHandle { addr, shared, accept_join: Some(accept_join) })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Responses are latency-sensitive and written whole;
+                // never let Nagle hold them for a delayed ACK.
+                stream.set_nodelay(true).ok();
+                let shared = Arc::clone(shared);
+                shared.connections.fetch_add(1, Ordering::SeqCst);
+                let result = std::thread::Builder::new()
+                    .name("rake-served-conn".to_owned())
+                    .spawn(move || {
+                        handle_connection(&shared, stream);
+                        shared.connections.fetch_sub(1, Ordering::SeqCst);
+                    });
+                if result.is_err() {
+                    eprintln!("rake-served: failed to spawn connection thread");
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => {
+                eprintln!("rake-served: accept failed: {e}");
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut write_half = stream;
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        // The compile path's disconnect monitor adjusts the socket read
+        // timeout; restore the idle timeout before each request.
+        let _ = write_half.set_read_timeout(Some(shared.config.idle_timeout));
+        let req = match read_request(&mut reader, shared.config.max_body_bytes) {
+            Ok(req) => req,
+            Err(ReadError::Closed) => return,
+            Err(ReadError::Io(_)) => return,
+            Err(ReadError::Malformed(why)) => {
+                let resp = Response::text(400, format!("{why}\n"));
+                shared.metrics.response(resp.status);
+                let _ = resp.write_to(&mut write_half, true);
+                return;
+            }
+            Err(ReadError::BodyTooLarge { declared, limit }) => {
+                let resp = Response::text(
+                    413,
+                    format!("request body {declared} bytes exceeds the {limit}-byte limit\n"),
+                );
+                shared.metrics.response(resp.status);
+                let _ = resp.write_to(&mut write_half, true);
+                return;
+            }
+        };
+        let close = req.wants_close() || shared.draining.load(Ordering::SeqCst);
+        let resp = route(shared, &req, &write_half);
+        shared.metrics.response(resp.status);
+        if resp.write_to(&mut write_half, close).is_err() {
+            return;
+        }
+        if close {
+            return;
+        }
+    }
+}
+
+fn route(shared: &Arc<Shared>, req: &Request, stream: &TcpStream) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            shared.metrics.request(Endpoint::Healthz);
+            if shared.draining.load(Ordering::SeqCst) {
+                Response::text(503, "draining\n")
+            } else {
+                Response::text(200, "ok\n")
+            }
+        }
+        ("GET", "/metrics") => {
+            shared.metrics.request(Endpoint::Metrics);
+            let text = shared.metrics.render(shared.started, shared.cache_snapshot());
+            Response {
+                status: 200,
+                headers: Vec::new(),
+                content_type: "text/plain; version=0.0.4; charset=utf-8",
+                body: text.into_bytes(),
+            }
+        }
+        ("POST", "/compile") => {
+            shared.metrics.request(Endpoint::Compile);
+            handle_compile(shared, req, stream)
+        }
+        (_, "/compile") | (_, "/healthz") | (_, "/metrics") => {
+            shared.metrics.request(Endpoint::Other);
+            Response::text(405, "method not allowed\n")
+        }
+        _ => {
+            shared.metrics.request(Endpoint::Other);
+            Response::text(404, "unknown path\n")
+        }
+    }
+}
+
+/// Per-request knobs decoded from the `/compile` body.
+struct CompileRequest {
+    exprs: Vec<(String, Expr)>,
+    lanes: usize,
+    timeout: Option<Duration>,
+    validate: bool,
+    tiers: Vec<Tier>,
+}
+
+fn bad(msg: impl Into<String>) -> Response {
+    let msg = msg.into();
+    Response::json(400, &Json::obj([("error", msg.into())]))
+}
+
+fn parse_compile_request(shared: &Shared, body: &[u8]) -> Result<CompileRequest, Response> {
+    let text = std::str::from_utf8(body).map_err(|_| bad("body is not UTF-8"))?;
+    let limits = ParseLimits { max_depth: 64, max_bytes: shared.config.max_body_bytes };
+    let doc = json::parse_with_limits(text, limits).map_err(|e| bad(format!("bad JSON: {e}")))?;
+
+    let mut raw: Vec<String> = Vec::new();
+    match (doc.get("expr"), doc.get("exprs")) {
+        (Some(_), Some(_)) => return Err(bad("send either `expr` or `exprs`, not both")),
+        (Some(e), None) => {
+            raw.push(e.as_str().ok_or_else(|| bad("`expr` must be a string"))?.to_owned());
+        }
+        (None, Some(list)) => {
+            let items = list.as_arr().ok_or_else(|| bad("`exprs` must be an array"))?;
+            for item in items {
+                raw.push(
+                    item.as_str()
+                        .ok_or_else(|| bad("`exprs` items must be strings"))?
+                        .to_owned(),
+                );
+            }
+        }
+        (None, None) => return Err(bad("missing `expr` (string) or `exprs` (array)")),
+    }
+    if raw.is_empty() {
+        return Err(bad("`exprs` is empty"));
+    }
+    if raw.len() > MAX_EXPRS_PER_REQUEST {
+        return Err(bad(format!(
+            "{} expressions exceeds the per-request cap of {MAX_EXPRS_PER_REQUEST}",
+            raw.len()
+        )));
+    }
+
+    let mut exprs = Vec::with_capacity(raw.len());
+    for (i, s) in raw.iter().enumerate() {
+        if sexpr_depth(s) > MAX_SEXPR_DEPTH {
+            return Err(bad(format!(
+                "expression {i} nests deeper than {MAX_SEXPR_DEPTH} levels"
+            )));
+        }
+        let expr = halide_ir::sexpr::parse(s.trim())
+            .map_err(|e| bad(format!("expression {i}: {e}")))?;
+        exprs.push((s.clone(), expr));
+    }
+
+    let lanes = match doc.get("lanes") {
+        None => 128,
+        Some(v) => {
+            let n = v.as_i64().ok_or_else(|| bad("`lanes` must be an integer"))?;
+            if !(8..=1024).contains(&n) {
+                return Err(bad("`lanes` must be between 8 and 1024"));
+            }
+            n as usize
+        }
+    };
+
+    let timeout = match doc.get("timeout_ms") {
+        None => shared.config.default_timeout,
+        Some(v) => {
+            let ms = v.as_i64().ok_or_else(|| bad("`timeout_ms` must be an integer"))?;
+            if ms <= 0 {
+                return Err(bad("`timeout_ms` must be positive"));
+            }
+            Some(Duration::from_millis(ms as u64).min(shared.config.max_timeout))
+        }
+    };
+
+    let validate = match doc.get("validate") {
+        None => false,
+        Some(v) => v.as_bool().ok_or_else(|| bad("`validate` must be a boolean"))?,
+    };
+
+    let tiers = match doc.get("tier_floor") {
+        None => Tier::ladder().to_vec(),
+        Some(v) => {
+            let name = v.as_str().ok_or_else(|| bad("`tier_floor` must be a string"))?;
+            let floor =
+                Tier::from_name(name).ok_or_else(|| bad(format!("unknown tier `{name}`")))?;
+            if floor == Tier::Baseline {
+                Tier::ladder().to_vec()
+            } else {
+                let ladder = Tier::ladder();
+                let stop = ladder.iter().position(|t| *t == floor).unwrap_or(ladder.len() - 1);
+                ladder[..=stop].to_vec()
+            }
+        }
+    };
+
+    Ok(CompileRequest { exprs, lanes, timeout, validate, tiers })
+}
+
+/// Maximum paren nesting of an S-expression, counting inside-string
+/// nothing (the Halide S-expression grammar has no string literals).
+fn sexpr_depth(s: &str) -> usize {
+    let mut depth = 0usize;
+    let mut max = 0usize;
+    for b in s.bytes() {
+        match b {
+            b'(' => {
+                depth += 1;
+                max = max.max(depth);
+            }
+            b')' => depth = depth.saturating_sub(1),
+            _ => {}
+        }
+    }
+    max
+}
+
+fn handle_compile(shared: &Arc<Shared>, req: &Request, stream: &TcpStream) -> Response {
+    if shared.draining.load(Ordering::SeqCst) {
+        return Response::text(503, "draining\n");
+    }
+    let parsed = match parse_compile_request(shared, &req.body) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+
+    let base = shared.base_rake(parsed.lanes);
+    let mut driver = Driver::new(base)
+        .with_config(DriverConfig {
+            workers: parsed.exprs.len().clamp(1, 4),
+            job_timeout: parsed.timeout,
+            tiers: parsed.tiers.clone(),
+            cache_dir: None,
+            log_path: shared.config.log_path.clone(),
+            validate: parsed.validate,
+            cancel: None,
+            manage_thread_budget: false,
+            ..DriverConfig::default()
+        })
+        .with_shared_cache(Arc::clone(&shared.cache))
+        .with_event_sink(shared.metrics.sink());
+
+    let expr_keys: Vec<String> =
+        parsed.exprs.iter().map(|(_, e)| driver.cache_key(e)).collect();
+
+    // Remembered timeout verdicts (see [`VerdictCache`]): any expression
+    // that recently timed out under the same knobs is answered from
+    // memory instead of re-burning its budget. The knob fingerprint
+    // keeps a bigger `timeout_ms` or a different tier floor honest —
+    // those requests recompile.
+    let knobs = format!(
+        "{}|{}|{}",
+        parsed.tiers.iter().map(|t| t.name()).collect::<Vec<_>>().join(","),
+        parsed.timeout.map_or(0, |t| t.as_millis()),
+        parsed.validate,
+    );
+    let mut slots: Vec<Option<Json>> = expr_keys
+        .iter()
+        .map(|k| shared.verdicts.get(&format!("{k}|{knobs}")))
+        .collect();
+    let remembered = slots.iter().filter(|s| s.is_some()).count();
+    if remembered > 0 {
+        shared.metrics.timeout_verdicts_served(remembered);
+    }
+    let to_compile: Vec<usize> = (0..slots.len()).filter(|&i| slots[i].is_none()).collect();
+
+    let mut keys: Vec<String> = to_compile.iter().map(|&i| expr_keys[i].clone()).collect();
+    keys.sort();
+    keys.dedup();
+
+    // Warm fast path: when every key already has a verdict in the cache,
+    // the request costs milliseconds and holds no synthesis threads — so
+    // it skips admission control entirely. Permits, queue slots, the
+    // cancel slot, and the disconnect monitor all exist to bound and
+    // shed *synthesis* work; spending them on cache reads would let slow
+    // cold requests queue-block the warm traffic they protect.
+    let warm = keys.iter().all(|k| shared.cache.contains(k));
+    let permit = if warm {
+        shared.metrics.warm_path();
+        None
+    } else {
+        match shared.gate.acquire(&shared.metrics) {
+            Admission::Granted(p) => Some(p),
+            Admission::Busy => {
+                shared.metrics.rejected_busy();
+                return Response::json(
+                    429,
+                    &Json::obj([("error", "server at capacity; retry later".into())]),
+                )
+                .with_header("retry-after", "1");
+            }
+        }
+    };
+
+    shared.metrics.compile_started();
+    shared.metrics.exprs_submitted(parsed.exprs.len());
+    let started = Instant::now();
+
+    let mut memo_stats = (0u64, 0u64);
+    if !to_compile.is_empty() {
+        let cancel = if warm {
+            None
+        } else {
+            let cancel = synth::cancel::acquire();
+            driver.set_cancel(Some(cancel));
+            // Single-flight: claim this request's cache keys so concurrent
+            // requests for the same expression run one synthesis, not N.
+            shared.inflight.claim(&keys);
+            Some(cancel)
+        };
+
+        // Watch the connection while we compile; a vanished client raises
+        // the cancel flag and the synthesis stops cooperatively.
+        let done = Arc::new(AtomicBool::new(false));
+        let monitor = cancel.and_then(|cancel| {
+            stream.try_clone().ok().map(|peer| {
+                let done = Arc::clone(&done);
+                std::thread::Builder::new()
+                    .name("rake-served-monitor".to_owned())
+                    .spawn(move || monitor_disconnect(&peer, cancel, &done))
+                    .expect("spawn disconnect monitor")
+            })
+        });
+
+        let exprs: Vec<Expr> =
+            to_compile.iter().map(|&i| parsed.exprs[i].1.clone()).collect();
+        let report = driver.compile_batch(&exprs);
+
+        done.store(true, Ordering::SeqCst);
+        let disconnected = monitor.map(|m| m.join().unwrap_or(false)).unwrap_or(false);
+        if disconnected {
+            shared.metrics.client_disconnected();
+        }
+        drop(driver);
+        if let Some(cancel) = cancel {
+            shared.inflight.release(&keys);
+            // Contract of `synth::cancel`: the flag outlives every reader;
+            // all batch workers have joined once `compile_batch` returns.
+            synth::cancel::release(cancel);
+        }
+
+        memo_stats =
+            (report.stats.lifting_queries as u64, report.stats.sketching_queries as u64);
+        for (&slot, r) in to_compile.iter().zip(report.results.iter()) {
+            let rendered = render_result(r, parsed.lanes);
+            if matches!(r.outcome, JobOutcome::TimedOut) {
+                let mut remembered = rendered.clone();
+                if let Json::Obj(fields) = &mut remembered {
+                    fields.push(("verdict_cached".to_owned(), true.into()));
+                }
+                shared.verdicts.put(format!("{}|{knobs}", expr_keys[slot]), remembered);
+            }
+            slots[slot] = Some(rendered);
+        }
+    }
+
+    let latency = started.elapsed();
+    shared.metrics.compile_finished(latency);
+    drop(permit);
+
+    let results: Vec<Json> =
+        slots.into_iter().map(|s| s.expect("every slot is filled")).collect();
+    let cache = shared.cache_snapshot();
+    Response::json(
+        200,
+        &Json::obj([
+            ("results", Json::Arr(results)),
+            ("wall_ms", ((latency.as_secs_f64() * 1e5).round() / 1e2).into()),
+            (
+                "cache",
+                Json::obj([
+                    ("hits", cache.hits.into()),
+                    ("misses", cache.misses.into()),
+                    ("entries", cache.entries.into()),
+                ]),
+            ),
+            (
+                "memo",
+                Json::obj([
+                    ("lifting_queries", memo_stats.0.into()),
+                    ("sketching_queries", memo_stats.1.into()),
+                ]),
+            ),
+        ]),
+    )
+}
+
+/// Render one per-expression job result as the `/compile` response JSON.
+fn render_result(r: &driver::JobResult, lanes: usize) -> Json {
+    let vec_bytes = 128.min(lanes.max(8));
+    let mut obj = vec![
+        ("outcome".to_owned(), Json::Str(outcome_name(&r.outcome).to_owned())),
+        ("tier".to_owned(), r.tier.name().into()),
+        ("cache_hit".to_owned(), r.cache_hit.into()),
+        ("retries".to_owned(), (r.retries as u64).into()),
+        ("key".to_owned(), r.key.as_str().into()),
+    ];
+    match &r.outcome {
+        JobOutcome::Compiled(c) => {
+            obj.push(("program".to_owned(), c.program.to_string().into()));
+            obj.push(("hvx".to_owned(), hvx::sexpr::to_sexpr(&c.hvx).into()));
+            obj.push(("uber".to_owned(), uber_ir::sexpr::to_sexpr(&c.uber).into()));
+            let schedule = c.program.schedule(lanes, vec_bytes, SlotBudget::hvx());
+            obj.push((
+                "cost".to_owned(),
+                Json::obj([
+                    ("latency_sum", c.program.latency_sum(lanes, vec_bytes).into()),
+                    ("load_units", c.program.load_units(lanes, vec_bytes).into()),
+                    ("cycles", schedule.cycles.into()),
+                ]),
+            ));
+        }
+        JobOutcome::Failed(e) => {
+            obj.push(("detail".to_owned(), e.to_string().into()));
+        }
+        JobOutcome::Panicked(msg) => {
+            obj.push(("detail".to_owned(), msg.as_str().into()));
+        }
+        JobOutcome::TimedOut | JobOutcome::Cancelled => {}
+    }
+    if let Some(p) = &r.fallback {
+        obj.push(("fallback".to_owned(), p.to_string().into()));
+    }
+    if let Some(v) = &r.validation {
+        obj.push((
+            "validation".to_owned(),
+            Json::obj([("checks", v.checks.into()), ("mismatches", v.mismatches.into())]),
+        ));
+    }
+    Json::Obj(obj)
+}
+
+fn outcome_name(outcome: &JobOutcome) -> &'static str {
+    match outcome {
+        JobOutcome::Compiled(_) => "compiled",
+        JobOutcome::Failed(_) => "failed",
+        JobOutcome::TimedOut => "timed_out",
+        JobOutcome::Panicked(_) => "panicked",
+        JobOutcome::Cancelled => "cancelled",
+    }
+}
+
+/// Poll the connection until the compile finishes or the peer vanishes;
+/// returns whether a disconnect was detected (and the flag raised).
+fn monitor_disconnect(
+    peer: &TcpStream,
+    cancel: synth::CancelFlag,
+    done: &AtomicBool,
+) -> bool {
+    // The poll interval doubles as the handler's join latency once the
+    // compile finishes — keep it small so warm cache hits stay fast.
+    let _ = peer.set_read_timeout(Some(Duration::from_millis(15)));
+    let mut buf = [0u8; 1];
+    loop {
+        if done.load(Ordering::SeqCst) {
+            return false;
+        }
+        match peer.peek(&mut buf) {
+            // EOF: the client closed its end.
+            Ok(0) => {
+                cancel.store(true, std::sync::atomic::Ordering::Relaxed);
+                return true;
+            }
+            // Pipelined bytes waiting — still connected; don't consume.
+            Ok(_) => std::thread::sleep(Duration::from_millis(15)),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut => {}
+            // Reset / broken pipe / anything else: treat as gone.
+            Err(_) => {
+                cancel.store(true, std::sync::atomic::Ordering::Relaxed);
+                return true;
+            }
+        }
+    }
+}
+
+/// Make sure the accept loop cannot outlive a panicking connection
+/// thread silently: connection handlers run plain functions, and a panic
+/// unwinds that one thread only. (Compile-path panics are already caught
+/// inside the driver.)
+#[allow(dead_code)]
+fn _assert_send_sync() {
+    fn check<T: Send + Sync>() {}
+    check::<Shared>();
+    check::<Metrics>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_grants_up_to_permits_then_queues_then_rejects() {
+        let metrics = Metrics::new();
+        let gate = Arc::new(Gate::new(2, 0, Duration::from_millis(10)));
+        let a = gate.acquire(&metrics);
+        let b = gate.acquire(&metrics);
+        assert!(matches!(&a, Admission::Granted(_)));
+        assert!(matches!(&b, Admission::Granted(_)));
+        // No queue slots: immediate rejection.
+        assert!(matches!(gate.acquire(&metrics), Admission::Busy));
+        drop(a);
+        assert!(matches!(gate.acquire(&metrics), Admission::Granted(_)));
+    }
+
+    #[test]
+    fn gate_queue_wait_times_out() {
+        let metrics = Metrics::new();
+        let gate = Arc::new(Gate::new(1, 4, Duration::from_millis(50)));
+        let held = gate.acquire(&metrics);
+        assert!(matches!(&held, Admission::Granted(_)));
+        let start = Instant::now();
+        assert!(matches!(gate.acquire(&metrics), Admission::Busy));
+        assert!(start.elapsed() >= Duration::from_millis(50));
+    }
+
+    #[test]
+    fn queued_waiter_gets_released_permit() {
+        let metrics = Metrics::new();
+        let gate = Arc::new(Gate::new(1, 4, Duration::from_secs(5)));
+        let held = gate.acquire(&metrics);
+        let gate2 = Arc::clone(&gate);
+        let metrics2 = Arc::clone(&metrics);
+        let waiter = std::thread::spawn(move || gate2.acquire(&metrics2));
+        std::thread::sleep(Duration::from_millis(50));
+        drop(held);
+        assert!(matches!(waiter.join().unwrap(), Admission::Granted(_)));
+    }
+
+    #[test]
+    fn inflight_serializes_same_key() {
+        let inflight = Arc::new(InFlight::default());
+        let keys = vec!["k".to_owned()];
+        inflight.claim(&keys);
+        let inflight2 = Arc::clone(&inflight);
+        let keys2 = keys.clone();
+        let t = std::thread::spawn(move || {
+            inflight2.claim(&keys2);
+            inflight2.release(&keys2);
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!t.is_finished(), "second claim must block while the first holds the key");
+        inflight.release(&keys);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn sexpr_depth_counts_nesting() {
+        assert_eq!(sexpr_depth("(a (b (c)))"), 3);
+        assert_eq!(sexpr_depth("flat"), 0);
+        assert_eq!(sexpr_depth(&"(".repeat(1000)), 1000);
+    }
+
+    #[test]
+    fn verdict_cache_remembers_within_ttl_and_respects_zero() {
+        let cache = VerdictCache::new(Duration::from_secs(60));
+        assert!(cache.get("k|knobs").is_none());
+        cache.put("k|knobs".to_owned(), Json::Str("timed_out".to_owned()));
+        assert_eq!(cache.get("k|knobs"), Some(Json::Str("timed_out".to_owned())));
+        assert!(cache.get("k|other-knobs").is_none(), "knob fingerprint is part of the key");
+
+        let disabled = VerdictCache::new(Duration::ZERO);
+        disabled.put("k".to_owned(), Json::Str("x".to_owned()));
+        assert!(disabled.get("k").is_none(), "TTL zero disables the cache");
+    }
+
+    #[test]
+    fn tier_floor_truncates_ladder() {
+        let shared_cfg = ServerConfig::default();
+        let shared = Shared {
+            config: shared_cfg,
+            cache: Arc::new(SynthCache::in_memory()),
+            metrics: Metrics::new(),
+            gate: Arc::new(Gate::new(1, 1, Duration::from_secs(1))),
+            inflight: InFlight::default(),
+            verdicts: VerdictCache::new(Duration::from_secs(300)),
+            rakes: Mutex::new(std::collections::HashMap::new()),
+            draining: AtomicBool::new(false),
+            connections: AtomicUsize::new(0),
+            started: Instant::now(),
+        };
+        let body = |floor: &str| {
+            format!(
+                "{{\"expr\":\"(add (load a u8 0 0) (load b u8 0 0))\",\"tier_floor\":\"{floor}\"}}"
+            )
+        };
+        let full = parse_compile_request(&shared, body("full").as_bytes()).unwrap();
+        assert_eq!(full.tiers, vec![Tier::Full]);
+        let reduced = parse_compile_request(&shared, body("reduced").as_bytes()).unwrap();
+        assert_eq!(reduced.tiers, vec![Tier::Full, Tier::Reduced]);
+        let all = parse_compile_request(&shared, body("direct").as_bytes()).unwrap();
+        assert_eq!(all.tiers, Tier::ladder().to_vec());
+        assert!(parse_compile_request(&shared, body("nonsense").as_bytes()).is_err());
+    }
+}

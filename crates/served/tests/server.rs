@@ -1,0 +1,356 @@
+//! End-to-end tests of the compilation server over real sockets on an
+//! ephemeral port: routing and limits, the warm path, cross-request
+//! single-flight, disconnect cancellation, and graceful drain.
+
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use driver::json::{self, Json};
+use served::http::roundtrip;
+use served::{serve, ServerConfig, ServerHandle};
+
+/// A tile that lifts and lowers in milliseconds.
+const TRIVIAL: &str = "(add (load a u8 0 0) (load b u8 0 0))";
+
+fn start(tweak: impl FnOnce(&mut ServerConfig)) -> ServerHandle {
+    let mut config = ServerConfig { addr: "127.0.0.1:0".to_owned(), ..ServerConfig::default() };
+    tweak(&mut config);
+    serve(config).expect("bind ephemeral port")
+}
+
+fn connect(handle: &ServerHandle) -> TcpStream {
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+    stream
+}
+
+fn compile_body(exprs: &[&str], extra: &[(&'static str, Json)]) -> Vec<u8> {
+    let mut obj = if exprs.len() == 1 {
+        vec![("expr".to_owned(), Json::Str(exprs[0].to_owned()))]
+    } else {
+        vec![(
+            "exprs".to_owned(),
+            Json::Arr(exprs.iter().map(|s| Json::Str((*s).to_owned())).collect()),
+        )]
+    };
+    for (k, v) in extra {
+        obj.push(((*k).to_owned(), v.clone()));
+    }
+    Json::Obj(obj).to_string().into_bytes()
+}
+
+fn post_compile(stream: &mut TcpStream, body: &[u8]) -> (u16, Json) {
+    let (status, reply) = roundtrip(stream, "POST", "/compile", Some(body)).expect("roundtrip");
+    let text = String::from_utf8_lossy(&reply);
+    let doc = json::parse(&text).unwrap_or(Json::Null);
+    (status, doc)
+}
+
+fn outcome_of(doc: &Json, i: usize) -> &str {
+    doc.get("results")
+        .and_then(Json::as_arr)
+        .and_then(|r| r.get(i))
+        .and_then(|r| r.get("outcome"))
+        .and_then(Json::as_str)
+        .unwrap_or("?")
+}
+
+/// The heaviest seed workload, as (lanes, S-expression strings) — slow
+/// enough cold that a test can act while it is still compiling.
+fn heavy_workload() -> (usize, Vec<String>) {
+    let w = workloads::all()
+        .into_iter()
+        .max_by_key(|w| w.exprs.len())
+        .expect("seed workloads exist");
+    let exprs = w.exprs.iter().take(4).map(halide_ir::sexpr::to_sexpr).collect();
+    (w.lanes, exprs)
+}
+
+#[test]
+fn routing_health_metrics_and_errors() {
+    let handle = start(|_| {});
+    let mut stream = connect(&handle);
+
+    let (status, body) = roundtrip(&mut stream, "GET", "/healthz", None).unwrap();
+    assert_eq!((status, body.as_slice()), (200, b"ok\n".as_slice()));
+
+    let (status, body) = roundtrip(&mut stream, "GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).unwrap();
+    assert!(text.contains("rake_served_requests_total{endpoint=\"healthz\"} 1"), "{text}");
+    assert!(text.contains("# TYPE rake_served_compile_latency_seconds histogram"), "{text}");
+
+    let (status, _) = roundtrip(&mut stream, "GET", "/nope", None).unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = roundtrip(&mut stream, "GET", "/compile", None).unwrap();
+    assert_eq!(status, 405);
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_and_oversized_requests_are_4xx() {
+    let handle = start(|c| c.max_body_bytes = 4 * 1024);
+    // Bad JSON.
+    let mut s = connect(&handle);
+    let (status, doc) = post_compile(&mut s, b"{not json");
+    assert_eq!(status, 400);
+    assert!(doc.get("error").is_some());
+    // Valid JSON, missing fields.
+    let mut s = connect(&handle);
+    let (status, _) = post_compile(&mut s, b"{}");
+    assert_eq!(status, 400);
+    // Valid JSON, bad S-expression.
+    let mut s = connect(&handle);
+    let (status, doc) = post_compile(&mut s, &compile_body(&["(add (oops"], &[]));
+    assert_eq!(status, 400);
+    let err = doc.get("error").and_then(Json::as_str).unwrap_or("");
+    assert!(err.contains("expression 0"), "{err}");
+    // Pathological S-expression nesting is rejected before parsing
+    // (deep enough to trip MAX_SEXPR_DEPTH, small enough for the body cap).
+    let deep = format!("{}x{}", "(".repeat(1000), ")".repeat(1000));
+    let mut s = connect(&handle);
+    let (status, _) = post_compile(&mut s, &compile_body(&[&deep], &[]));
+    assert_eq!(status, 400);
+    // Bad knobs.
+    let mut s = connect(&handle);
+    let (status, _) =
+        post_compile(&mut s, &compile_body(&[TRIVIAL], &[("lanes", 4usize.into())]));
+    assert_eq!(status, 400);
+    let mut s = connect(&handle);
+    let (status, _) =
+        post_compile(&mut s, &compile_body(&[TRIVIAL], &[("tier_floor", "warp".into())]));
+    assert_eq!(status, 400);
+    // Oversized body → 413 before any parsing.
+    let huge = format!("{{\"expr\":\"{}\"}}", "x".repeat(8 * 1024));
+    let mut s = connect(&handle);
+    let (status, reply) = roundtrip(&mut s, "POST", "/compile", Some(huge.as_bytes())).unwrap();
+    assert_eq!(status, 413);
+    assert!(String::from_utf8_lossy(&reply).contains("exceeds"), "{reply:?}");
+    handle.shutdown();
+}
+
+#[test]
+fn compile_roundtrip_then_warm_cache_hit() {
+    let handle = start(|_| {});
+    let mut stream = connect(&handle);
+
+    let (status, doc) = post_compile(&mut stream, &compile_body(&[TRIVIAL], &[]));
+    assert_eq!(status, 200);
+    assert_eq!(outcome_of(&doc, 0), "compiled", "{doc}");
+    let result = &doc.get("results").unwrap().as_arr().unwrap()[0];
+    assert!(result.get("program").and_then(Json::as_str).is_some());
+    assert!(result.get("cost").and_then(|c| c.get("cycles")).is_some());
+    assert_eq!(result.get("cache_hit").and_then(Json::as_bool), Some(false));
+
+    // Same expression again on the same connection: served warm.
+    let (status, doc) = post_compile(&mut stream, &compile_body(&[TRIVIAL], &[]));
+    assert_eq!(status, 200);
+    let result = &doc.get("results").unwrap().as_arr().unwrap()[0];
+    assert_eq!(result.get("cache_hit").and_then(Json::as_bool), Some(true));
+
+    // Intra-request dedup: the same expr thrice is one unique job.
+    let (status, doc) = post_compile(&mut stream, &compile_body(&[TRIVIAL; 3], &[]));
+    assert_eq!(status, 200);
+    for i in 0..3 {
+        assert_eq!(outcome_of(&doc, i), "compiled");
+    }
+    assert_eq!(handle.metrics().synth_fresh(), 1, "exactly one fresh synthesis in total");
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_same_expr_is_one_synthesis() {
+    let handle = start(|c| {
+        c.permits = 4;
+    });
+    let compiled = Arc::new(AtomicUsize::new(0));
+    let threads: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = handle.addr();
+            let compiled = Arc::clone(&compiled);
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).unwrap();
+                stream.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+                let (status, doc) = {
+                    let body = compile_body(&[TRIVIAL], &[]);
+                    let (status, reply) =
+                        roundtrip(&mut stream, "POST", "/compile", Some(&body)).unwrap();
+                    (status, json::parse(&String::from_utf8_lossy(&reply)).unwrap())
+                };
+                assert_eq!(status, 200);
+                if outcome_of(&doc, 0) == "compiled" {
+                    compiled.fetch_add(1, Ordering::SeqCst);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert_eq!(compiled.load(Ordering::SeqCst), 4, "every client gets a program");
+    // The single-flight registry collapses the stampede to one synthesis.
+    assert_eq!(handle.metrics().synth_fresh(), 1);
+
+    // /metrics agrees.
+    let mut stream = connect(&handle);
+    let (_, body) = roundtrip(&mut stream, "GET", "/metrics", None).unwrap();
+    let text = String::from_utf8(body).unwrap();
+    assert!(text.contains("rake_served_synth_fresh_total 1"), "{text}");
+    assert!(
+        text.contains("rake_served_jobs_total{outcome=\"compiled\",tier=\"full\"} 4"),
+        "{text}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn busy_server_answers_429_with_retry_after() {
+    let handle = start(|c| {
+        c.permits = 1;
+        c.queue_slots = 0;
+        c.default_timeout = Some(Duration::from_secs(20));
+    });
+    let (lanes, heavy) = heavy_workload();
+    let refs: Vec<&str> = heavy.iter().map(String::as_str).collect();
+    let body = compile_body(&refs, &[("lanes", lanes.into())]);
+    let addr = handle.addr();
+    let holder = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+        let (status, _) = roundtrip(&mut stream, "POST", "/compile", Some(&body)).unwrap();
+        status
+    });
+    // Wait until the heavy request holds the permit.
+    let metrics = handle.metrics();
+    let t0 = Instant::now();
+    while metrics.in_flight() == 0 && t0.elapsed() < Duration::from_secs(30) {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(metrics.in_flight(), 1, "heavy request never started");
+
+    let mut stream = connect(&handle);
+    let body = compile_body(&[TRIVIAL], &[]);
+    let (status, reply) = roundtrip(&mut stream, "POST", "/compile", Some(&body)).unwrap();
+    assert_eq!(status, 429, "{}", String::from_utf8_lossy(&reply));
+    assert_eq!(holder.join().unwrap(), 200);
+    handle.shutdown();
+}
+
+#[test]
+fn client_disconnect_cancels_and_frees_the_worker() {
+    let handle = start(|c| {
+        c.permits = 1;
+        c.default_timeout = Some(Duration::from_secs(60));
+    });
+    let (lanes, heavy) = heavy_workload();
+    let refs: Vec<&str> = heavy.iter().map(String::as_str).collect();
+    let body = compile_body(&refs, &[("lanes", lanes.into())]);
+
+    // Send the heavy request, then vanish without reading the response.
+    let metrics = handle.metrics();
+    {
+        use std::io::Write as _;
+        let mut stream = connect(&handle);
+        let head = format!(
+            "POST /compile HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        stream.write_all(head.as_bytes()).unwrap();
+        stream.write_all(&body).unwrap();
+        let t0 = Instant::now();
+        while metrics.in_flight() == 0 && t0.elapsed() < Duration::from_secs(30) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(metrics.in_flight(), 1, "heavy request never started");
+        // Dropping the stream closes the socket → RST/EOF at the server.
+    }
+
+    // The disconnect monitor must cancel the batch and free the permit
+    // long before the 60-second synthesis budget.
+    let t0 = Instant::now();
+    while metrics.in_flight() > 0 && t0.elapsed() < Duration::from_secs(30) {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(metrics.in_flight(), 0, "cancellation did not free the worker");
+
+    // And the next client is served normally.
+    let mut stream = connect(&handle);
+    let (status, doc) = post_compile(&mut stream, &compile_body(&[TRIVIAL], &[]));
+    assert_eq!(status, 200);
+    assert_eq!(outcome_of(&doc, 0), "compiled");
+
+    let (_, body) = roundtrip(&mut stream, "GET", "/metrics", None).unwrap();
+    let text = String::from_utf8(body).unwrap();
+    assert!(text.contains("rake_served_client_disconnects_total 1"), "{text}");
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_drain_finishes_inflight_work() {
+    let handle = start(|_| {});
+    let addr = handle.addr();
+
+    // A request in flight while we shut down must still be answered.
+    let inflight = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+        let body = compile_body(&[TRIVIAL], &[]);
+        let (status, _) = roundtrip(&mut stream, "POST", "/compile", Some(&body)).unwrap();
+        status
+    });
+    std::thread::sleep(Duration::from_millis(30));
+    handle.shutdown();
+    assert_eq!(inflight.join().unwrap(), 200, "in-flight request must complete during drain");
+
+    // After drain, the port no longer serves: either the connection is
+    // refused or the request gets no response.
+    let after = TcpStream::connect(addr).and_then(|mut s| {
+        s.set_read_timeout(Some(Duration::from_millis(500)))?;
+        roundtrip(&mut s, "GET", "/healthz", None)
+    });
+    assert!(after.is_err(), "drained server must not serve new requests");
+}
+
+#[test]
+fn warm_restart_resumes_from_persisted_state() {
+    let dir = std::env::temp_dir().join(format!("rake-served-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache_dir = dir.join("cache");
+    let journal = dir.join("events.jsonl");
+
+    let cold = start(|c| {
+        c.cache_dir = Some(cache_dir.clone());
+        c.log_path = Some(journal.clone());
+    });
+    let mut stream = connect(&cold);
+    let (status, doc) = post_compile(&mut stream, &compile_body(&[TRIVIAL], &[]));
+    assert_eq!(status, 200);
+    assert_eq!(outcome_of(&doc, 0), "compiled");
+    assert_eq!(cold.metrics().synth_fresh(), 1);
+    drop(stream);
+    cold.shutdown();
+    assert!(journal.exists(), "journal must be written");
+
+    // A restarted server loads the persisted cache and serves the same
+    // expression without any fresh synthesis.
+    let warm = start(|c| {
+        c.cache_dir = Some(cache_dir.clone());
+        c.log_path = Some(journal.clone());
+    });
+    let mut stream = connect(&warm);
+    let (status, doc) = post_compile(&mut stream, &compile_body(&[TRIVIAL], &[]));
+    assert_eq!(status, 200);
+    assert_eq!(outcome_of(&doc, 0), "compiled");
+    let result = &doc.get("results").unwrap().as_arr().unwrap()[0];
+    assert_eq!(result.get("cache_hit").and_then(Json::as_bool), Some(true));
+    assert_eq!(warm.metrics().synth_fresh(), 0, "warm restart must not re-synthesize");
+
+    let (_, body) = roundtrip(&mut stream, "GET", "/metrics", None).unwrap();
+    let text = String::from_utf8(body).unwrap();
+    assert!(text.contains("rake_served_cache_loaded_total 1"), "{text}");
+    warm.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -22,6 +22,7 @@
 //! bit-vector SMT proofs over a symbolic tile window (the reproduction's
 //! stand-in for Rosette/Z3; see DESIGN.md).
 
+pub mod cancel;
 pub mod encode;
 pub mod envs;
 pub mod lift;
@@ -37,7 +38,11 @@ pub mod swizzle_search;
 pub mod symexec;
 pub mod verify;
 
-pub use lift::{lift_expr, lift_expr_budgeted, lift_expr_with_deadline, LiftRule, LiftStep, LiftTrace};
+pub use cancel::CancelFlag;
+pub use lift::{
+    lift_expr, lift_expr_budgeted, lift_expr_cancellable, lift_expr_with_deadline, LiftRule,
+    LiftStep, LiftTrace,
+};
 pub use lower::{lower_expr, Layout, Lowered, LoweringOptions};
 pub use stats::SynthStats;
 pub use verify::{MemoHandle, MemoSnapshot, Verifier};

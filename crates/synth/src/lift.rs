@@ -61,6 +61,7 @@ struct Lifter<'a> {
     stats: &'a mut SynthStats,
     trace: LiftTrace,
     deadline: Option<Instant>,
+    cancel: Option<crate::cancel::CancelFlag>,
     /// Cap on the lifting recursion depth (a reduced-budget knob):
     /// sub-expressions nested deeper than this fail to lift instead of
     /// spending the budget on a deep candidate search.
@@ -106,9 +107,31 @@ pub fn lift_expr_budgeted(
     max_depth: Option<usize>,
     stats: &mut SynthStats,
 ) -> Option<(UberExpr, LiftTrace)> {
+    lift_expr_cancellable(e, verifier, deadline, None, max_depth, stats)
+}
+
+/// [`lift_expr_budgeted`] with a cooperative cancellation flag (see
+/// [`crate::cancel`]): raising the flag stops the run at the next
+/// candidate-screening check point — the same sites the deadline is
+/// checked — with [`SynthStats::deadline_exceeded`] set.
+pub fn lift_expr_cancellable(
+    e: &Expr,
+    verifier: &Verifier,
+    deadline: Option<Instant>,
+    cancel: Option<crate::cancel::CancelFlag>,
+    max_depth: Option<usize>,
+    stats: &mut SynthStats,
+) -> Option<(UberExpr, LiftTrace)> {
     let start = Instant::now();
-    let mut lifter =
-        Lifter { verifier, stats, trace: LiftTrace::default(), deadline, max_depth, depth: 0 };
+    let mut lifter = Lifter {
+        verifier,
+        stats,
+        trace: LiftTrace::default(),
+        deadline,
+        cancel,
+        max_depth,
+        depth: 0,
+    };
     let result = lifter.lift(e);
     let trace = lifter.trace;
     stats.lifting_time += start.elapsed();
@@ -180,11 +203,10 @@ impl Lifter<'_> {
         let helpers = reservation.as_ref().map_or(0, |r| r.count());
         if helpers == 0 {
             for (i, (_, cand)) in cands.iter().enumerate() {
-                if let Some(deadline) = self.deadline {
-                    if Instant::now() >= deadline {
-                        self.stats.deadline_exceeded = true;
-                        return None;
-                    }
+                let expired = self.deadline.is_some_and(|deadline| Instant::now() >= deadline);
+                if expired || crate::cancel::cancelled(self.cancel) {
+                    self.stats.deadline_exceeded = true;
+                    return None;
                 }
                 self.stats.lifting_queries += 1;
                 if self.verifier.equiv_halide_uber(e, cand) {
@@ -200,16 +222,16 @@ impl Lifter<'_> {
         let queries = AtomicUsize::new(0);
         let verifier = self.verifier;
         let deadline = self.deadline;
+        let cancel = self.cancel;
         let worker = || loop {
             let i = next.fetch_add(1, Ordering::SeqCst);
             if i >= cands.len() || i > best.load(Ordering::SeqCst) {
                 break;
             }
-            if let Some(d) = deadline {
-                if Instant::now() >= d {
-                    timed_out.store(true, Ordering::SeqCst);
-                    break;
-                }
+            let expired = deadline.is_some_and(|d| Instant::now() >= d);
+            if expired || crate::cancel::cancelled(cancel) {
+                timed_out.store(true, Ordering::SeqCst);
+                break;
             }
             queries.fetch_add(1, Ordering::SeqCst);
             if verifier.equiv_halide_uber(e, &cands[i].1) {

@@ -60,6 +60,12 @@ pub struct LoweringOptions {
     /// synthesis returns whatever it has (usually `None`), flagging
     /// [`SynthStats::deadline_exceeded`].
     pub deadline: Option<std::time::Instant>,
+    /// Cooperative cancellation flag (see [`crate::cancel`]): checked at
+    /// the same sites as the deadline, so a caller can stop an in-flight
+    /// search early (e.g. the serving layer when a client disconnects).
+    /// Cancellation reports as [`SynthStats::deadline_exceeded`] — like a
+    /// deadline, it proves nothing about the tile.
+    pub cancel: Option<crate::cancel::CancelFlag>,
     /// Cap on the lifting recursion depth (a *reduced-budget* knob for
     /// degraded retries): expressions nesting deeper than this fail to
     /// lift instead of burning the budget on a deep search. `None`
@@ -81,6 +87,7 @@ impl Default for LoweringOptions {
             layouts: true,
             aligned_loads: false,
             deadline: None,
+            cancel: None,
             max_lift_depth: None,
             naive_swizzles: false,
         }
@@ -141,12 +148,11 @@ impl Lowerer<'_> {
         let mut best: Option<Lowered> = None;
         let mut beta = (u32::MAX, u32::MAX, u64::MAX);
         for cand in cands {
-            if let Some(deadline) = self.opts.deadline {
-                if Instant::now() >= deadline {
-                    self.stats.deadline_exceeded = true;
-                    // Don't memoize: a later call with more time may succeed.
-                    return best;
-                }
+            let expired = self.opts.deadline.is_some_and(|deadline| Instant::now() >= deadline);
+            if expired || crate::cancel::cancelled(self.opts.cancel) {
+                self.stats.deadline_exceeded = true;
+                // Don't memoize: a later call with more time may succeed.
+                return best;
             }
             let cost = self.cost(&cand);
             if cost >= beta {
@@ -215,6 +221,7 @@ impl Lowerer<'_> {
                 },
             );
             search.deadline = self.opts.deadline;
+            search.cancel = self.opts.cancel;
             let target = HvxExpr::vmem(&l.buffer, l.ty, l.dx, l.dy);
             let base = l.dx.div_euclid(lanes as i32) * lanes as i32;
             let sources = vec![

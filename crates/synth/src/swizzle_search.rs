@@ -54,6 +54,8 @@ pub struct SwizzleSearch<'a> {
     /// loop otherwise checks only the cost budget β, so one swizzle query
     /// could overrun the whole job's time budget unchecked.
     pub deadline: Option<Instant>,
+    /// Cooperative cancellation flag, checked alongside the deadline.
+    pub cancel: Option<crate::cancel::CancelFlag>,
 }
 
 impl<'a> SwizzleSearch<'a> {
@@ -67,6 +69,7 @@ impl<'a> SwizzleSearch<'a> {
             max_pool: 300,
             max_queries: 20_000,
             deadline: None,
+            cancel: None,
         }
     }
 
@@ -144,11 +147,10 @@ impl<'a> SwizzleSearch<'a> {
             {
                 return None;
             }
-            if let Some(deadline) = self.deadline {
-                if Instant::now() >= deadline {
-                    stats.deadline_exceeded = true;
-                    return None;
-                }
+            let expired = self.deadline.is_some_and(|deadline| Instant::now() >= deadline);
+            if expired || crate::cancel::cancelled(self.cancel) {
+                stats.deadline_exceeded = true;
+                return None;
             }
             stats.swizzling_queries += 1;
             if self.units(&e) > self.max_units {

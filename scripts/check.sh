@@ -37,6 +37,50 @@ cargo run -q --release --offline --locked -p rake-bench --bin perf -- \
   --check "$perf_snapshot"
 rm -f "$perf_snapshot"
 
+echo "== server smoke (rake-served round-trip, warm cache, metrics)"
+# Boots the compilation server on an ephemeral port, compiles three
+# expressions through rake-client, then repeats them and asserts the
+# second round is answered from the cache. /healthz and /metrics are
+# scraped over the same socket the real clients use.
+cargo build -q --release --offline --locked -p rake-served
+smoke_dir="$(mktemp -d /tmp/rake-smoke-XXXXXX)"
+./target/release/rake-served --addr 127.0.0.1:0 --port-file "$smoke_dir/port" \
+  --cache "$smoke_dir/cache" --log "$smoke_dir/journal.jsonl" \
+  >"$smoke_dir/server.log" 2>&1 &
+served_pid=$!
+cleanup_smoke() {
+  kill "$served_pid" 2>/dev/null || true
+  wait "$served_pid" 2>/dev/null || true
+  rm -rf "$smoke_dir"
+}
+trap cleanup_smoke EXIT
+for _ in $(seq 100); do
+  [ -s "$smoke_dir/port" ] && break
+  sleep 0.1
+done
+addr="$(cat "$smoke_dir/port")"
+smoke_exprs=(
+  '(add (load a u8 0 0) (load b u8 0 0))'
+  '(max (load a u8 0 0) (load b u8 0 0))'
+  '(min (load a u8 0 0) (load b u8 0 0))'
+)
+for expr in "${smoke_exprs[@]}"; do
+  echo "$expr" | ./target/release/rake-client --addr "$addr" --lanes 128 >/dev/null
+done
+for expr in "${smoke_exprs[@]}"; do
+  echo "$expr" | ./target/release/rake-client --addr "$addr" --lanes 128 --json \
+    | grep -q '"cache_hit":true' \
+    || { echo "server smoke: warm round missed the cache for: $expr"; exit 1; }
+done
+./target/release/rake-client --addr "$addr" --healthz | grep -qx ok
+./target/release/rake-client --addr "$addr" --metrics \
+  | grep -q 'rake_served_requests_total{endpoint="compile"} 6' \
+  || { echo "server smoke: /metrics does not reflect the 6 compiles"; exit 1; }
+kill "$served_pid"
+wait "$served_pid" 2>/dev/null || true
+trap - EXIT
+rm -rf "$smoke_dir"
+
 echo "== chaos smoke (seeded fault injection, one schedule, ~60s budget)"
 # The full 21-workload suite under one deterministic fault schedule:
 # injected panics, forced deadline exhaustion, latency, and cache
