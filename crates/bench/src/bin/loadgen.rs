@@ -18,9 +18,16 @@
 //!   --requests M       measured requests total (default 200)
 //!   --seed S           workload-mix seed (default 42)
 //!   --no-warm          skip the warm-up pass (measure cold latencies)
+//!   --soak N           cache-lifecycle soak: replace the workload mix with
+//!                      N unique single-expression requests (distinct load
+//!                      offsets, so every request is a fresh cache key) sent
+//!                      once each, no warm-up. Drives eviction/compaction on
+//!                      a bounded server; pair with small --cache-max-entries
+//!                      server flags and inspect the report's `cache` block.
 //!   --out FILE         report path (default BENCH_5.json)
 //!   --check            exit non-zero unless: zero errors, warm p50 under
-//!                      50 ms, and /metrics agrees with client tallies
+//!                      50 ms (skipped under --soak), and /metrics agrees
+//!                      with client tallies
 //!
 //! Exit codes: 0 ok, 1 usage/connection error, 2 --check failed.
 
@@ -39,7 +46,7 @@ const WARM_P50_BUDGET_MS: f64 = 50.0;
 
 /// One workload-derived request template.
 struct Template {
-    name: &'static str,
+    name: String,
     body: Vec<u8>,
     exprs: usize,
 }
@@ -60,6 +67,7 @@ fn main() -> ExitCode {
     let mut requests = 200usize;
     let mut seed = 42u64;
     let mut warm = true;
+    let mut soak = 0usize;
     let mut out_path = std::path::PathBuf::from("BENCH_5.json");
     let mut check = false;
     let mut it = args.iter();
@@ -83,6 +91,10 @@ fn main() -> ExitCode {
                 None => return usage("--seed needs an integer"),
             },
             "--no-warm" => warm = false,
+            "--soak" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => soak = v,
+                None => return usage("--soak needs an integer"),
+            },
             "--out" => match it.next() {
                 Some(v) => out_path = v.into(),
                 None => return usage("--out needs a path"),
@@ -117,28 +129,52 @@ fn main() -> ExitCode {
         return usage("--addr is required (or pass --spawn)");
     };
 
-    let templates: Vec<Template> = workloads::all()
-        .into_iter()
-        .map(|w| {
-            let exprs: Vec<Json> = w
-                .exprs
-                .iter()
-                .map(|e| Json::Str(halide_ir::sexpr::to_sexpr(e)))
-                .collect();
-            let n = exprs.len();
-            let body = Json::obj([
-                ("exprs", Json::Arr(exprs)),
-                ("lanes", w.lanes.into()),
-            ])
-            .to_string()
-            .into_bytes();
-            Template { name: w.name, body, exprs: n }
-        })
-        .collect();
+    let templates: Vec<Template> = if soak > 0 {
+        // Unique-key stream: load offsets survive canonicalization (buffer
+        // names do not), so each template is a distinct cache entry and a
+        // bounded server must evict/compact to absorb the run.
+        warm = false;
+        requests = soak;
+        (0..soak)
+            .map(|i| {
+                let (dx, dy) = (i, i + soak + 1);
+                let expr = format!(
+                    "(add (cast u16 (load a u8 {dx} 0)) (cast u16 (load a u8 {dy} 0)))"
+                );
+                Template {
+                    name: format!("soak-{i}"),
+                    body: Json::obj([("expr", expr.into()), ("lanes", 64u64.into())])
+                        .to_string()
+                        .into_bytes(),
+                    exprs: 1,
+                }
+            })
+            .collect()
+    } else {
+        workloads::all()
+            .into_iter()
+            .map(|w| {
+                let exprs: Vec<Json> = w
+                    .exprs
+                    .iter()
+                    .map(|e| Json::Str(halide_ir::sexpr::to_sexpr(e)))
+                    .collect();
+                let n = exprs.len();
+                let body = Json::obj([
+                    ("exprs", Json::Arr(exprs)),
+                    ("lanes", w.lanes.into()),
+                ])
+                .to_string()
+                .into_bytes();
+                Template { name: w.name.to_owned(), body, exprs: n }
+            })
+            .collect()
+    };
     eprintln!(
-        "loadgen: {} workload templates against {addr} ({connections} connections, \
+        "loadgen: {} {} templates against {addr} ({connections} connections, \
          {requests} requests, seed {seed})",
-        templates.len()
+        templates.len(),
+        if soak > 0 { "unique soak" } else { "workload" },
     );
 
     let before = match scrape_metrics(&addr) {
@@ -210,7 +246,13 @@ fn main() -> ExitCode {
                     if i >= requests {
                         return;
                     }
-                    let template = pick(seed, i as u64, bodies.len());
+                    // Soak sends each unique template exactly once; the
+                    // bench mix picks pseudo-randomly with repetition.
+                    let template = if soak > 0 {
+                        i % bodies.len()
+                    } else {
+                        pick(seed, i as u64, bodies.len())
+                    };
                     let start = Instant::now();
                     match roundtrip(&mut stream, "POST", "/compile", Some(&bodies[template])) {
                         Ok((status, reply)) => {
@@ -303,7 +345,9 @@ fn main() -> ExitCode {
     let metrics_ok = requests_delta == measured_plus_warm && jobs_delta >= exprs_sent as f64;
 
     let ok_errors = errors == 0 && warm_errors == 0;
-    let ok_p50 = !warm || p50 < WARM_P50_BUDGET_MS;
+    // Soak traffic is all cold unique keys; the warm-latency budget does
+    // not apply to it.
+    let ok_p50 = soak > 0 || !warm || p50 < WARM_P50_BUDGET_MS;
     let passed = ok_errors && ok_p50 && metrics_ok;
 
     eprintln!(
@@ -323,6 +367,18 @@ fn main() -> ExitCode {
          (client submitted >= {exprs_sent} exprs) => {}",
         if metrics_ok { "consistent" } else { "MISMATCH" }
     );
+    if soak > 0 {
+        eprintln!(
+            "loadgen: soak cache state: {} entries, +{} evicted, +{} compactions, \
+             snapshot {} B, log {} B, journal {} B",
+            after.cache_entries,
+            after.cache_evicted - before.cache_evicted,
+            after.cache_compactions - before.cache_compactions,
+            after.cache_snapshot_bytes,
+            after.cache_log_bytes,
+            after.journal_bytes,
+        );
+    }
 
     let report = Json::obj([
         ("schema", "rake-served-loadgen-v1".into()),
@@ -381,6 +437,21 @@ fn main() -> ExitCode {
                 ("consistent", metrics_ok.into()),
             ]),
         ),
+        (
+            "cache",
+            Json::obj([
+                ("entries", after.cache_entries.into()),
+                ("evicted", (after.cache_evicted - before.cache_evicted).into()),
+                (
+                    "compactions",
+                    (after.cache_compactions - before.cache_compactions).into(),
+                ),
+                ("snapshot_bytes", after.cache_snapshot_bytes.into()),
+                ("log_bytes", after.cache_log_bytes.into()),
+                ("journal_bytes", after.journal_bytes.into()),
+            ]),
+        ),
+        ("soak", soak.into()),
         ("passed", passed.into()),
     ]);
     if let Err(e) = std::fs::File::create(&out_path)
@@ -410,7 +481,7 @@ fn usage(err: &str) -> ExitCode {
     }
     eprintln!(
         "usage: loadgen (--addr HOST:PORT | --spawn) [--connections N] [--requests M] \
-         [--seed S] [--no-warm] [--out FILE] [--check]"
+         [--seed S] [--no-warm] [--soak N] [--out FILE] [--check]"
     );
     if err.is_empty() {
         ExitCode::SUCCESS
@@ -440,10 +511,16 @@ fn first_outcome(reply: &[u8]) -> String {
         .to_owned()
 }
 
-/// The server-side counters the cross-check needs.
+/// The server-side counters the cross-check and soak report need.
 struct MetricsSnapshot {
     compile_requests: f64,
     jobs_total: f64,
+    cache_entries: f64,
+    cache_evicted: f64,
+    cache_compactions: f64,
+    cache_snapshot_bytes: f64,
+    cache_log_bytes: f64,
+    journal_bytes: f64,
 }
 
 fn scrape_metrics(addr: &str) -> std::io::Result<MetricsSnapshot> {
@@ -460,6 +537,12 @@ fn scrape_metrics(addr: &str) -> std::io::Result<MetricsSnapshot> {
             "rake_served_requests_total{endpoint=\"compile\"}",
         ),
         jobs_total: metric_sum(&text, "rake_served_jobs_total{"),
+        cache_entries: metric_value(&text, "rake_served_cache_entries"),
+        cache_evicted: metric_value(&text, "rake_served_cache_evicted_total"),
+        cache_compactions: metric_value(&text, "rake_served_cache_compactions_total"),
+        cache_snapshot_bytes: metric_value(&text, "rake_served_cache_snapshot_bytes"),
+        cache_log_bytes: metric_value(&text, "rake_served_cache_log_bytes"),
+        journal_bytes: metric_value(&text, "rake_served_journal_bytes"),
     })
 }
 

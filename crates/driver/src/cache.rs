@@ -9,12 +9,25 @@
 //! re-searched. Timeouts and panics are never negative-cached: they do not
 //! prove anything about the tile.
 //!
-//! The cache has two layers: a process-wide in-memory map, and an optional
-//! JSON file (`synthcache.json` in the configured directory) giving warm
-//! starts across processes. A corrupted or unreadable file is reported to
-//! stderr and treated as a cold start — it never aborts compilation.
+//! # Lifecycle
+//!
+//! The in-memory layer is bounded by [`CacheLimits`]: when an entry or
+//! byte cap is exceeded, entries are evicted cost-aware-LRU — cheap
+//! `Direct`-tier artifacts go first, expensive `Full`-tier proofs and
+//! negative verdicts last, least-recently-used within each class.
+//!
+//! The persistent layer is a segment pair inside the cache directory:
+//! a `synthcache.json` snapshot plus a `synthcache.log` of per-entry
+//! JSONL appends. [`SynthCache::persist`] appends only the entries stored
+//! since the last flush (O(new work), not O(cache)) under the existing
+//! cross-process advisory lock; once the log outgrows
+//! [`CacheLimits::log_compact_bytes`] it is folded into a fresh snapshot
+//! (tmp + rename) and removed. Loading replays snapshot then log, later
+//! lines winning. A corrupted or unreadable file is reported to stderr and
+//! treated as a cold start — it never aborts compilation — and the next
+//! compaction rewrites it.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -26,8 +39,40 @@ use synth::{LiftRule, LiftStep, LiftTrace};
 use crate::json::{self, Json};
 use crate::tier::Tier;
 
-/// File name of the persistent layer inside the cache directory.
+/// File name of the persistent snapshot inside the cache directory.
 pub const CACHE_FILE: &str = "synthcache.json";
+
+/// File name of the append-only segment log next to the snapshot.
+pub const LOG_FILE: &str = "synthcache.log";
+
+/// Bounds on the cache lifecycle. The defaults are unbounded in memory
+/// (the historical behavior) with a 4 MiB log-compaction threshold.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheLimits {
+    /// Maximum in-memory entries; eviction keeps the count at or under
+    /// this. `None` is unbounded.
+    pub max_entries: Option<usize>,
+    /// Maximum in-memory bytes (serialized-entry accounting, i.e. the
+    /// entry's cost on disk). Eviction keeps the total at or under this,
+    /// but always retains at least one entry. `None` is unbounded.
+    pub max_bytes: Option<usize>,
+    /// Segment-log size that triggers folding the log into the snapshot
+    /// during [`SynthCache::persist`].
+    pub log_compact_bytes: u64,
+}
+
+impl CacheLimits {
+    /// No in-memory bounds; compaction at the default threshold.
+    pub fn unbounded() -> CacheLimits {
+        CacheLimits { max_entries: None, max_bytes: None, log_compact_bytes: 4 * 1024 * 1024 }
+    }
+}
+
+impl Default for CacheLimits {
+    fn default() -> CacheLimits {
+        CacheLimits::unbounded()
+    }
+}
 
 /// Synthesized artifacts stored under a canonical key. Buffer names inside
 /// are canonical (`b0, b1, …`); [`crate::canon::rename_uber`] /
@@ -57,88 +102,276 @@ pub enum CacheEntry {
 /// Running cache-effectiveness counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups that found an entry.
+    /// Lookups that found a usable entry.
     pub hits: u64,
-    /// Lookups that found nothing.
+    /// Lookups that found nothing usable.
     pub misses: u64,
+    /// Misses caused specifically by a present entry whose producing tier
+    /// was below the request's floor (a subset of `misses`).
+    pub floor_misses: u64,
     /// Entries loaded from the persistent layer at startup.
     pub loaded: u64,
     /// Entries (or whole files) dropped as corrupted at startup.
     pub corrupted: u64,
+    /// Entries evicted to satisfy [`CacheLimits`].
+    pub evicted: u64,
+    /// Entry lines appended to the segment log by [`SynthCache::persist`].
+    pub appended: u64,
+    /// Times the segment log was folded into the snapshot.
+    pub compactions: u64,
+}
+
+/// One resident entry plus its bookkeeping: the pre-serialized JSON line
+/// (reused for log appends, snapshot writes, byte accounting, and
+/// idempotent-store detection), its eviction class, and its LRU sequence.
+#[derive(Debug)]
+struct Slot {
+    entry: CacheEntry,
+    line: String,
+    class: u8,
+    seq: u64,
+}
+
+/// Everything guarded by the in-memory mutex: the entry map, the eviction
+/// order index, byte totals, and the lines stored since the last flush.
+#[derive(Debug, Default)]
+struct MemState {
+    map: HashMap<String, Slot>,
+    /// `(class, seq) -> key`, ascending = next to evict. Sequences are
+    /// unique (a monotone clock), so no two entries share an index key.
+    order: BTreeMap<(u8, u64), String>,
+    total_bytes: usize,
+    clock: u64,
+    /// Serialized entry lines stored since the last successful flush —
+    /// exactly what the next [`SynthCache::persist`] appends to the log.
+    pending: Vec<String>,
+}
+
+impl MemState {
+    fn insert(&mut self, key: String, entry: CacheEntry, line: String) {
+        self.clock += 1;
+        let class = evict_class(&entry);
+        let slot = Slot { entry, line, class, seq: self.clock };
+        self.total_bytes += slot.line.len();
+        self.order.insert((class, self.clock), key.clone());
+        if let Some(old) = self.map.insert(key, slot) {
+            self.order.remove(&(old.class, old.seq));
+            self.total_bytes -= old.line.len();
+        }
+    }
+
+    /// Refresh a key's LRU recency (on hits and idempotent re-stores).
+    fn touch(&mut self, key: &str) {
+        let Some(slot) = self.map.get_mut(key) else { return };
+        self.clock += 1;
+        self.order.remove(&(slot.class, slot.seq));
+        slot.seq = self.clock;
+        self.order.insert((slot.class, slot.seq), key.to_owned());
+    }
+
+    /// Evict until within `limits`; returns how many entries were dropped.
+    /// The byte bound always retains at least one entry so a single
+    /// oversized artifact cannot render the cache useless.
+    fn enforce(&mut self, limits: &CacheLimits) -> u64 {
+        let mut evicted = 0;
+        while self.over(limits) {
+            let Some((_, key)) = self.order.pop_first() else { break };
+            let slot = self.map.remove(&key).expect("eviction order tracks the map");
+            self.total_bytes -= slot.line.len();
+            evicted += 1;
+        }
+        evicted
+    }
+
+    fn over(&self, limits: &CacheLimits) -> bool {
+        limits.max_entries.is_some_and(|m| self.map.len() > m)
+            || (limits.max_bytes.is_some_and(|m| self.total_bytes > m) && self.map.len() > 1)
+    }
+}
+
+/// Eviction class: lower is evicted first. `Direct`-tier artifacts are
+/// cheap to recompute (no SMT proofs) and go first; `Full`-tier proofs
+/// are the expensive product; negative verdicts are full-tier SMT work in
+/// a handful of bytes, so they go last.
+fn evict_class(entry: &CacheEntry) -> u8 {
+    match entry {
+        CacheEntry::Compiled(a) => match a.tier {
+            Tier::Direct | Tier::Baseline => 0,
+            Tier::Reduced => 1,
+            Tier::Full => 2,
+        },
+        CacheEntry::Failed(_) => 3,
+    }
 }
 
 /// The two-layer synthesis cache. All methods take `&self`; the cache is
 /// shared across worker threads behind an `Arc`.
 #[derive(Debug)]
 pub struct SynthCache {
-    mem: Mutex<HashMap<String, CacheEntry>>,
+    mem: Mutex<MemState>,
     path: Option<PathBuf>,
+    log_path: Option<PathBuf>,
+    limits: CacheLimits,
     stats: Mutex<CacheStats>,
     /// Serializes concurrent [`SynthCache::persist`] calls (workers
-    /// persist after every completed job) so two threads never race on
-    /// the same temporary file.
+    /// persist after every completed job) so two threads never interleave
+    /// their log appends or race a compaction.
     persist_lock: Mutex<()>,
-    /// Set by [`SynthCache::store`], cleared by [`SynthCache::persist`]:
-    /// a clean cache makes persist a no-op, so all-cache-hit batches
-    /// (the serving layer's warm path) never rewrite the file.
-    dirty: AtomicBool,
+    /// Set when loading found a corrupted snapshot or log: the next flush
+    /// compacts unconditionally, rewriting the damaged file.
+    force_compact: AtomicBool,
 }
 
 impl SynthCache {
-    /// A purely in-memory cache.
+    /// A purely in-memory cache, unbounded.
     pub fn in_memory() -> SynthCache {
+        SynthCache::in_memory_bounded(CacheLimits::unbounded())
+    }
+
+    /// A purely in-memory cache under the given limits.
+    pub fn in_memory_bounded(limits: CacheLimits) -> SynthCache {
         SynthCache {
-            mem: Mutex::new(HashMap::new()),
+            mem: Mutex::default(),
             path: None,
+            log_path: None,
+            limits,
             stats: Mutex::default(),
             persist_lock: Mutex::new(()),
-            dirty: AtomicBool::new(false),
+            force_compact: AtomicBool::new(false),
         }
     }
 
-    /// A cache backed by `dir/synthcache.json`, loaded now if present.
-    /// A corrupted file warns and starts cold; it never panics.
+    /// A cache backed by `dir/synthcache.json` (+ segment log), loaded now
+    /// if present, with no in-memory bounds.
     pub fn persistent(dir: &Path) -> SynthCache {
+        SynthCache::bounded(dir, CacheLimits::unbounded())
+    }
+
+    /// A cache backed by `dir/synthcache.json` plus the `synthcache.log`
+    /// segment log, loaded now if present (snapshot first, then log lines
+    /// — later wins), bounded by `limits`. A corrupted file warns, starts
+    /// cold, and schedules a repairing compaction; it never panics.
+    pub fn bounded(dir: &Path, limits: CacheLimits) -> SynthCache {
         let path = dir.join(CACHE_FILE);
+        let log_path = dir.join(LOG_FILE);
         let mut stats = CacheStats::default();
-        let mem = match std::fs::read_to_string(&path) {
+        let mut force_compact = false;
+        let mut state = MemState::default();
+
+        match std::fs::read_to_string(&path) {
             Ok(text) => match load_entries(&text, &mut stats) {
-                Ok(map) => map,
+                Ok(map) => {
+                    // Sorted insertion gives deterministic LRU order (and
+                    // thus deterministic trimming) for snapshot entries.
+                    let mut keys: Vec<String> = map.keys().cloned().collect();
+                    keys.sort();
+                    let mut map = map;
+                    for key in keys {
+                        let entry = map.remove(&key).expect("key came from the map");
+                        let line = entry_json(&key, &entry).to_string();
+                        state.insert(key, entry, line);
+                    }
+                }
                 Err(err) => {
                     eprintln!(
                         "warning: synthesis cache {} is corrupted ({err}); starting cold",
                         path.display()
                     );
                     stats.corrupted += 1;
-                    HashMap::new()
+                    force_compact = true;
                 }
             },
-            Err(err) if err.kind() == std::io::ErrorKind::NotFound => HashMap::new(),
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => {}
             Err(err) => {
                 eprintln!(
                     "warning: synthesis cache {} is unreadable ({err}); starting cold",
                     path.display()
                 );
                 stats.corrupted += 1;
-                HashMap::new()
             }
-        };
+        }
+
+        match std::fs::read_to_string(&log_path) {
+            Ok(text) => {
+                let lines: Vec<&str> = text.lines().collect();
+                for (i, line) in lines.iter().enumerate() {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    match json::parse(line).ok().as_ref().and_then(load_entry) {
+                        Some((key, entry)) => {
+                            stats.loaded += 1;
+                            state.insert(key, entry, (*line).to_owned());
+                        }
+                        // A torn final line is the expected artifact of a
+                        // crash mid-append, not corruption.
+                        None if i + 1 == lines.len() => {}
+                        None => {
+                            stats.corrupted += 1;
+                            force_compact = true;
+                            eprintln!(
+                                "warning: skipping malformed synthesis cache log line in {}",
+                                log_path.display()
+                            );
+                        }
+                    }
+                }
+            }
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => {}
+            Err(err) => {
+                eprintln!(
+                    "warning: synthesis cache log {} is unreadable ({err}); ignoring it",
+                    log_path.display()
+                );
+                stats.corrupted += 1;
+            }
+        }
+
+        stats.evicted += state.enforce(&limits);
         SynthCache {
-            mem: Mutex::new(mem),
+            mem: Mutex::new(state),
             path: Some(path),
+            log_path: Some(log_path),
+            limits,
             stats: Mutex::new(stats),
             persist_lock: Mutex::new(()),
-            dirty: AtomicBool::new(false),
+            force_compact: AtomicBool::new(force_compact),
         }
     }
 
-    /// Look up a key, counting the hit or miss.
+    /// The lifecycle bounds this cache runs under.
+    pub fn limits(&self) -> CacheLimits {
+        self.limits
+    }
+
+    /// Look up a key, counting the hit or miss. Serves any tier.
     pub fn lookup(&self, key: &str) -> Option<CacheEntry> {
-        let found = self.mem.lock().unwrap().get(key).cloned();
+        self.lookup_meeting(key, Tier::Baseline)
+    }
+
+    /// Look up a key for a request whose weakest acceptable tier is
+    /// `floor`. A compiled entry produced below the floor (e.g. a
+    /// `Direct`-tier artifact stored under deadline pressure, asked for
+    /// with `floor = Full`) is reported as a miss so the caller recompiles
+    /// at an acceptable tier and overwrites it with the better entry.
+    /// Negative entries always qualify: they are primary-tier verdicts.
+    pub fn lookup_meeting(&self, key: &str, floor: Tier) -> Option<CacheEntry> {
+        let mut state = self.mem.lock().unwrap();
+        let entry = state.map.get(key).map(|s| s.entry.clone());
+        let (found, below_floor) = match entry {
+            Some(CacheEntry::Compiled(a)) if !a.tier.meets(floor) => (None, true),
+            other => (other, false),
+        };
+        if found.is_some() {
+            state.touch(key);
+        }
+        drop(state);
         let mut stats = self.stats.lock().unwrap();
-        match found {
-            Some(_) => stats.hits += 1,
-            None => stats.misses += 1,
+        if found.is_some() {
+            stats.hits += 1;
+        } else {
+            stats.misses += 1;
+            stats.floor_misses += u64::from(below_floor);
         }
         found
     }
@@ -146,22 +379,49 @@ impl SynthCache {
     /// Whether a key is present, without counting a hit or miss — for
     /// admission decisions that precede the real (counted) lookup.
     pub fn contains(&self, key: &str) -> bool {
-        self.mem.lock().unwrap().contains_key(key)
+        self.mem.lock().unwrap().map.contains_key(key)
+    }
+
+    /// [`SynthCache::contains`] under a tier floor: present *and* usable
+    /// for a request that refuses artifacts below `floor`.
+    pub fn contains_meeting(&self, key: &str, floor: Tier) -> bool {
+        match self.mem.lock().unwrap().map.get(key) {
+            Some(slot) => match &slot.entry {
+                CacheEntry::Compiled(a) => a.tier.meets(floor),
+                CacheEntry::Failed(_) => true,
+            },
+            None => false,
+        }
     }
 
     /// Insert an entry. Deadline failures are rejected (they are not
-    /// deterministic verdicts) — the call is a no-op for them.
+    /// deterministic verdicts) — the call is a no-op for them. Re-storing
+    /// a byte-identical entry only refreshes its recency: nothing is
+    /// queued for the log, so warm replays never grow the file.
     pub fn store(&self, key: &str, entry: CacheEntry) {
         if matches!(entry, CacheEntry::Failed(CompileError::DeadlineExceeded)) {
             return;
         }
-        self.mem.lock().unwrap().insert(key.to_owned(), entry);
-        self.dirty.store(true, Ordering::Release);
+        let line = entry_json(key, &entry).to_string();
+        let mut state = self.mem.lock().unwrap();
+        if let Some(slot) = state.map.get(key) {
+            if slot.line == line {
+                state.touch(key);
+                return;
+            }
+        }
+        state.insert(key.to_owned(), entry, line.clone());
+        state.pending.push(line);
+        let evicted = state.enforce(&self.limits);
+        drop(state);
+        if evicted > 0 {
+            self.stats.lock().unwrap().evicted += evicted;
+        }
     }
 
     /// Number of entries currently held.
     pub fn len(&self) -> usize {
-        self.mem.lock().unwrap().len()
+        self.mem.lock().unwrap().map.len()
     }
 
     /// Whether the cache holds no entries.
@@ -169,68 +429,176 @@ impl SynthCache {
         self.len() == 0
     }
 
-    /// Current hit/miss/load counters.
+    /// Approximate in-memory footprint: the summed serialized size of the
+    /// resident entries (the same accounting [`CacheLimits::max_bytes`]
+    /// bounds).
+    pub fn total_bytes(&self) -> usize {
+        self.mem.lock().unwrap().total_bytes
+    }
+
+    /// On-disk `(snapshot, log)` sizes in bytes; zeros for an in-memory
+    /// cache or missing files. Metadata reads, cheap enough for metrics.
+    pub fn disk_bytes(&self) -> (u64, u64) {
+        let size = |p: &Option<PathBuf>| {
+            p.as_ref().and_then(|p| std::fs::metadata(p).ok()).map_or(0, |m| m.len())
+        };
+        (size(&self.path), size(&self.log_path))
+    }
+
+    /// Current cache counters.
     pub fn stats(&self) -> CacheStats {
         *self.stats.lock().unwrap()
     }
 
-    /// Write the persistent layer (if configured) atomically: take the
-    /// cross-process advisory lock, merge entries other processes persisted
-    /// since we last read the file, serialize to a per-process `<file>.tmp`,
-    /// then rename over the target. Concurrent producers therefore union
-    /// their entries instead of last-writer-wins dropping each other's work.
+    /// Flush the entries stored since the last flush (if a persistent
+    /// layer is configured): take the cross-process advisory lock, append
+    /// their serialized lines to the segment log, and fsync — O(new work),
+    /// not O(cache). When the log outgrows
+    /// [`CacheLimits::log_compact_bytes`] (or loading found corruption),
+    /// fold snapshot + log + memory into a fresh bounded snapshot via
+    /// tmp + rename and remove the log. With nothing pending this is a
+    /// no-op, so all-cache-hit batches (the serving layer's warm path)
+    /// never touch the disk.
     ///
     /// # Errors
     ///
-    /// Propagates I/O failures, including a timeout waiting on another live
-    /// process's lock (the caller decides whether they are fatal).
+    /// Propagates I/O failures, including a timeout waiting on another
+    /// live process's lock (the caller decides whether they are fatal).
+    /// The un-flushed lines are re-queued, so a later persist retries.
     pub fn persist(&self) -> std::io::Result<()> {
-        let Some(path) = &self.path else { return Ok(()) };
+        let (Some(path), Some(log_path)) = (&self.path, &self.log_path) else { return Ok(()) };
         let _serialized = self.persist_lock.lock().unwrap();
-        // Nothing stored since the last write: the file already holds
-        // everything we know (entries only ever accumulate), so skip the
-        // read-merge-rewrite cycle. A store racing this check re-marks
-        // the cache dirty and the next persist picks it up.
-        if !self.dirty.swap(false, Ordering::AcqRel) {
+        let lines: Vec<String> = std::mem::take(&mut self.mem.lock().unwrap().pending);
+        if lines.is_empty() {
             return Ok(());
         }
-        let write = || -> std::io::Result<()> {
-            if let Some(dir) = path.parent() {
-                std::fs::create_dir_all(dir)?;
-            }
-            let _cross_process = crate::lockfile::LockFile::acquire(
-                &path.with_extension("json.lock"),
-                std::time::Duration::from_secs(10),
-            )?;
-            self.merge_from_disk(path);
-            let doc = dump_entries(&self.mem.lock().unwrap());
-            let tmp = path.with_extension(format!("json.tmp.{}", std::process::id()));
-            {
-                let mut f = std::fs::File::create(&tmp)?;
-                f.write_all(doc.to_string().as_bytes())?;
-                f.sync_all()?;
-            }
-            std::fs::rename(&tmp, path)
-        };
-        let result = write();
+        let result = self.flush(path, log_path, &lines);
         if result.is_err() {
-            // The entries are still only in memory; make sure a later
-            // persist retries instead of skipping as clean.
-            self.dirty.store(true, Ordering::Release);
+            // Re-queue at the front: entries stored while we were flushing
+            // must stay *after* these lines so last-wins replay holds.
+            // (Lines that did reach the log before the error will be
+            // appended again on retry — harmless, replay is idempotent.)
+            let mut state = self.mem.lock().unwrap();
+            let tail = std::mem::replace(&mut state.pending, lines);
+            state.pending.extend(tail);
         }
         result
     }
 
-    /// Fold entries currently on disk into memory, keeping our own entry on
-    /// key collisions (ours is at least as fresh). Unreadable or corrupted
-    /// files are ignored — persist then simply rewrites them.
-    fn merge_from_disk(&self, path: &Path) {
-        let Ok(text) = std::fs::read_to_string(path) else { return };
-        let mut ignored = CacheStats::default();
-        let Ok(disk) = load_entries(&text, &mut ignored) else { return };
-        let mut mem = self.mem.lock().unwrap();
-        for (key, entry) in disk {
-            mem.entry(key).or_insert(entry);
+    fn flush(&self, path: &Path, log_path: &Path, lines: &[String]) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let _cross_process = crate::lockfile::LockFile::acquire(
+            &path.with_extension("json.lock"),
+            std::time::Duration::from_secs(10),
+        )?;
+        let mut payload = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
+        for line in lines {
+            payload.push_str(line);
+            payload.push('\n');
+        }
+        let log_len = {
+            let mut f = std::fs::OpenOptions::new().create(true).append(true).open(log_path)?;
+            f.write_all(payload.as_bytes())?;
+            f.sync_all()?;
+            f.metadata()?.len()
+        };
+        self.stats.lock().unwrap().appended += lines.len() as u64;
+        // The first persist into a fresh directory compacts immediately so
+        // a snapshot always exists once anything has been persisted;
+        // subsequent persists are cheap appends until the log outgrows its
+        // threshold (or a corrupt snapshot demands a rewrite).
+        if log_len > self.limits.log_compact_bytes
+            || self.force_compact.load(Ordering::Acquire)
+            || !path.exists()
+        {
+            self.compact(path, log_path)?;
+            self.force_compact.store(false, Ordering::Release);
+            self.stats.lock().unwrap().compactions += 1;
+        }
+        Ok(())
+    }
+
+    /// Fold snapshot + log + memory into a fresh snapshot. Runs under both
+    /// the persist mutex and the cross-process advisory lock. Disk-state
+    /// reads make this a union with other processes writing the same
+    /// directory; in-memory entries win key collisions (ours are at least
+    /// as fresh — every local store is already in the log by now).
+    /// In-memory entries are always kept; disk-only entries fill whatever
+    /// entry/byte budget the limits leave, in key order.
+    fn compact(&self, path: &Path, log_path: &Path) -> std::io::Result<()> {
+        let mut merged: HashMap<String, String> = HashMap::new();
+        if let Ok(text) = std::fs::read_to_string(path) {
+            let mut ignored = CacheStats::default();
+            if let Ok(map) = load_entries(&text, &mut ignored) {
+                for (key, entry) in map {
+                    let line = entry_json(&key, &entry).to_string();
+                    merged.insert(key, line);
+                }
+            }
+        }
+        if let Ok(text) = std::fs::read_to_string(log_path) {
+            for line in text.lines() {
+                if let Some((key, _)) = json::parse(line).ok().as_ref().and_then(load_entry) {
+                    merged.insert(key, line.to_owned());
+                }
+            }
+        }
+        let mut keep: Vec<(String, String)> = {
+            let state = self.mem.lock().unwrap();
+            state.map.iter().map(|(k, slot)| (k.clone(), slot.line.clone())).collect()
+        };
+        for (key, _) in &keep {
+            merged.remove(key);
+        }
+        let mut entries_left = self.limits.max_entries.map(|m| m.saturating_sub(keep.len()));
+        let mut bytes_left = self
+            .limits
+            .max_bytes
+            .map(|m| m.saturating_sub(keep.iter().map(|(_, l)| l.len()).sum()));
+        let mut disk_only: Vec<(String, String)> = merged.into_iter().collect();
+        disk_only.sort();
+        for (key, line) in disk_only {
+            let fits =
+                entries_left.is_none_or(|n| n > 0) && bytes_left.is_none_or(|b| line.len() <= b);
+            if !fits {
+                continue;
+            }
+            if let Some(n) = &mut entries_left {
+                *n -= 1;
+            }
+            if let Some(b) = &mut bytes_left {
+                *b -= line.len();
+            }
+            keep.push((key, line));
+        }
+        keep.sort();
+
+        // Each kept line is already a serialized entry object; the
+        // snapshot document is just the version-1 envelope around them.
+        let mut doc = String::from("{\"version\":1,\"entries\":[");
+        for (i, (_, line)) in keep.iter().enumerate() {
+            if i > 0 {
+                doc.push(',');
+            }
+            doc.push_str(line);
+        }
+        doc.push_str("]}");
+
+        let tmp = path.with_extension(format!("json.tmp.{}", std::process::id()));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(doc.as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        // The log is now redundant: every line is superseded by the
+        // snapshot, so a crash before this unlink only replays no-ops.
+        match std::fs::remove_file(log_path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
         }
     }
 }
@@ -272,43 +640,36 @@ pub(crate) fn error_from(name: &str) -> Option<CompileError> {
     }
 }
 
-fn dump_entries(map: &HashMap<String, CacheEntry>) -> Json {
-    // Sort keys so the file is deterministic (easy to diff and to test).
-    let mut keys: Vec<&String> = map.keys().collect();
-    keys.sort();
-    let entries = keys
-        .into_iter()
-        .map(|key| {
-            let mut obj = vec![("key".to_owned(), Json::Str(key.clone()))];
-            match &map[key] {
-                CacheEntry::Compiled(a) => {
-                    obj.push(("kind".to_owned(), "compiled".into()));
-                    obj.push(("tier".to_owned(), a.tier.name().into()));
-                    obj.push(("uber".to_owned(), uber_ir::sexpr::to_sexpr(&a.uber).into()));
-                    obj.push(("hvx".to_owned(), hvx::sexpr::to_sexpr(&a.hvx).into()));
-                    let steps = a
-                        .trace
-                        .steps
-                        .iter()
-                        .map(|s| {
-                            Json::obj([
-                                ("rule", rule_name(s.rule).into()),
-                                ("halide", s.halide.as_str().into()),
-                                ("lifted", s.lifted.as_str().into()),
-                            ])
-                        })
-                        .collect();
-                    obj.push(("trace".to_owned(), Json::Arr(steps)));
-                }
-                CacheEntry::Failed(err) => {
-                    obj.push(("kind".to_owned(), "failed".into()));
-                    obj.push(("error".to_owned(), error_name(err).into()));
-                }
-            }
-            Json::Obj(obj)
-        })
-        .collect();
-    Json::obj([("version", 1u64.into()), ("entries", Json::Arr(entries))])
+/// One entry as its self-describing JSON object — the shape shared by the
+/// snapshot's `entries` array and the segment log's lines.
+fn entry_json(key: &str, entry: &CacheEntry) -> Json {
+    let mut obj = vec![("key".to_owned(), Json::Str(key.to_owned()))];
+    match entry {
+        CacheEntry::Compiled(a) => {
+            obj.push(("kind".to_owned(), "compiled".into()));
+            obj.push(("tier".to_owned(), a.tier.name().into()));
+            obj.push(("uber".to_owned(), uber_ir::sexpr::to_sexpr(&a.uber).into()));
+            obj.push(("hvx".to_owned(), hvx::sexpr::to_sexpr(&a.hvx).into()));
+            let steps = a
+                .trace
+                .steps
+                .iter()
+                .map(|s| {
+                    Json::obj([
+                        ("rule", rule_name(s.rule).into()),
+                        ("halide", s.halide.as_str().into()),
+                        ("lifted", s.lifted.as_str().into()),
+                    ])
+                })
+                .collect();
+            obj.push(("trace".to_owned(), Json::Arr(steps)));
+        }
+        CacheEntry::Failed(err) => {
+            obj.push(("kind".to_owned(), "failed".into()));
+            obj.push(("error".to_owned(), error_name(err).into()));
+        }
+    }
+    Json::Obj(obj)
 }
 
 fn load_entries(text: &str, stats: &mut CacheStats) -> Result<HashMap<String, CacheEntry>, String> {
@@ -370,6 +731,10 @@ mod tests {
     use lanes::ElemType::{U16, U8};
 
     fn artifacts() -> CachedArtifacts {
+        artifacts_at(Tier::Reduced)
+    }
+
+    fn artifacts_at(tier: Tier) -> CachedArtifacts {
         let hvx = hvx::HvxExpr::op(
             hvx::Op::Vtmpy { elem: U8, w0: 1, w1: 2 },
             vec![hvx::HvxExpr::vmem("b0", U8, -1, 0), hvx::HvxExpr::vmem("b0", U8, 7, 0)],
@@ -381,7 +746,7 @@ mod tests {
             halide: "u16(b0(x-1, y))".to_owned(),
             lifted: "(vs-mpy-add ...)".to_owned(),
         });
-        CachedArtifacts { uber, hvx, trace, tier: Tier::Reduced }
+        CachedArtifacts { uber, hvx, trace, tier }
     }
 
     #[test]
@@ -428,11 +793,14 @@ mod tests {
         let cache = SynthCache::persistent(&dir);
         assert!(cache.is_empty());
         assert_eq!(cache.stats().corrupted, 1);
-        // Still fully usable, and persist() repairs the file.
+        // Still fully usable, and persist() repairs the file (the load
+        // schedules a compaction that rewrites the damaged snapshot).
         cache.store("k", CacheEntry::Failed(CompileError::LowerFailed));
         cache.persist().unwrap();
+        assert_eq!(cache.stats().compactions, 1, "corruption must force a repairing compaction");
         let warm = SynthCache::persistent(&dir);
         assert_eq!(warm.len(), 1);
+        assert_eq!(warm.stats().corrupted, 0, "the snapshot must be healed");
 
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -456,5 +824,164 @@ mod tests {
         assert!(matches!(cache.lookup("good"), Some(CacheEntry::Failed(CompileError::LiftFailed))));
 
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persist_appends_to_log_without_rewriting_snapshot() {
+        let dir = std::env::temp_dir().join("rake-driver-cache-appendlog");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let cache = SynthCache::persistent(&dir);
+        cache.store("k1", CacheEntry::Failed(CompileError::LiftFailed));
+        cache.persist().unwrap();
+        // The first persist bootstraps the snapshot (and empties the log).
+        let snapshot_after_one = std::fs::read_to_string(dir.join(CACHE_FILE)).unwrap();
+        assert!(!dir.join(LOG_FILE).exists(), "bootstrap compaction folds the log away");
+
+        cache.store("k2", CacheEntry::Failed(CompileError::LowerFailed));
+        cache.persist().unwrap();
+        let log_after_two = std::fs::metadata(dir.join(LOG_FILE)).unwrap().len();
+        assert!(log_after_two > 0, "later persists append to the log");
+        assert_eq!(
+            std::fs::read_to_string(dir.join(CACHE_FILE)).unwrap(),
+            snapshot_after_one,
+            "an append-sized persist must not rewrite the snapshot"
+        );
+        assert_eq!(cache.stats().appended, 2);
+
+        // Idempotent re-store + persist: nothing new to flush.
+        cache.store("k1", CacheEntry::Failed(CompileError::LiftFailed));
+        cache.persist().unwrap();
+        assert_eq!(
+            std::fs::metadata(dir.join(LOG_FILE)).unwrap().len(),
+            log_after_two,
+            "re-storing an identical entry must not grow the log"
+        );
+
+        let warm = SynthCache::persistent(&dir);
+        assert_eq!(warm.len(), 2);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_log_is_compacted_into_snapshot() {
+        let dir = std::env::temp_dir().join("rake-driver-cache-compact");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let limits = CacheLimits { log_compact_bytes: 64, ..CacheLimits::unbounded() };
+        let cache = SynthCache::bounded(&dir, limits);
+        for i in 0..4 {
+            cache.store(&format!("key-{i}"), CacheEntry::Failed(CompileError::LiftFailed));
+            cache.persist().unwrap();
+        }
+        assert!(cache.stats().compactions >= 1, "a 64-byte threshold must trigger compaction");
+        assert!(dir.join(CACHE_FILE).exists(), "compaction writes the snapshot");
+        let (snapshot_bytes, log_bytes) = cache.disk_bytes();
+        assert!(snapshot_bytes > 0);
+        assert!(log_bytes <= 64, "the log shrinks back under the threshold after compaction");
+
+        let warm = SynthCache::persistent(&dir);
+        assert_eq!(warm.len(), 4, "compaction must not lose entries");
+        assert_eq!(warm.stats().corrupted, 0);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_prefers_cheap_tiers_then_lru() {
+        let limits = CacheLimits { max_entries: Some(3), ..CacheLimits::unbounded() };
+        let cache = SynthCache::in_memory_bounded(limits);
+        cache.store("full", CacheEntry::Compiled(artifacts_at(Tier::Full)));
+        cache.store("direct-old", CacheEntry::Compiled(artifacts_at(Tier::Direct)));
+        cache.store("direct-new", CacheEntry::Compiled(artifacts_at(Tier::Direct)));
+        // Refresh direct-old: within the Direct class, direct-new is now
+        // the least recently used.
+        assert!(cache.lookup("direct-old").is_some());
+
+        cache.store("negative", CacheEntry::Failed(CompileError::LiftFailed));
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats().evicted, 1);
+        assert!(cache.contains("full"), "a Full-tier proof must outlive cheap Direct-tier entries");
+        assert!(cache.contains("negative"), "negative verdicts are evicted last");
+        assert!(cache.contains("direct-old"), "LRU within the class: the touched entry survives");
+        assert!(!cache.contains("direct-new"), "the cold Direct entry goes first");
+    }
+
+    #[test]
+    fn byte_bound_evicts_but_keeps_at_least_one_entry() {
+        let limits = CacheLimits { max_bytes: Some(1), ..CacheLimits::unbounded() };
+        let cache = SynthCache::in_memory_bounded(limits);
+        cache.store("a", CacheEntry::Failed(CompileError::LiftFailed));
+        assert_eq!(cache.len(), 1, "a single oversized entry is retained");
+        cache.store("b", CacheEntry::Failed(CompileError::LowerFailed));
+        assert_eq!(cache.len(), 1, "the byte bound holds the cache at one entry");
+        assert_eq!(cache.stats().evicted, 1);
+        assert!(cache.total_bytes() > 0);
+    }
+
+    #[test]
+    fn bounded_load_trims_disk_state() {
+        let dir = std::env::temp_dir().join("rake-driver-cache-boundload");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let writer = SynthCache::persistent(&dir);
+        for i in 0..8 {
+            writer.store(&format!("key-{i}"), CacheEntry::Failed(CompileError::LiftFailed));
+        }
+        writer.persist().unwrap();
+
+        let limits = CacheLimits { max_entries: Some(3), ..CacheLimits::unbounded() };
+        let bounded = SynthCache::bounded(&dir, limits);
+        assert_eq!(bounded.len(), 3, "load must respect the entry bound");
+        assert_eq!(bounded.stats().evicted, 5);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_respects_bounds_on_disk() {
+        let dir = std::env::temp_dir().join("rake-driver-cache-boundcompact");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let limits = CacheLimits { max_entries: Some(2), max_bytes: None, log_compact_bytes: 1 };
+        let cache = SynthCache::bounded(&dir, limits);
+        for i in 0..6 {
+            cache.store(&format!("key-{i}"), CacheEntry::Failed(CompileError::LiftFailed));
+            cache.persist().unwrap();
+        }
+        // Every persist compacted (1-byte threshold); the snapshot must
+        // carry at most max_entries entries, so the file size plateaus.
+        let warm = SynthCache::persistent(&dir);
+        assert!(warm.len() <= 2, "snapshot must be bounded, found {} entries", warm.len());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn floor_lookup_rejects_degraded_entries() {
+        let cache = SynthCache::in_memory();
+        cache.store("k", CacheEntry::Compiled(artifacts_at(Tier::Direct)));
+        assert!(cache.lookup_meeting("k", Tier::Direct).is_some());
+        assert!(cache.lookup_meeting("k", Tier::Full).is_none(), "Direct entry under a Full floor");
+        assert!(!cache.contains_meeting("k", Tier::Reduced));
+        assert!(cache.contains_meeting("k", Tier::Direct));
+        let stats = cache.stats();
+        assert_eq!(stats.floor_misses, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+
+        // Negative entries are primary-tier verdicts: they meet any floor.
+        cache.store("neg", CacheEntry::Failed(CompileError::LiftFailed));
+        assert!(cache.lookup_meeting("neg", Tier::Full).is_some());
+        assert!(cache.contains_meeting("neg", Tier::Full));
+
+        // Recompiling at a better tier overwrites; the floor now passes.
+        cache.store("k", CacheEntry::Compiled(artifacts_at(Tier::Full)));
+        assert!(cache.lookup_meeting("k", Tier::Full).is_some());
     }
 }

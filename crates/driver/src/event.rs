@@ -1,5 +1,5 @@
-//! Structured driver events, the write-ahead journal records, and the
-//! batch summary table.
+//! Structured driver events, the write-ahead [`Journal`], and the batch
+//! summary table.
 //!
 //! Every batch produces a stream of [`DriverEvent`]s: one `batch_started`,
 //! one `job_completed` per *unique* job in completion order (appended and
@@ -10,12 +10,29 @@
 //! one self-describing object per line, keyed by an `"event"`
 //! discriminator — so logs can be tailed, grepped, and post-processed
 //! without this crate.
+//!
+//! The [`Journal`] is the on-disk form of that stream and doubles as the
+//! write-ahead log. To keep restart cost bounded it *rotates* at a
+//! configurable size: the file is folded into one compact `job_completed`
+//! snapshot record per key (exactly the information replay consumes,
+//! marked `"snapshot":true` and preceded by a `journal_rotated` marker)
+//! written via tmp + rename, and subsequent events append as the tail.
+//! Replay of snapshot + tail is byte-identical to replaying the unrotated
+//! stream, because rotation preserves the latest record per key and
+//! replay is last-record-wins. Rotation assumes a single writing process
+//! per journal path (the serving layer shares one [`Journal`] across its
+//! per-request drivers for exactly this reason).
 
+use std::collections::{BTreeMap, HashMap};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 use synth::SynthStats;
 
-use crate::json::Json;
+use crate::json::{self, Json};
 use crate::tier::Tier;
 
 /// How one job concluded.
@@ -283,6 +300,183 @@ impl DriverEvent {
     }
 }
 
+/// A journal record replayed by [`crate::Driver::resume`].
+#[derive(Debug, Clone)]
+pub(crate) struct ReplayRecord {
+    pub(crate) outcome: OutcomeKind,
+    pub(crate) detail: Option<String>,
+    pub(crate) retries: u32,
+}
+
+/// Parse the write-ahead journal at `path` into the latest
+/// `job_completed` record per key. Torn or malformed lines — the final
+/// append of a crashed run, a corrupted span — are skipped, never fatal.
+/// Returns `None` when the file does not exist.
+pub(crate) fn parse_journal(path: &Path) -> Option<HashMap<String, ReplayRecord>> {
+    let bytes = std::fs::read(path).ok()?;
+    Some(replay_records(&String::from_utf8_lossy(&bytes)))
+}
+
+/// The replay map of a journal text: last `job_completed` record per key,
+/// unknown events (including rotation markers) and torn lines skipped.
+fn replay_records(text: &str) -> HashMap<String, ReplayRecord> {
+    let mut map = HashMap::new();
+    for line in text.lines() {
+        let Ok(v) = json::parse(line) else { continue };
+        if v.get("event").and_then(Json::as_str) != Some("job_completed") {
+            continue;
+        }
+        let Some(key) = v.get("key").and_then(Json::as_str) else { continue };
+        let Some(outcome) =
+            v.get("outcome").and_then(Json::as_str).and_then(OutcomeKind::from_name)
+        else {
+            continue;
+        };
+        let detail = v.get("detail").and_then(Json::as_str).map(str::to_owned);
+        let retries = v.get("retries").and_then(Json::as_i64).and_then(|n| u32::try_from(n).ok());
+        map.insert(key.to_owned(), ReplayRecord { outcome, detail, retries: retries.unwrap_or(0) });
+    }
+    map
+}
+
+/// The streaming JSONL journal: one line per event, with write-ahead
+/// durability for the records that gate recovery and size-triggered
+/// rotation keeping replay cost bounded (see the module docs).
+#[derive(Debug)]
+pub struct Journal {
+    inner: Mutex<JournalInner>,
+    path: PathBuf,
+    /// Rotate once the file exceeds this many bytes; `None` never rotates.
+    rotate_bytes: Option<u64>,
+    rotations: AtomicU64,
+}
+
+#[derive(Debug)]
+struct JournalInner {
+    file: std::fs::File,
+    bytes: u64,
+}
+
+impl Journal {
+    /// Open (appending) or create the journal at `path`, rotating at
+    /// `rotate_bytes` if given.
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures creating the parent directory or opening the
+    /// file.
+    pub fn open(path: &Path, rotate_bytes: Option<u64>) -> io::Result<Journal> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        let bytes = file.metadata()?.len();
+        Ok(Journal {
+            inner: Mutex::new(JournalInner { file, bytes }),
+            path: path.to_owned(),
+            rotate_bytes,
+            rotations: AtomicU64::new(0),
+        })
+    }
+
+    /// The journal file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Current size of the journal file in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.inner.lock().unwrap().bytes
+    }
+
+    /// Rotations performed since this handle was opened.
+    pub fn rotations(&self) -> u64 {
+        self.rotations.load(Ordering::Relaxed)
+    }
+
+    /// Append one record and fsync it (write-ahead semantics: a record
+    /// is only promised once it survives a crash). Reserve this for
+    /// records that gate recovery — `job_completed` for fresh work.
+    pub fn append(&self, event: &DriverEvent) {
+        self.write(event, true);
+    }
+
+    /// Append one record without forcing it to disk. For informational
+    /// records (batch markers, per-input stats, cache-hit completions):
+    /// losing them to a crash costs nothing on resume, and skipping the
+    /// fsync keeps all-cache-hit batches off the disk's commit path.
+    pub fn append_relaxed(&self, event: &DriverEvent) {
+        self.write(event, false);
+    }
+
+    fn write(&self, event: &DriverEvent, durable: bool) {
+        let mut line = event.to_jsonl();
+        line.push('\n');
+        let mut inner = self.inner.lock().unwrap();
+        let result = inner.file.write_all(line.as_bytes()).and_then(|()| {
+            if durable {
+                inner.file.sync_data()
+            } else {
+                Ok(())
+            }
+        });
+        match result {
+            Ok(()) => inner.bytes += line.len() as u64,
+            Err(err) => {
+                eprintln!("warning: failed to append event journal {}: {err}", self.path.display());
+                return;
+            }
+        }
+        if self.rotate_bytes.is_some_and(|limit| inner.bytes > limit) {
+            if let Err(err) = self.rotate(&mut inner) {
+                eprintln!("warning: failed to rotate event journal {}: {err}", self.path.display());
+            }
+        }
+    }
+
+    /// Fold the journal into its replay snapshot: one `job_completed`
+    /// record per key (sorted, marked `"snapshot":true`) behind a
+    /// `journal_rotated` marker, written tmp + fsync + rename. Replaying
+    /// the rotated file yields exactly the same map as the original —
+    /// informational events are dropped, which is the point (bounded
+    /// restart cost). Called with the writer lock held.
+    fn rotate(&self, inner: &mut JournalInner) -> io::Result<()> {
+        let text = std::fs::read_to_string(&self.path)?;
+        let records: BTreeMap<String, ReplayRecord> = replay_records(&text).into_iter().collect();
+        let mut doc =
+            Json::obj([("event", "journal_rotated".into()), ("records", records.len().into())])
+                .to_string();
+        doc.push('\n');
+        for (key, rec) in records {
+            let mut obj = vec![
+                ("event".to_owned(), "job_completed".into()),
+                ("key".to_owned(), Json::Str(key)),
+                ("outcome".to_owned(), rec.outcome.name().into()),
+            ];
+            if let Some(detail) = rec.detail {
+                obj.push(("detail".to_owned(), Json::Str(detail)));
+            }
+            obj.push(("retries".to_owned(), u64::from(rec.retries).into()));
+            obj.push(("snapshot".to_owned(), true.into()));
+            doc.push_str(&Json::Obj(obj).to_string());
+            doc.push('\n');
+        }
+        let tmp = self.path.with_extension(format!("rotate.tmp.{}", std::process::id()));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(doc.as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        inner.file = std::fs::OpenOptions::new().create(true).append(true).open(&self.path)?;
+        inner.bytes = inner.file.metadata()?.len();
+        self.rotations.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
 /// Render the event stream as a human-readable summary table: one row per
 /// job plus a totals line. Intended for end-of-batch console output.
 pub fn summary_table(events: &[DriverEvent]) -> String {
@@ -411,6 +605,66 @@ mod tests {
         assert_eq!(v.get("retries").unwrap().as_i64(), Some(2));
         assert_eq!(v.get("fault_injected").unwrap().as_bool(), Some(true));
         assert!(v.get("replayed").is_none(), "replayed is emitted only when true");
+    }
+
+    #[test]
+    fn rotation_folds_the_journal_and_preserves_replay() {
+        let dir = std::env::temp_dir().join("rake-driver-journal-rotate");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+
+        let completed = |key: &str, outcome: OutcomeKind, retries: u32| DriverEvent::JobCompleted {
+            key: key.to_owned(),
+            outcome,
+            detail: (outcome == OutcomeKind::Failed).then(|| "lower_failed".to_owned()),
+            tier: Tier::Baseline,
+            retries,
+            fault_injected: false,
+            replayed: false,
+            run_time: Duration::from_millis(1),
+        };
+        let journal = Journal::open(&path, Some(512)).unwrap();
+        for i in 0..12 {
+            // Informational noise interleaved with recovery records: the
+            // noise must be dropped by rotation, the records kept.
+            journal.append_relaxed(&DriverEvent::BatchStarted {
+                jobs: i,
+                unique: i,
+                workers: 1,
+                cache_entries: 0,
+            });
+            let outcome = if i % 3 == 0 { OutcomeKind::Failed } else { OutcomeKind::Compiled };
+            journal.append(&completed(&format!("key-{i:02}"), outcome, i as u32));
+        }
+        // Re-complete one key: last record wins through rotation too.
+        journal.append(&completed("key-00", OutcomeKind::Compiled, 9));
+        assert!(journal.rotations() >= 1, "512-byte threshold must have rotated");
+        assert!(journal.bytes() < 4096, "rotated journal stays bounded");
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"event\":\"journal_rotated\""));
+        assert!(text.contains("\"snapshot\":true"));
+        assert!(!text.contains("batch_started"), "informational events are folded away");
+
+        let replay = parse_journal(&path).unwrap();
+        assert_eq!(replay.len(), 12);
+        for i in 0..12 {
+            let rec = replay.get(&format!("key-{i:02}")).unwrap();
+            let expect =
+                if i == 0 || i % 3 != 0 { OutcomeKind::Compiled } else { OutcomeKind::Failed };
+            assert_eq!(rec.outcome, expect, "key-{i:02}");
+            if rec.outcome == OutcomeKind::Failed {
+                assert_eq!(rec.detail.as_deref(), Some("lower_failed"));
+            }
+        }
+        assert_eq!(replay.get("key-00").unwrap().retries, 9, "last record wins");
+
+        // Appends continue cleanly on the reopened handle.
+        journal.append(&completed("key-99", OutcomeKind::Compiled, 0));
+        assert!(parse_journal(&path).unwrap().contains_key("key-99"));
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

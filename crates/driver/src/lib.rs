@@ -60,9 +60,8 @@ pub mod lockfile;
 pub mod tier;
 
 use std::collections::HashMap;
-use std::io::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -71,8 +70,10 @@ use hvx::Program;
 use rake::{CompileError, Compiled, Rake};
 use synth::{LoweringOptions, SynthStats};
 
+pub use cache::CacheLimits;
 use cache::{CacheEntry, CacheStats, CachedArtifacts, SynthCache};
-use event::{DriverEvent, JobRecord, OutcomeKind};
+pub use event::Journal;
+use event::{DriverEvent, JobRecord, OutcomeKind, ReplayRecord};
 pub use tier::Tier;
 
 /// Service-layer configuration.
@@ -95,15 +96,28 @@ pub struct DriverConfig {
     pub max_retries: u32,
     /// Backoff before the first retry; doubles per subsequent retry.
     pub retry_backoff: Duration,
-    /// Directory for the persistent cache layer (`synthcache.json`).
-    /// `None` keeps the cache in memory only.
+    /// Directory for the persistent cache layer (`synthcache.json` plus
+    /// the `synthcache.log` segment log). `None` keeps the cache in
+    /// memory only.
     pub cache_dir: Option<PathBuf>,
+    /// Lifecycle bounds for the synthesis cache built by
+    /// [`Driver::with_config`]: in-memory entry/byte caps (cost-aware LRU
+    /// eviction) and the segment-log compaction threshold. The default is
+    /// unbounded, the historical behavior.
+    pub cache_limits: CacheLimits,
     /// File to append the JSONL event stream to. Doubles as the
     /// write-ahead journal: `job_completed` records are appended and
     /// flushed as workers finish, and [`Driver::resume`] replays them.
     /// `None` disables logging to disk (events are still collected on the
     /// [`BatchReport`]).
     pub log_path: Option<PathBuf>,
+    /// Rotate the journal once it exceeds this many bytes: fold it into
+    /// one snapshot record per key so restart replay stays bounded (see
+    /// [`Journal`]). `None` (the default) never rotates. Rotation assumes
+    /// this process is the journal's only writer; a server sharing one
+    /// journal across drivers should install it via
+    /// [`Driver::with_shared_journal`].
+    pub journal_rotate_bytes: Option<u64>,
     /// Run every compiled program through the differential oracle after
     /// synthesis: execute it on adversarial inputs and compare against the
     /// Halide IR interpreter. Mismatch counts land on
@@ -134,7 +148,9 @@ impl Default for DriverConfig {
             max_retries: 1,
             retry_backoff: Duration::from_millis(25),
             cache_dir: None,
+            cache_limits: CacheLimits::default(),
             log_path: None,
+            journal_rotate_bytes: None,
             validate: false,
             cancel: None,
             manage_thread_budget: true,
@@ -306,6 +322,9 @@ pub struct Driver {
     config: DriverConfig,
     compile_fn: CompileFn,
     sink: Option<EventSink>,
+    /// A pre-opened journal shared across drivers (the serving layer's
+    /// single writer); `None` opens one per batch from `log_path`.
+    journal: Option<Arc<Journal>>,
     #[cfg(feature = "chaos")]
     chaos: Option<chaos::FaultPlan>,
 }
@@ -321,17 +340,19 @@ impl Driver {
             config: DriverConfig::default(),
             compile_fn,
             sink: None,
+            journal: None,
             #[cfg(feature = "chaos")]
             chaos: None,
         }
     }
 
     /// Replace the configuration. Setting `cache_dir` switches to (and
-    /// loads) the persistent cache layer.
+    /// loads) the persistent cache layer, bounded by
+    /// [`DriverConfig::cache_limits`].
     pub fn with_config(mut self, config: DriverConfig) -> Driver {
         self.cache = Arc::new(match &config.cache_dir {
-            Some(dir) => SynthCache::persistent(dir),
-            None => SynthCache::in_memory(),
+            Some(dir) => SynthCache::bounded(dir, config.cache_limits),
+            None => SynthCache::in_memory_bounded(config.cache_limits),
         });
         self.config = config;
         self
@@ -344,6 +365,17 @@ impl Driver {
     /// cache from `cache_dir`).
     pub fn with_shared_cache(mut self, cache: Arc<SynthCache>) -> Driver {
         self.cache = cache;
+        self
+    }
+
+    /// Share a pre-opened [`Journal`] across drivers. Journal rotation
+    /// renames the file out from under any other open handle, so a server
+    /// running many per-request drivers against one log path must open the
+    /// journal once at startup and hand the same handle to every driver —
+    /// this installs it. Takes precedence over [`DriverConfig::log_path`]
+    /// for both appending and [`Driver::resume`] replay.
+    pub fn with_shared_journal(mut self, journal: Arc<Journal>) -> Driver {
+        self.journal = Some(journal);
         self
     }
 
@@ -443,8 +475,12 @@ impl Driver {
     }
 
     fn load_journal(&self) -> Option<HashMap<String, ReplayRecord>> {
-        let path = self.config.log_path.as_ref()?;
-        parse_journal(path)
+        let path = match (&self.journal, &self.config.log_path) {
+            (Some(journal), _) => journal.path().to_owned(),
+            (None, Some(path)) => path.clone(),
+            (None, None) => return None,
+        };
+        event::parse_journal(&path)
     }
 
     fn run(
@@ -481,13 +517,19 @@ impl Driver {
         // The journal streams from here on: the batch header immediately,
         // one flushed job_completed record per unique job as workers
         // finish, the per-input records at the end.
-        let journal = self.config.log_path.as_ref().and_then(|path| match Journal::open(path) {
-            Ok(j) => Some(j),
-            Err(err) => {
-                eprintln!("warning: cannot open event journal {}: {err}", path.display());
-                None
-            }
-        });
+        let journal: Option<Arc<Journal>> = match &self.journal {
+            Some(journal) => Some(Arc::clone(journal)),
+            None => self.config.log_path.as_ref().and_then(|path| {
+                match Journal::open(path, self.config.journal_rotate_bytes) {
+                    Ok(j) => Some(Arc::new(j)),
+                    Err(err) => {
+                        eprintln!("warning: cannot open event journal {}: {err}", path.display());
+                        None
+                    }
+                }
+            }),
+        };
+        let journal = journal.as_deref();
         let started = DriverEvent::BatchStarted {
             jobs: plan.len(),
             unique: unique.len(),
@@ -504,7 +546,7 @@ impl Driver {
 
         let completed: Mutex<Vec<DriverEvent>> = Mutex::new(Vec::new());
         let unique_results =
-            self.drain_queue(&unique, batch_start, replay.as_ref(), journal.as_ref(), &completed);
+            self.drain_queue(&unique, batch_start, replay.as_ref(), journal, &completed);
         events.extend(completed.into_inner().unwrap());
         let tail_start = events.len();
 
@@ -801,7 +843,14 @@ impl Driver {
             }
         }
 
-        match self.cache.lookup(&job.key) {
+        // The weakest configured tier is the request's quality floor: a
+        // cached artifact produced below it (by a previous, more degraded
+        // run) is not good enough — recompile and overwrite it.
+        let tiers: &[Tier] =
+            if self.config.tiers.is_empty() { &[Tier::Full] } else { &self.config.tiers };
+        let floor = tiers.iter().copied().max_by_key(|t| t.rank()).unwrap_or(Tier::Full);
+
+        match self.cache.lookup_meeting(&job.key, floor) {
             Some(CacheEntry::Compiled(artifacts)) => {
                 let outcome = UniqueOutcome::Compiled {
                     artifacts: Box::new(artifacts),
@@ -817,8 +866,6 @@ impl Driver {
 
         // The degradation ladder. Tier i gets weight_i / remaining_weight
         // of whatever wall-clock budget is left when it starts.
-        let tiers: &[Tier] =
-            if self.config.tiers.is_empty() { &[Tier::Full] } else { &self.config.tiers };
         let hard_end = self.config.job_timeout.map(|budget| picked + budget);
         let mut remaining_weight: u32 = tiers.iter().map(|t| t.weight()).sum();
         let mut first_terminal: Option<UniqueOutcome> = None;
@@ -1003,89 +1050,6 @@ impl UniqueResult {
         match &self.outcome {
             UniqueOutcome::Compiled { artifacts, .. } => artifacts.tier,
             _ => Tier::Baseline,
-        }
-    }
-}
-
-/// A journal record replayed by [`Driver::resume`].
-struct ReplayRecord {
-    outcome: OutcomeKind,
-    detail: Option<String>,
-    retries: u32,
-}
-
-/// Parse the write-ahead journal at `path` into the latest
-/// `job_completed` record per key. Torn or malformed lines — the final
-/// append of a crashed run, a corrupted span — are skipped, never fatal.
-/// Returns `None` when the file does not exist.
-fn parse_journal(path: &Path) -> Option<HashMap<String, ReplayRecord>> {
-    let bytes = std::fs::read(path).ok()?;
-    let text = String::from_utf8_lossy(&bytes);
-    let mut map = HashMap::new();
-    for line in text.lines() {
-        let Ok(v) = json::parse(line) else { continue };
-        if v.get("event").and_then(json::Json::as_str) != Some("job_completed") {
-            continue;
-        }
-        let Some(key) = v.get("key").and_then(json::Json::as_str) else { continue };
-        let Some(outcome) =
-            v.get("outcome").and_then(json::Json::as_str).and_then(OutcomeKind::from_name)
-        else {
-            continue;
-        };
-        let detail = v.get("detail").and_then(json::Json::as_str).map(str::to_owned);
-        let retries =
-            v.get("retries").and_then(json::Json::as_i64).and_then(|n| u32::try_from(n).ok());
-        map.insert(key.to_owned(), ReplayRecord { outcome, detail, retries: retries.unwrap_or(0) });
-    }
-    Some(map)
-}
-
-/// The streaming JSONL journal: one flushed line per event.
-struct Journal {
-    file: Mutex<std::fs::File>,
-    path: PathBuf,
-}
-
-impl Journal {
-    fn open(path: &Path) -> std::io::Result<Journal> {
-        if let Some(dir) = path.parent() {
-            if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir)?;
-            }
-        }
-        let file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
-        Ok(Journal { file: Mutex::new(file), path: path.to_owned() })
-    }
-
-    /// Append one record and fsync it (write-ahead semantics: a record
-    /// is only promised once it survives a crash). Reserve this for
-    /// records that gate recovery — `job_completed` for fresh work.
-    fn append(&self, event: &DriverEvent) {
-        self.write(event, true);
-    }
-
-    /// Append one record without forcing it to disk. For informational
-    /// records (batch markers, per-input stats, cache-hit completions):
-    /// losing them to a crash costs nothing on resume, and skipping the
-    /// fsync keeps all-cache-hit batches off the disk's commit path.
-    fn append_relaxed(&self, event: &DriverEvent) {
-        self.write(event, false);
-    }
-
-    fn write(&self, event: &DriverEvent, durable: bool) {
-        let mut line = event.to_jsonl();
-        line.push('\n');
-        let mut file = self.file.lock().unwrap();
-        let result = file.write_all(line.as_bytes()).and_then(|()| {
-            if durable {
-                file.sync_data()
-            } else {
-                Ok(())
-            }
-        });
-        if let Err(err) = result {
-            eprintln!("warning: failed to append event journal {}: {err}", self.path.display());
         }
     }
 }

@@ -72,6 +72,25 @@ impl Tier {
         }
     }
 
+    /// Quality rank on the degradation ladder: lower is better. The full
+    /// search outranks every reduced configuration; the baseline selector
+    /// ranks last. Used to compare a cached artifact's producing tier
+    /// against a request's tier floor.
+    pub fn rank(self) -> u8 {
+        match self {
+            Tier::Full => 0,
+            Tier::Reduced => 1,
+            Tier::Direct => 2,
+            Tier::Baseline => 3,
+        }
+    }
+
+    /// Whether an artifact produced at `self` satisfies a request whose
+    /// weakest acceptable tier (the floor) is `floor`.
+    pub fn meets(self, floor: Tier) -> bool {
+        self.rank() <= floor.rank()
+    }
+
     /// Relative share of the job's wall-clock budget this tier receives:
     /// the full search gets most of the time, each degraded retry
     /// progressively less.
@@ -136,6 +155,22 @@ mod tests {
         let ladder = Tier::ladder();
         assert!(!ladder.contains(&Tier::Baseline));
         assert!(ladder.windows(2).all(|w| w[0].weight() > w[1].weight()));
+    }
+
+    #[test]
+    fn rank_orders_ladder_and_meets_compares_floors() {
+        let ladder = Tier::ladder();
+        assert!(ladder.windows(2).all(|w| w[0].rank() < w[1].rank()));
+        // A tier always meets itself and anything weaker.
+        for tier in [Tier::Full, Tier::Reduced, Tier::Direct, Tier::Baseline] {
+            assert!(tier.meets(tier));
+            assert!(Tier::Full.meets(tier));
+        }
+        // A degraded artifact never satisfies a stricter floor.
+        assert!(!Tier::Direct.meets(Tier::Full));
+        assert!(!Tier::Direct.meets(Tier::Reduced));
+        assert!(!Tier::Reduced.meets(Tier::Full));
+        assert!(Tier::Reduced.meets(Tier::Direct));
     }
 
     #[test]

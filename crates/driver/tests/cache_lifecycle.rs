@@ -1,0 +1,110 @@
+//! Concurrency tests for the bounded cache lifecycle: stores racing
+//! `persist()`, and eviction/compaction racing persist, must never lose
+//! an acknowledged entry or write a torn snapshot.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use rake::CompileError;
+use rake_driver::cache::{CacheEntry, SynthCache};
+use rake_driver::CacheLimits;
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("rake-cache-life-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A persist loop runs concurrently with a storing thread. The pending
+/// queue is drained with a swap under the mutex; no interleaving may drop
+/// a store that happened before the final persist.
+#[test]
+fn stores_racing_persist_are_never_lost() {
+    let dir = tmp_dir("race-store");
+    let cache = Arc::new(SynthCache::persistent(&dir));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let persister = {
+        let cache = Arc::clone(&cache);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                cache.persist().unwrap();
+            }
+        })
+    };
+
+    const KEYS: usize = 400;
+    for i in 0..KEYS {
+        cache.store(&format!("key-{i:03}"), CacheEntry::Failed(CompileError::LiftFailed));
+    }
+    stop.store(true, Ordering::SeqCst);
+    persister.join().unwrap();
+    cache.persist().unwrap();
+
+    let warm = SynthCache::persistent(&dir);
+    assert_eq!(warm.stats().corrupted, 0);
+    assert_eq!(warm.len(), KEYS, "a store raced persist() into oblivion");
+    for i in 0..KEYS {
+        assert!(warm.contains(&format!("key-{i:03}")), "missing key-{i:03}");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Tight entry caps plus a tiny compaction threshold force eviction and
+/// log-into-snapshot compaction while stores and persists race. Whatever
+/// interleaving happens, the files on disk must stay parseable and within
+/// bounds.
+#[test]
+fn eviction_and_compaction_racing_persist_never_tear_the_snapshot() {
+    let dir = tmp_dir("race-evict");
+    let limits = CacheLimits { max_entries: Some(8), max_bytes: None, log_compact_bytes: 256 };
+    let cache = Arc::new(SynthCache::bounded(&dir, limits));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let persister = {
+        let cache = Arc::clone(&cache);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                cache.persist().unwrap();
+            }
+        })
+    };
+
+    let writers: Vec<_> = (0..3)
+        .map(|w| {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                for i in 0..120 {
+                    cache.store(
+                        &format!("w{w}-key-{i:03}"),
+                        CacheEntry::Failed(CompileError::LiftFailed),
+                    );
+                    if i % 7 == 0 {
+                        let _ = cache.lookup(&format!("w{w}-key-{:03}", i / 2));
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().unwrap();
+    }
+    stop.store(true, Ordering::SeqCst);
+    persister.join().unwrap();
+    cache.persist().unwrap();
+
+    assert!(cache.len() <= 8, "entry cap violated: {}", cache.len());
+    assert!(cache.stats().evicted > 0, "360 stores into 8 slots must evict");
+    assert!(cache.stats().compactions > 0, "a 256-byte log threshold must compact");
+
+    // Whatever survived, a warm load sees clean files and the same bound.
+    let warm = SynthCache::bounded(&dir, limits);
+    assert_eq!(warm.stats().corrupted, 0, "torn snapshot or log on disk");
+    assert!(warm.len() <= 8, "disk exceeded the entry cap: {}", warm.len());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -11,7 +11,7 @@ use halide_ir::builder::*;
 use halide_ir::Expr;
 use lanes::ElemType::{U16, U8};
 use rake::{Rake, Target};
-use rake_driver::cache::{CacheEntry, SynthCache, CACHE_FILE};
+use rake_driver::cache::{CacheEntry, SynthCache, CACHE_FILE, LOG_FILE};
 use rake_driver::event::DriverEvent;
 use rake_driver::{canon, json, Driver, DriverConfig, JobOutcome, Tier};
 use synth::Verifier;
@@ -458,9 +458,12 @@ fn resume_replays_journal_and_recompiles_only_the_remainder() {
     };
     assert_eq!(fingerprint(&resumed), fingerprint(&clean));
 
-    // Self-heal: if the cache file is lost, a journal-says-compiled job is
-    // transparently recompiled rather than trusted blindly.
+    // Self-heal: if the cache files are lost, a journal-says-compiled job
+    // is transparently recompiled rather than trusted blindly.
     std::fs::remove_file(dir.join(CACHE_FILE)).unwrap();
+    if let Err(e) = std::fs::remove_file(dir.join(LOG_FILE)) {
+        assert_eq!(e.kind(), std::io::ErrorKind::NotFound);
+    }
     let healed_count = Arc::new(AtomicUsize::new(0));
     let healed = counting_driver(&healed_count).resume_named(jobs(3));
     assert_eq!(healed.compiled(), 3);
@@ -469,6 +472,135 @@ fn resume_replays_journal_and_recompiles_only_the_remainder() {
 
     let _ = std::fs::remove_dir_all(&dir);
     let _ = std::fs::remove_dir_all(&clean_dir);
+}
+
+#[test]
+fn resume_over_a_rotated_journal_is_byte_identical() {
+    let dir = tmp_dir("resume-rotated");
+    let log = dir.join("events.jsonl");
+    // A journal limit far below one batch's event volume: the journal
+    // rotates (possibly several times) during the run.
+    let config = || DriverConfig {
+        workers: 1,
+        cache_dir: Some(dir.clone()),
+        log_path: Some(log.clone()),
+        journal_rotate_bytes: Some(256),
+        ..DriverConfig::default()
+    };
+    let jobs = || {
+        vec![
+            ("pair".to_owned(), pair_sum("in")),
+            ("absd".to_owned(), absd(load("a", U8, 0, 0), load("b", U8, 0, 0))),
+            ("madd".to_owned(), add(tile("in", 0), mul(tile("in", 1), bcast(3, U16)))),
+        ]
+    };
+    let first = Driver::new(rake8()).with_config(config()).compile_batch_named(jobs());
+    assert_eq!(first.compiled(), 3);
+    let text = std::fs::read_to_string(&log).unwrap();
+    assert!(text.contains("\"event\":\"journal_rotated\""), "no rotation in:\n{text}");
+
+    // Resume over the rotated journal: every job replays, zero recompiles.
+    let resumed_count = Arc::new(AtomicUsize::new(0));
+    let resumed = {
+        let rake = rake8();
+        let inner = rake.clone();
+        let count = Arc::clone(&resumed_count);
+        Driver::new(rake)
+            .with_config(config())
+            .with_compile_fn(move |e: &Expr, _, _, _| {
+                count.fetch_add(1, Ordering::SeqCst);
+                inner.compile(e)
+            })
+            .resume_named(jobs())
+    };
+    assert_eq!(resumed.compiled(), 3);
+    assert_eq!(resumed_count.load(Ordering::SeqCst), 0, "rotation must not lose replay records");
+    assert!(resumed.results.iter().all(|r| r.replayed));
+
+    // And the resumed report is byte-identical to an uninterrupted run in
+    // a fresh directory with rotation disabled.
+    let clean_dir = tmp_dir("resume-rotated-clean");
+    let clean = Driver::new(rake8())
+        .with_config(DriverConfig {
+            workers: 1,
+            cache_dir: Some(clean_dir.clone()),
+            ..DriverConfig::default()
+        })
+        .compile_batch_named(jobs());
+    let fingerprint = |rep: &rake_driver::BatchReport| {
+        rep.results
+            .iter()
+            .map(|r| {
+                let program = match &r.outcome {
+                    JobOutcome::Compiled(c) => c.hvx.to_string(),
+                    other => format!("{other:?}"),
+                };
+                format!("{}|{}|{}|{program}\n", r.index, r.name.as_deref().unwrap_or(""), r.key)
+            })
+            .collect::<String>()
+    };
+    assert_eq!(fingerprint(&resumed), fingerprint(&clean));
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&clean_dir);
+}
+
+#[test]
+fn below_floor_cache_hits_recompile_and_upgrade() {
+    let dir = tmp_dir("tier-floor");
+    let config = |tiers: Vec<Tier>| DriverConfig {
+        workers: 1,
+        cache_dir: Some(dir.clone()),
+        tiers,
+        ..DriverConfig::default()
+    };
+    let counting = |tiers: Vec<Tier>, count: &Arc<AtomicUsize>| {
+        let rake = rake8();
+        let inner = rake.clone();
+        let count = Arc::clone(count);
+        Driver::new(rake).with_config(config(tiers)).with_compile_fn(
+            move |e: &Expr, _, tier: Tier, _| {
+                count.fetch_add(1, Ordering::SeqCst);
+                tier.apply(&inner).compile(e)
+            },
+        )
+    };
+
+    // Seed the cache from a fully degraded run: the entry records Direct.
+    let seeded = Driver::new(rake8()).with_config(config(vec![Tier::Direct]));
+    let report = seeded.compile_batch(&[pair_sum("in")]);
+    assert_eq!(report.compiled(), 1);
+    assert_eq!(report.results[0].tier, Tier::Direct);
+
+    // The default ladder's floor is Direct: the degraded entry satisfies
+    // it and serves as a plain hit.
+    let lax_count = Arc::new(AtomicUsize::new(0));
+    let lax = counting(Tier::ladder().to_vec(), &lax_count);
+    let report = lax.compile_batch(&[pair_sum("in")]);
+    assert_eq!(report.stats.cache_hits, 1);
+    assert_eq!(lax_count.load(Ordering::SeqCst), 0);
+    assert_eq!(report.results[0].tier, Tier::Direct);
+
+    // A Full-only request outranks the cached entry: miss, fresh Full
+    // synthesis, and the better artifact overwrites the degraded one.
+    let strict_count = Arc::new(AtomicUsize::new(0));
+    let strict = counting(vec![Tier::Full], &strict_count);
+    let report = strict.compile_batch(&[pair_sum("in")]);
+    assert_eq!(report.compiled(), 1);
+    assert_eq!(report.stats.cache_hits, 0, "a below-floor entry must not serve the hit");
+    assert_eq!(strict_count.load(Ordering::SeqCst), 1);
+    assert_eq!(report.results[0].tier, Tier::Full);
+    assert_eq!(strict.cache().stats().floor_misses, 1);
+
+    // The upgraded entry now satisfies the strict floor from cache.
+    let warm_count = Arc::new(AtomicUsize::new(0));
+    let warm = counting(vec![Tier::Full], &warm_count);
+    let report = warm.compile_batch(&[pair_sum("in")]);
+    assert_eq!(report.stats.cache_hits, 1);
+    assert_eq!(warm_count.load(Ordering::SeqCst), 0);
+    assert_eq!(report.results[0].tier, Tier::Full);
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

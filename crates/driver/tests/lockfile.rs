@@ -42,6 +42,12 @@ fn two_process_persist_stress_unions_entries() {
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
 
+    // Plant a stale lock from a "crashed" process (a pid above the kernel's
+    // pid ceiling is never alive). The first child to persist must break
+    // it instead of timing out; mutual exclusion must survive the break.
+    let lock_path = dir.join("synthcache.json.lock");
+    std::fs::write(&lock_path, "4194999999\ntstale-crashed-holder").unwrap();
+
     let exe = std::env::current_exe().unwrap();
     let children: Vec<_> = ["alpha", "beta"]
         .iter()
@@ -73,10 +79,17 @@ fn two_process_persist_stress_unions_entries() {
             );
         }
     }
-    // Both children exited: their locks must be gone, and the lock file
-    // path must be immediately acquirable.
-    let lock_path = dir.join("synthcache.json.lock");
+    // Both children exited: the planted stale lock was broken (not timed
+    // out on), their own locks are gone, no break-temp files leaked, and
+    // the lock path is immediately acquirable.
     assert!(!lock_path.exists(), "lock file leaked past child exit");
+    let leaked: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|name| name.contains(".break-"))
+        .collect();
+    assert!(leaked.is_empty(), "stale-break temp files leaked: {leaked:?}");
     drop(LockFile::acquire(&lock_path, Duration::from_millis(100)).unwrap());
 
     let _ = std::fs::remove_dir_all(&dir);

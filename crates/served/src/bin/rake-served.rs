@@ -11,11 +11,21 @@
 //!   --permits N        concurrent compile permits (default: cores, max 4)
 //!   --queue N          admission queue slots (default 16)
 //!   --cache DIR        persistent synthesis cache directory
+//!   --cache-max-entries N  in-memory cache entry cap; cost-aware LRU
+//!                      eviction past it (default unbounded; 0 = unbounded)
+//!   --cache-max-bytes N    in-memory cache byte cap over serialized entry
+//!                      sizes (default unbounded; 0 = unbounded)
+//!   --cache-log-max-bytes N  segment-log size that triggers compaction
+//!                      into the snapshot (default 4 MiB)
 //!   --log FILE         JSONL event journal (write-ahead log)
+//!   --journal-rotate-bytes N  journal size that triggers rotation into a
+//!                      replay snapshot (default 8 MiB; 0 = never rotate)
 //!   --timeout SEC      default per-job synthesis budget (default 30)
 //!   --threads N        process-wide synthesis thread budget
 //!   --verdict-ttl SEC  how long a timed-out verdict is served from memory
 //!                      instead of re-running synthesis (default 300; 0 off)
+//!   --verdict-cap N    timeout verdicts remembered at most (default 1024;
+//!                      0 = unbounded)
 //!
 //! SIGTERM/SIGINT drain gracefully: in-flight requests finish, the cache
 //! is persisted, then the process exits 0.
@@ -82,9 +92,25 @@ fn main() -> ExitCode {
                 Some(v) => config.cache_dir = Some(v.into()),
                 None => return usage("--cache needs a directory"),
             },
+            "--cache-max-entries" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) => config.cache_max_entries = (v > 0).then_some(v),
+                None => return usage("--cache-max-entries needs an integer"),
+            },
+            "--cache-max-bytes" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) => config.cache_max_bytes = (v > 0).then_some(v),
+                None => return usage("--cache-max-bytes needs an integer"),
+            },
+            "--cache-log-max-bytes" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => config.cache_log_compact_bytes = v,
+                None => return usage("--cache-log-max-bytes needs an integer"),
+            },
             "--log" => match it.next() {
                 Some(v) => config.log_path = Some(v.into()),
                 None => return usage("--log needs a file"),
+            },
+            "--journal-rotate-bytes" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) => config.journal_rotate_bytes = (v > 0).then_some(v),
+                None => return usage("--journal-rotate-bytes needs an integer"),
             },
             "--timeout" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
                 Some(secs) => config.default_timeout = Some(Duration::from_secs_f64(secs)),
@@ -97,6 +123,10 @@ fn main() -> ExitCode {
             "--verdict-ttl" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
                 Some(secs) => config.timeout_verdict_ttl = Duration::from_secs_f64(secs),
                 None => return usage("--verdict-ttl needs seconds"),
+            },
+            "--verdict-cap" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => config.verdict_cache_cap = v,
+                None => return usage("--verdict-cap needs an integer"),
             },
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unknown option `{other}`")),
@@ -141,7 +171,9 @@ fn usage(err: &str) -> ExitCode {
     }
     eprintln!(
         "usage: rake-served [--addr HOST:PORT] [--port-file FILE] [--permits N] [--queue N] \
-         [--cache DIR] [--log FILE] [--timeout SEC] [--threads N] [--verdict-ttl SEC]"
+         [--cache DIR] [--cache-max-entries N] [--cache-max-bytes N] \
+         [--cache-log-max-bytes N] [--log FILE] [--journal-rotate-bytes N] [--timeout SEC] \
+         [--threads N] [--verdict-ttl SEC] [--verdict-cap N]"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

@@ -93,10 +93,33 @@ pub struct CacheSnapshot {
     pub hits: u64,
     /// Lookups that missed.
     pub misses: u64,
+    /// Misses caused by a cached entry below the request's tier floor.
+    pub floor_misses: u64,
     /// Entries currently held.
     pub entries: usize,
+    /// Serialized bytes of the in-memory entries (what the byte cap
+    /// bounds).
+    pub mem_bytes: usize,
     /// Entries loaded from disk at startup (warm-start size).
     pub loaded: u64,
+    /// Entries evicted by the entry/byte caps.
+    pub evicted: u64,
+    /// Entry lines appended to the segment log.
+    pub appended: u64,
+    /// Log-into-snapshot compactions performed.
+    pub compactions: u64,
+    /// On-disk snapshot file size in bytes.
+    pub snapshot_bytes: u64,
+    /// On-disk segment-log size in bytes.
+    pub log_bytes: u64,
+    /// Timeout verdicts currently remembered.
+    pub verdict_entries: usize,
+    /// Timeout verdicts evicted by the cap.
+    pub verdict_evictions: u64,
+    /// Event-journal file size in bytes.
+    pub journal_bytes: u64,
+    /// Journal rotations performed since startup.
+    pub journal_rotations: u64,
 }
 
 /// The registry. One per server process, shared by all connections.
@@ -374,6 +397,70 @@ impl Metrics {
              # TYPE rake_served_cache_loaded_total counter\n",
         );
         out.push_str(&format!("rake_served_cache_loaded_total {}\n", cache.loaded));
+        out.push_str(
+            "# HELP rake_served_cache_floor_misses_total Lookups missed because the cached \
+             entry sat below the request's tier floor.\n\
+             # TYPE rake_served_cache_floor_misses_total counter\n",
+        );
+        out.push_str(&format!("rake_served_cache_floor_misses_total {}\n", cache.floor_misses));
+        out.push_str(
+            "# HELP rake_served_cache_bytes Serialized bytes of in-memory cache entries.\n\
+             # TYPE rake_served_cache_bytes gauge\n",
+        );
+        out.push_str(&format!("rake_served_cache_bytes {}\n", cache.mem_bytes));
+        out.push_str(
+            "# HELP rake_served_cache_evicted_total Entries evicted by the entry/byte caps.\n\
+             # TYPE rake_served_cache_evicted_total counter\n",
+        );
+        out.push_str(&format!("rake_served_cache_evicted_total {}\n", cache.evicted));
+        out.push_str(
+            "# HELP rake_served_cache_appended_total Entry lines appended to the cache's \
+             segment log.\n\
+             # TYPE rake_served_cache_appended_total counter\n",
+        );
+        out.push_str(&format!("rake_served_cache_appended_total {}\n", cache.appended));
+        out.push_str(
+            "# HELP rake_served_cache_compactions_total Segment-log-into-snapshot \
+             compactions.\n\
+             # TYPE rake_served_cache_compactions_total counter\n",
+        );
+        out.push_str(&format!("rake_served_cache_compactions_total {}\n", cache.compactions));
+        out.push_str(
+            "# HELP rake_served_cache_snapshot_bytes On-disk cache snapshot size.\n\
+             # TYPE rake_served_cache_snapshot_bytes gauge\n",
+        );
+        out.push_str(&format!("rake_served_cache_snapshot_bytes {}\n", cache.snapshot_bytes));
+        out.push_str(
+            "# HELP rake_served_cache_log_bytes On-disk cache segment-log size.\n\
+             # TYPE rake_served_cache_log_bytes gauge\n",
+        );
+        out.push_str(&format!("rake_served_cache_log_bytes {}\n", cache.log_bytes));
+        out.push_str(
+            "# HELP rake_served_verdict_entries Timeout verdicts currently remembered.\n\
+             # TYPE rake_served_verdict_entries gauge\n",
+        );
+        out.push_str(&format!("rake_served_verdict_entries {}\n", cache.verdict_entries));
+        out.push_str(
+            "# HELP rake_served_verdict_evictions_total Timeout verdicts evicted by the cap.\n\
+             # TYPE rake_served_verdict_evictions_total counter\n",
+        );
+        out.push_str(&format!(
+            "rake_served_verdict_evictions_total {}\n",
+            cache.verdict_evictions
+        ));
+        out.push_str(
+            "# HELP rake_served_journal_bytes Event-journal file size.\n\
+             # TYPE rake_served_journal_bytes gauge\n",
+        );
+        out.push_str(&format!("rake_served_journal_bytes {}\n", cache.journal_bytes));
+        out.push_str(
+            "# HELP rake_served_journal_rotations_total Journal rotations since startup.\n\
+             # TYPE rake_served_journal_rotations_total counter\n",
+        );
+        out.push_str(&format!(
+            "rake_served_journal_rotations_total {}\n",
+            cache.journal_rotations
+        ));
 
         out.push_str(
             "# HELP rake_served_compile_latency_seconds End-to-end /compile latency.\n\
@@ -414,7 +501,23 @@ mod tests {
         m.rejected_busy();
         let text = m.render(
             Instant::now(),
-            CacheSnapshot { hits: 5, misses: 2, entries: 4, loaded: 3 },
+            CacheSnapshot {
+                hits: 5,
+                misses: 2,
+                floor_misses: 1,
+                entries: 4,
+                mem_bytes: 2048,
+                loaded: 3,
+                evicted: 7,
+                appended: 9,
+                compactions: 2,
+                snapshot_bytes: 4096,
+                log_bytes: 512,
+                verdict_entries: 6,
+                verdict_evictions: 1,
+                journal_bytes: 8192,
+                journal_rotations: 3,
+            },
         );
         for family in [
             "rake_served_requests_total{endpoint=\"compile\"} 1",
@@ -425,6 +528,17 @@ mod tests {
             "rake_served_exprs_total 2",
             "rake_served_cache_hits_total 5",
             "rake_served_cache_entries 4",
+            "rake_served_cache_floor_misses_total 1",
+            "rake_served_cache_bytes 2048",
+            "rake_served_cache_evicted_total 7",
+            "rake_served_cache_appended_total 9",
+            "rake_served_cache_compactions_total 2",
+            "rake_served_cache_snapshot_bytes 4096",
+            "rake_served_cache_log_bytes 512",
+            "rake_served_verdict_entries 6",
+            "rake_served_verdict_evictions_total 1",
+            "rake_served_journal_bytes 8192",
+            "rake_served_journal_rotations_total 3",
             "rake_served_compile_latency_seconds_count 1",
         ] {
             assert!(text.contains(family), "missing `{family}` in:\n{text}");

@@ -32,14 +32,14 @@ use std::collections::HashSet;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use driver::cache::SynthCache;
 use driver::json::{self, Json, ParseLimits};
-use driver::{Driver, DriverConfig, JobOutcome, Tier};
+use driver::{CacheLimits, Driver, DriverConfig, JobOutcome, Journal, Tier};
 use halide_ir::Expr;
 use hvx::SlotBudget;
 use rake::{Rake, Target};
@@ -78,9 +78,26 @@ pub struct ServerConfig {
     /// Directory for the persistent synthesis cache (also the warm-start
     /// source after a restart). `None` keeps the cache in memory.
     pub cache_dir: Option<PathBuf>,
+    /// In-memory synthesis-cache entry cap (cost-aware LRU eviction past
+    /// it). `None` is unbounded.
+    pub cache_max_entries: Option<usize>,
+    /// In-memory synthesis-cache byte cap, measured over serialized entry
+    /// sizes. `None` is unbounded.
+    pub cache_max_bytes: Option<usize>,
+    /// Size threshold on the cache's append-only segment log; a persist
+    /// that leaves the log above it folds log + snapshot into a fresh
+    /// snapshot.
+    pub cache_log_compact_bytes: u64,
     /// JSONL event journal (the driver's write-ahead log). `None`
-    /// disables journaling.
+    /// disables journaling. One [`driver::Journal`] handle is shared by
+    /// every request, so size-triggered rotation is safe.
     pub log_path: Option<PathBuf>,
+    /// Rotate the shared journal once it exceeds this many bytes,
+    /// folding it into one replay record per key. `None` never rotates.
+    pub journal_rotate_bytes: Option<u64>,
+    /// Upper bound on remembered timeout verdicts (oldest evicted past
+    /// it). Zero disables the bound.
+    pub verdict_cache_cap: usize,
     /// How long a timed-out synthesis verdict is served from memory
     /// before the same expression (under identical knobs) is allowed to
     /// burn a fresh budget. Timeouts are budget-dependent, so the
@@ -108,7 +125,12 @@ impl Default for ServerConfig {
             default_timeout: Some(Duration::from_secs(30)),
             max_timeout: Duration::from_secs(600),
             cache_dir: None,
+            cache_max_entries: None,
+            cache_max_bytes: None,
+            cache_log_compact_bytes: CacheLimits::default().log_compact_bytes,
             log_path: None,
+            journal_rotate_bytes: Some(8 * 1024 * 1024),
+            verdict_cache_cap: 1024,
             timeout_verdict_ttl: Duration::from_secs(300),
             idle_timeout: Duration::from_secs(60),
             thread_budget: cores,
@@ -231,24 +253,30 @@ impl InFlight {
     }
 }
 
-/// Upper bound on remembered timeout verdicts; oldest evicted past it.
-const VERDICT_CACHE_CAP: usize = 1024;
-
 /// TTL memory for timed-out synthesis verdicts, keyed by cache key plus
 /// a fingerprint of the request knobs (tiers, budget, validate). The
 /// [`SynthCache`] deliberately refuses timeouts — they are verdicts
 /// about a budget, not about the expression — so without this layer
 /// every repeat of a hard expression would re-burn its full budget and
 /// starve the admission gate. Entries expire after the TTL, letting the
-/// expression retry on a quieter server.
+/// expression retry on a quieter server; past `cap` entries the oldest
+/// is evicted.
 struct VerdictCache {
     ttl: Duration,
+    /// Entry cap; zero disables the bound.
+    cap: usize,
+    evictions: AtomicU64,
     entries: Mutex<std::collections::HashMap<String, (Instant, Json)>>,
 }
 
 impl VerdictCache {
-    fn new(ttl: Duration) -> VerdictCache {
-        VerdictCache { ttl, entries: Mutex::new(std::collections::HashMap::new()) }
+    fn new(ttl: Duration, cap: usize) -> VerdictCache {
+        VerdictCache {
+            ttl,
+            cap,
+            evictions: AtomicU64::new(0),
+            entries: Mutex::new(std::collections::HashMap::new()),
+        }
     }
 
     /// A still-fresh remembered verdict, if any.
@@ -267,16 +295,26 @@ impl VerdictCache {
         }
         let mut entries = self.entries.lock().unwrap();
         entries.retain(|_, (at, _)| at.elapsed() < self.ttl);
-        if entries.len() >= VERDICT_CACHE_CAP {
+        if self.cap > 0 && entries.len() >= self.cap {
             if let Some(oldest) = entries
                 .iter()
                 .min_by_key(|(_, (at, _))| *at)
                 .map(|(k, _)| k.clone())
             {
                 entries.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
         entries.insert(key, (Instant::now(), verdict));
+    }
+
+    /// Verdicts currently remembered (expired-but-unswept included).
+    fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 }
 
@@ -284,6 +322,9 @@ impl VerdictCache {
 struct Shared {
     config: ServerConfig,
     cache: Arc<SynthCache>,
+    /// The one journal handle every request appends through (rotation
+    /// assumes a single writer). `None` when journaling is disabled.
+    journal: Option<Arc<Journal>>,
     metrics: Arc<Metrics>,
     gate: Arc<Gate>,
     inflight: InFlight,
@@ -309,11 +350,23 @@ impl Shared {
 
     fn cache_snapshot(&self) -> CacheSnapshot {
         let stats = self.cache.stats();
+        let (snapshot_bytes, log_bytes) = self.cache.disk_bytes();
         CacheSnapshot {
             hits: stats.hits,
             misses: stats.misses,
+            floor_misses: stats.floor_misses,
             entries: self.cache.len(),
+            mem_bytes: self.cache.total_bytes(),
             loaded: stats.loaded,
+            evicted: stats.evicted,
+            appended: stats.appended,
+            compactions: stats.compactions,
+            snapshot_bytes,
+            log_bytes,
+            verdict_entries: self.verdicts.len(),
+            verdict_evictions: self.verdicts.evictions(),
+            journal_bytes: self.journal.as_ref().map_or(0, |j| j.bytes()),
+            journal_rotations: self.journal.as_ref().map_or(0, |j| j.rotations()),
         }
     }
 }
@@ -370,15 +423,25 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
     listener.set_nonblocking(true)?;
 
     synth::pool::set_thread_budget(config.thread_budget.max(1));
+    let limits = CacheLimits {
+        max_entries: config.cache_max_entries,
+        max_bytes: config.cache_max_bytes,
+        log_compact_bytes: config.cache_log_compact_bytes,
+    };
     let cache = Arc::new(match &config.cache_dir {
-        Some(dir) => SynthCache::persistent(dir),
-        None => SynthCache::in_memory(),
+        Some(dir) => SynthCache::bounded(dir, limits),
+        None => SynthCache::in_memory_bounded(limits),
     });
+    let journal = match &config.log_path {
+        Some(path) => Some(Arc::new(Journal::open(path, config.journal_rotate_bytes)?)),
+        None => None,
+    };
     let gate = Arc::new(Gate::new(config.permits, config.queue_slots, config.queue_wait));
-    let verdicts = VerdictCache::new(config.timeout_verdict_ttl);
+    let verdicts = VerdictCache::new(config.timeout_verdict_ttl, config.verdict_cache_cap);
     let shared = Arc::new(Shared {
         config,
         cache,
+        journal,
         metrics: Metrics::new(),
         gate,
         inflight: InFlight::default(),
@@ -648,7 +711,7 @@ fn handle_compile(shared: &Arc<Shared>, req: &Request, stream: &TcpStream) -> Re
             job_timeout: parsed.timeout,
             tiers: parsed.tiers.clone(),
             cache_dir: None,
-            log_path: shared.config.log_path.clone(),
+            log_path: None,
             validate: parsed.validate,
             cancel: None,
             manage_thread_budget: false,
@@ -656,6 +719,9 @@ fn handle_compile(shared: &Arc<Shared>, req: &Request, stream: &TcpStream) -> Re
         })
         .with_shared_cache(Arc::clone(&shared.cache))
         .with_event_sink(shared.metrics.sink());
+    if let Some(journal) = &shared.journal {
+        driver = driver.with_shared_journal(Arc::clone(journal));
+    }
 
     let expr_keys: Vec<String> =
         parsed.exprs.iter().map(|(_, e)| driver.cache_key(e)).collect();
@@ -690,8 +756,11 @@ fn handle_compile(shared: &Arc<Shared>, req: &Request, stream: &TcpStream) -> Re
     // it skips admission control entirely. Permits, queue slots, the
     // cancel slot, and the disconnect monitor all exist to bound and
     // shed *synthesis* work; spending them on cache reads would let slow
-    // cold requests queue-block the warm traffic they protect.
-    let warm = keys.iter().all(|k| shared.cache.contains(k));
+    // cold requests queue-block the warm traffic they protect. The check
+    // honors the request's tier floor: an entry a more degraded run left
+    // behind does not make a stricter request warm — it recompiles.
+    let floor = parsed.tiers.iter().copied().max_by_key(|t| t.rank()).unwrap_or(Tier::Full);
+    let warm = keys.iter().all(|k| shared.cache.contains_meeting(k, floor));
     let permit = if warm {
         shared.metrics.warm_path();
         None
@@ -971,15 +1040,35 @@ mod tests {
 
     #[test]
     fn verdict_cache_remembers_within_ttl_and_respects_zero() {
-        let cache = VerdictCache::new(Duration::from_secs(60));
+        let cache = VerdictCache::new(Duration::from_secs(60), 1024);
         assert!(cache.get("k|knobs").is_none());
         cache.put("k|knobs".to_owned(), Json::Str("timed_out".to_owned()));
         assert_eq!(cache.get("k|knobs"), Some(Json::Str("timed_out".to_owned())));
         assert!(cache.get("k|other-knobs").is_none(), "knob fingerprint is part of the key");
+        assert_eq!(cache.len(), 1);
 
-        let disabled = VerdictCache::new(Duration::ZERO);
+        let disabled = VerdictCache::new(Duration::ZERO, 1024);
         disabled.put("k".to_owned(), Json::Str("x".to_owned()));
         assert!(disabled.get("k").is_none(), "TTL zero disables the cache");
+    }
+
+    #[test]
+    fn verdict_cache_cap_evicts_oldest_first() {
+        let cache = VerdictCache::new(Duration::from_secs(60), 2);
+        cache.put("a".to_owned(), Json::Str("1".to_owned()));
+        cache.put("b".to_owned(), Json::Str("2".to_owned()));
+        cache.put("c".to_owned(), Json::Str("3".to_owned()));
+        assert_eq!(cache.len(), 2, "cap holds");
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.get("a").is_none(), "oldest entry evicted");
+        assert!(cache.get("b").is_some() && cache.get("c").is_some());
+
+        let unbounded = VerdictCache::new(Duration::from_secs(60), 0);
+        for i in 0..8 {
+            unbounded.put(format!("k{i}"), Json::Str("x".to_owned()));
+        }
+        assert_eq!(unbounded.len(), 8, "cap zero disables the bound");
+        assert_eq!(unbounded.evictions(), 0);
     }
 
     #[test]
@@ -988,10 +1077,11 @@ mod tests {
         let shared = Shared {
             config: shared_cfg,
             cache: Arc::new(SynthCache::in_memory()),
+            journal: None,
             metrics: Metrics::new(),
             gate: Arc::new(Gate::new(1, 1, Duration::from_secs(1))),
             inflight: InFlight::default(),
-            verdicts: VerdictCache::new(Duration::from_secs(300)),
+            verdicts: VerdictCache::new(Duration::from_secs(300), 1024),
             rakes: Mutex::new(std::collections::HashMap::new()),
             draining: AtomicBool::new(false),
             connections: AtomicUsize::new(0),

@@ -314,6 +314,97 @@ fn graceful_drain_finishes_inflight_work() {
 }
 
 #[test]
+fn tier_floor_request_recompiles_degraded_cache_entries() {
+    let handle = start(|_| {});
+
+    // Plant a Direct-tier artifact in the server's shared cache, as a
+    // degraded run (a loaded server shedding to cheaper tiers) would: a
+    // local driver with the server's geometry and a Direct-only ladder
+    // stores under exactly the key the server computes.
+    let target = rake::Target { lanes: 128, vec_bytes: 128 };
+    let seeder = driver::Driver::new(rake::Rake::new(target))
+        .with_config(driver::DriverConfig {
+            workers: 1,
+            tiers: vec![driver::Tier::Direct],
+            manage_thread_budget: false,
+            ..driver::DriverConfig::default()
+        })
+        .with_shared_cache(handle.cache());
+    let expr = halide_ir::sexpr::parse(TRIVIAL).unwrap();
+    let report = seeder.compile_batch(std::slice::from_ref(&expr));
+    assert_eq!(report.compiled(), 1);
+    assert_eq!(report.results[0].tier, driver::Tier::Direct);
+
+    // A floor-direct request is satisfied by the degraded entry: warm hit.
+    let mut stream = connect(&handle);
+    let (status, doc) =
+        post_compile(&mut stream, &compile_body(&[TRIVIAL], &[("tier_floor", "direct".into())]));
+    assert_eq!(status, 200);
+    let result = &doc.get("results").unwrap().as_arr().unwrap()[0];
+    assert_eq!(result.get("cache_hit").and_then(Json::as_bool), Some(true));
+    assert_eq!(result.get("tier").and_then(Json::as_str), Some("direct"));
+
+    // A floor-full request outranks it: fresh Full synthesis, and the
+    // upgraded artifact overwrites the degraded entry.
+    let (status, doc) =
+        post_compile(&mut stream, &compile_body(&[TRIVIAL], &[("tier_floor", "full".into())]));
+    assert_eq!(status, 200);
+    let result = &doc.get("results").unwrap().as_arr().unwrap()[0];
+    assert_eq!(
+        result.get("cache_hit").and_then(Json::as_bool),
+        Some(false),
+        "a below-floor entry must not serve a stricter request: {doc}"
+    );
+    assert_eq!(result.get("tier").and_then(Json::as_str), Some("full"));
+    assert_eq!(handle.metrics().synth_fresh(), 1);
+
+    // The same strict request is now warm.
+    let (status, doc) =
+        post_compile(&mut stream, &compile_body(&[TRIVIAL], &[("tier_floor", "full".into())]));
+    assert_eq!(status, 200);
+    let result = &doc.get("results").unwrap().as_arr().unwrap()[0];
+    assert_eq!(result.get("cache_hit").and_then(Json::as_bool), Some(true));
+    assert_eq!(result.get("tier").and_then(Json::as_str), Some("full"));
+    assert_eq!(handle.metrics().synth_fresh(), 1, "the upgrade must stick");
+
+    let (_, body) = roundtrip(&mut stream, "GET", "/metrics", None).unwrap();
+    let text = String::from_utf8(body).unwrap();
+    assert!(text.contains("rake_served_cache_floor_misses_total 1"), "{text}");
+    handle.shutdown();
+}
+
+#[test]
+fn bounded_cache_evicts_and_reports_in_metrics() {
+    let handle = start(|c| {
+        c.cache_max_entries = Some(2);
+    });
+    let mut stream = connect(&handle);
+    // Three distinct expressions (offsets survive canonicalization) into
+    // two cache slots: at least one eviction.
+    for dx in 0..3 {
+        let expr = format!("(add (load a u8 {dx} 0) (load b u8 {dx} 0))");
+        let (status, doc) = post_compile(&mut stream, &compile_body(&[&expr], &[]));
+        assert_eq!(status, 200);
+        assert_eq!(outcome_of(&doc, 0), "compiled", "{doc}");
+    }
+    assert!(handle.cache().len() <= 2, "entry cap violated: {}", handle.cache().len());
+
+    let (_, body) = roundtrip(&mut stream, "GET", "/metrics", None).unwrap();
+    let text = String::from_utf8(body).unwrap();
+    let gauge = |name: &str| -> f64 {
+        text.lines()
+            .find_map(|l| l.strip_prefix(name))
+            .and_then(|rest| rest.trim().parse().ok())
+            .unwrap_or(-1.0)
+    };
+    assert!(gauge("rake_served_cache_entries ") <= 2.0, "{text}");
+    assert!(gauge("rake_served_cache_evicted_total ") >= 1.0, "{text}");
+    assert!(gauge("rake_served_cache_bytes ") > 0.0, "{text}");
+    assert!(gauge("rake_served_verdict_entries ") >= 0.0, "{text}");
+    handle.shutdown();
+}
+
+#[test]
 fn warm_restart_resumes_from_persisted_state() {
     let dir = std::env::temp_dir().join(format!("rake-served-warm-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);

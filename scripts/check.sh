@@ -81,6 +81,55 @@ wait "$served_pid" 2>/dev/null || true
 trap - EXIT
 rm -rf "$smoke_dir"
 
+echo "== soak smoke (bounded cache lifecycle: eviction, compaction, bounded files)"
+# A tightly-capped server under a soak workload where every request is a
+# unique cache key: the entry cap must evict (cost-aware LRU), the tiny
+# segment-log threshold must compact, and the on-disk snapshot/log/journal
+# must stay bounded while the server stays healthy.
+cargo build -q --release --offline --locked -p rake-bench
+soak_dir="$(mktemp -d /tmp/rake-soak-XXXXXX)"
+./target/release/rake-served --addr 127.0.0.1:0 --port-file "$soak_dir/port" \
+  --cache "$soak_dir/cache" --log "$soak_dir/journal.jsonl" \
+  --cache-max-entries 6 --cache-log-max-bytes 16384 --journal-rotate-bytes 32768 \
+  >"$soak_dir/server.log" 2>&1 &
+soak_pid=$!
+cleanup_soak() {
+  kill "$soak_pid" 2>/dev/null || true
+  wait "$soak_pid" 2>/dev/null || true
+  rm -rf "$soak_dir"
+}
+trap cleanup_soak EXIT
+for _ in $(seq 100); do
+  [ -s "$soak_dir/port" ] && break
+  sleep 0.1
+done
+addr="$(cat "$soak_dir/port")"
+./target/release/loadgen --addr "$addr" --connections 4 --soak 18 \
+  --out "$soak_dir/soak.json" --check
+soak_metrics="$(./target/release/rake-client --addr "$addr" --metrics)"
+soak_metric() { echo "$soak_metrics" | awk -v n="$1" '$1 == n { print int($2) }'; }
+evicted="$(soak_metric rake_served_cache_evicted_total)"
+entries="$(soak_metric rake_served_cache_entries)"
+compactions="$(soak_metric rake_served_cache_compactions_total)"
+log_bytes="$(soak_metric rake_served_cache_log_bytes)"
+journal_bytes="$(soak_metric rake_served_journal_bytes)"
+[ "${evicted:-0}" -ge 1 ] \
+  || { echo "soak smoke: 18 unique keys into 6 slots must evict (got ${evicted:-none})"; exit 1; }
+[ "${entries:-99}" -le 6 ] \
+  || { echo "soak smoke: entry cap violated (${entries:-none} > 6)"; exit 1; }
+[ "${compactions:-0}" -ge 1 ] \
+  || { echo "soak smoke: the segment log never compacted"; exit 1; }
+[ "${log_bytes:-999999}" -le 65536 ] \
+  || { echo "soak smoke: segment log unbounded (${log_bytes} bytes)"; exit 1; }
+[ "${journal_bytes:-999999}" -le 131072 ] \
+  || { echo "soak smoke: journal unbounded (${journal_bytes} bytes)"; exit 1; }
+./target/release/rake-client --addr "$addr" --healthz | grep -qx ok \
+  || { echo "soak smoke: /healthz went red under soak"; exit 1; }
+kill "$soak_pid"
+wait "$soak_pid" 2>/dev/null || true
+trap - EXIT
+rm -rf "$soak_dir"
+
 echo "== chaos smoke (seeded fault injection, one schedule, ~60s budget)"
 # The full 21-workload suite under one deterministic fault schedule:
 # injected panics, forced deadline exhaustion, latency, and cache
