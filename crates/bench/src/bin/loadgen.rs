@@ -24,10 +24,18 @@
 //!                      once each, no warm-up. Drives eviction/compaction on
 //!                      a bounded server; pair with small --cache-max-entries
 //!                      server flags and inspect the report's `cache` block.
+//!   --crash-storm N    crash-containment storm: N requests mixing good
+//!                      keys with poison keys sent under `chaos: abort`
+//!                      (every worker dispatch of a poison key dies).
+//!                      The target must run `--isolate --chaos`; with
+//!                      --spawn, loadgen configures that itself. Asserts
+//!                      zero transport errors, every poison key ends
+//!                      quarantined, and the worker/crash/quarantine
+//!                      counters moved accordingly.
 //!   --out FILE         report path (default BENCH_5.json)
 //!   --check            exit non-zero unless: zero errors, warm p50 under
-//!                      50 ms (skipped under --soak), and /metrics agrees
-//!                      with client tallies
+//!                      50 ms (skipped under --soak and --crash-storm),
+//!                      and /metrics agrees with client tallies
 //!
 //! Exit codes: 0 ok, 1 usage/connection error, 2 --check failed.
 
@@ -43,6 +51,14 @@ use driver::json::{self, Json};
 use served::http::roundtrip;
 
 const WARM_P50_BUDGET_MS: f64 = 50.0;
+
+/// Distinct poison keys a `--crash-storm` run hammers; every dispatch of
+/// one aborts its worker until the key crosses the crash threshold and
+/// is quarantined.
+const STORM_CRASH_KEYS: usize = 3;
+/// Distinct healthy keys interleaved with the poison ones, proving the
+/// server keeps serving through the storm.
+const STORM_GOOD_KEYS: usize = 8;
 
 /// One workload-derived request template.
 struct Template {
@@ -68,6 +84,7 @@ fn main() -> ExitCode {
     let mut seed = 42u64;
     let mut warm = true;
     let mut soak = 0usize;
+    let mut storm = 0usize;
     let mut out_path = std::path::PathBuf::from("BENCH_5.json");
     let mut check = false;
     let mut it = args.iter();
@@ -95,6 +112,10 @@ fn main() -> ExitCode {
                 Some(v) => soak = v,
                 None => return usage("--soak needs an integer"),
             },
+            "--crash-storm" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => storm = v,
+                None => return usage("--crash-storm needs an integer"),
+            },
             "--out" => match it.next() {
                 Some(v) => out_path = v.into(),
                 None => return usage("--out needs a path"),
@@ -107,13 +128,38 @@ fn main() -> ExitCode {
     if connections == 0 || requests == 0 {
         return usage("--connections and --requests must be positive");
     }
+    if soak > 0 && storm > 0 {
+        return usage("--soak and --crash-storm are mutually exclusive");
+    }
 
-    // --spawn: a self-contained run against an in-process server.
+    // --spawn: a self-contained run against an in-process server. A
+    // crash storm needs the isolate + chaos planes, and workers must be
+    // the real `rake-served` binary (current_exe here is loadgen): the
+    // bench setup builds both into the same directory.
     let spawned = if spawn {
-        let handle = match served::serve(served::ServerConfig {
+        let mut config = served::ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
             ..served::ServerConfig::default()
-        }) {
+        };
+        if storm > 0 {
+            let sibling = std::env::current_exe()
+                .ok()
+                .and_then(|p| p.parent().map(|d| d.join("rake-served")))
+                .filter(|p| p.exists());
+            let Some(server_bin) = sibling else {
+                eprintln!(
+                    "loadgen: --crash-storm --spawn needs the rake-served binary \
+                     built next to loadgen (or pass --addr of an --isolate --chaos \
+                     server)"
+                );
+                return ExitCode::FAILURE;
+            };
+            config.isolate = true;
+            config.chaos = true;
+            config.worker_cmd =
+                Some(vec![server_bin.to_string_lossy().into_owned(), "worker".to_owned()]);
+        }
+        let handle = match served::serve(config) {
             Ok(h) => h,
             Err(e) => {
                 eprintln!("loadgen: cannot spawn server: {e}");
@@ -129,7 +175,40 @@ fn main() -> ExitCode {
         return usage("--addr is required (or pass --spawn)");
     };
 
-    let templates: Vec<Template> = if soak > 0 {
+    // Chaos-free bodies for the poison keys: after the storm, these
+    // probe that each key is answered `quarantined` from the cache.
+    let mut storm_probes: Vec<(String, Vec<u8>)> = Vec::new();
+    let templates: Vec<Template> = if storm > 0 {
+        // Poison keys first (indices 0..STORM_CRASH_KEYS), then healthy
+        // keys — the mix below indexes by that layout. Load offsets make
+        // the keys distinct; `y` separates poison from healthy.
+        warm = false;
+        requests = storm;
+        let mut v = Vec::new();
+        for i in 0..STORM_CRASH_KEYS {
+            let expr = format!("(add (load a u8 {i} 1) (load b u8 {i} 1))");
+            storm_probes.push((
+                format!("storm-poison-{i}"),
+                Json::obj([("expr", expr.clone().into())]).to_string().into_bytes(),
+            ));
+            v.push(Template {
+                name: format!("storm-poison-{i}"),
+                body: Json::obj([("expr", expr.into()), ("chaos", "abort".into())])
+                    .to_string()
+                    .into_bytes(),
+                exprs: 1,
+            });
+        }
+        for i in 0..STORM_GOOD_KEYS {
+            let expr = format!("(add (load a u8 {i} 0) (load b u8 {i} 0))");
+            v.push(Template {
+                name: format!("storm-good-{i}"),
+                body: Json::obj([("expr", expr.into())]).to_string().into_bytes(),
+                exprs: 1,
+            });
+        }
+        v
+    } else if soak > 0 {
         // Unique-key stream: load offsets survive canonicalization (buffer
         // names do not), so each template is a distinct cache entry and a
         // bounded server must evict/compact to absorb the run.
@@ -174,7 +253,13 @@ fn main() -> ExitCode {
         "loadgen: {} {} templates against {addr} ({connections} connections, \
          {requests} requests, seed {seed})",
         templates.len(),
-        if soak > 0 { "unique soak" } else { "workload" },
+        if storm > 0 {
+            "crash-storm"
+        } else if soak > 0 {
+            "unique soak"
+        } else {
+            "workload"
+        },
     );
 
     let before = match scrape_metrics(&addr) {
@@ -246,9 +331,18 @@ fn main() -> ExitCode {
                     if i >= requests {
                         return;
                     }
-                    // Soak sends each unique template exactly once; the
-                    // bench mix picks pseudo-randomly with repetition.
-                    let template = if soak > 0 {
+                    // The storm round-robins poison keys on every third
+                    // request and healthy keys otherwise; soak sends each
+                    // unique template exactly once; the bench mix picks
+                    // pseudo-randomly with repetition.
+                    let template = if storm > 0 {
+                        if i % 3 == 0 {
+                            (i / 3) % STORM_CRASH_KEYS
+                        } else {
+                            STORM_CRASH_KEYS
+                                + pick(seed, i as u64, bodies.len() - STORM_CRASH_KEYS)
+                        }
+                    } else if soak > 0 {
                         i % bodies.len()
                     } else {
                         pick(seed, i as u64, bodies.len())
@@ -315,7 +409,13 @@ fn main() -> ExitCode {
             exprs_sent += templates[s.template].exprs;
         }
     }
-    let errors = hard_errors + samples.iter().filter(|s| s.status != 200).count();
+    // A storm deliberately provokes non-200s (e.g. a 503 while the
+    // restart breaker is open); its contract is zero *transport* errors.
+    let errors = if storm > 0 {
+        hard_errors
+    } else {
+        hard_errors + samples.iter().filter(|s| s.status != 200).count()
+    };
 
     samples.sort_by_key(|s| s.latency);
     let lat_ms = |p: f64| -> f64 {
@@ -344,11 +444,46 @@ fn main() -> ExitCode {
     let jobs_delta = after.jobs_total - before.jobs_total;
     let metrics_ok = requests_delta == measured_plus_warm && jobs_delta >= exprs_sent as f64;
 
+    // Post-storm probes (after the `after` scrape, so the cross-check
+    // deltas stay exact): every poison key must now answer `quarantined`
+    // straight from the cache, and the supervisor counters must have
+    // recorded the carnage.
+    let mut storm_unquarantined: Vec<String> = Vec::new();
+    if storm > 0 {
+        match TcpStream::connect(&addr) {
+            Ok(mut stream) => {
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(120)));
+                for (name, body) in &storm_probes {
+                    let outcome = match roundtrip(&mut stream, "POST", "/compile", Some(body)) {
+                        Ok((200, reply)) => first_outcome(&reply),
+                        Ok((status, _)) => format!("http {status}"),
+                        Err(e) => format!("transport: {e}"),
+                    };
+                    eprintln!("loadgen: storm probe `{name}` => {outcome}");
+                    if outcome != "quarantined" {
+                        storm_unquarantined.push(format!("{name} ({outcome})"));
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("loadgen: cannot connect for storm probes: {e}");
+                storm_unquarantined.push(format!("probe connection failed: {e}"));
+            }
+        }
+    }
+    let storm_crashes = after.worker_crashes - before.worker_crashes;
+    let storm_restarts = after.worker_restarts - before.worker_restarts;
+    let storm_ok = storm == 0
+        || (storm_unquarantined.is_empty()
+            && storm_crashes >= 1.0
+            && storm_restarts >= 1.0
+            && after.quarantined_keys >= STORM_CRASH_KEYS as f64);
+
     let ok_errors = errors == 0 && warm_errors == 0;
-    // Soak traffic is all cold unique keys; the warm-latency budget does
-    // not apply to it.
-    let ok_p50 = soak > 0 || !warm || p50 < WARM_P50_BUDGET_MS;
-    let passed = ok_errors && ok_p50 && metrics_ok;
+    // Soak traffic is all cold unique keys and a storm is dominated by
+    // worker respawns; the warm-latency budget applies to neither.
+    let ok_p50 = soak > 0 || storm > 0 || !warm || p50 < WARM_P50_BUDGET_MS;
+    let passed = ok_errors && ok_p50 && metrics_ok && storm_ok;
 
     eprintln!(
         "loadgen: {} requests in {:.1}s ({:.1} req/s), {} errors",
@@ -367,6 +502,19 @@ fn main() -> ExitCode {
          (client submitted >= {exprs_sent} exprs) => {}",
         if metrics_ok { "consistent" } else { "MISMATCH" }
     );
+    if storm > 0 {
+        eprintln!(
+            "loadgen: storm: +{storm_crashes} worker crashes, +{storm_restarts} respawns, \
+             {} keys quarantined ({} poison keys sent), breaker-open rejects show as 503 \
+             above => {}",
+            after.quarantined_keys,
+            STORM_CRASH_KEYS,
+            if storm_ok { "contained" } else { "NOT CONTAINED" },
+        );
+        for miss in &storm_unquarantined {
+            eprintln!("loadgen: storm: poison key NOT quarantined: {miss}");
+        }
+    }
     if soak > 0 {
         eprintln!(
             "loadgen: soak cache state: {} entries, +{} evicted, +{} compactions, \
@@ -452,6 +600,23 @@ fn main() -> ExitCode {
             ]),
         ),
         ("soak", soak.into()),
+        (
+            "crash_storm",
+            Json::obj([
+                ("requests", storm.into()),
+                ("poison_keys", if storm > 0 { STORM_CRASH_KEYS } else { 0 }.into()),
+                ("worker_crashes", storm_crashes.into()),
+                ("worker_restarts", storm_restarts.into()),
+                ("quarantined_keys", after.quarantined_keys.into()),
+                (
+                    "unquarantined",
+                    Json::Arr(
+                        storm_unquarantined.iter().map(|s| Json::Str(s.clone())).collect(),
+                    ),
+                ),
+                ("contained", storm_ok.into()),
+            ]),
+        ),
         ("passed", passed.into()),
     ]);
     if let Err(e) = std::fs::File::create(&out_path)
@@ -468,7 +633,8 @@ fn main() -> ExitCode {
     if check && !passed {
         eprintln!(
             "loadgen: CHECK FAILED (errors ok: {ok_errors}, warm p50 < \
-             {WARM_P50_BUDGET_MS} ms: {ok_p50}, metrics consistent: {metrics_ok})"
+             {WARM_P50_BUDGET_MS} ms: {ok_p50}, metrics consistent: {metrics_ok}, \
+             storm contained: {storm_ok})"
         );
         return ExitCode::from(2);
     }
@@ -481,7 +647,7 @@ fn usage(err: &str) -> ExitCode {
     }
     eprintln!(
         "usage: loadgen (--addr HOST:PORT | --spawn) [--connections N] [--requests M] \
-         [--seed S] [--no-warm] [--soak N] [--out FILE] [--check]"
+         [--seed S] [--no-warm] [--soak N] [--crash-storm N] [--out FILE] [--check]"
     );
     if err.is_empty() {
         ExitCode::SUCCESS
@@ -521,6 +687,9 @@ struct MetricsSnapshot {
     cache_snapshot_bytes: f64,
     cache_log_bytes: f64,
     journal_bytes: f64,
+    worker_crashes: f64,
+    worker_restarts: f64,
+    quarantined_keys: f64,
 }
 
 fn scrape_metrics(addr: &str) -> std::io::Result<MetricsSnapshot> {
@@ -543,6 +712,10 @@ fn scrape_metrics(addr: &str) -> std::io::Result<MetricsSnapshot> {
         cache_snapshot_bytes: metric_value(&text, "rake_served_cache_snapshot_bytes"),
         cache_log_bytes: metric_value(&text, "rake_served_cache_log_bytes"),
         journal_bytes: metric_value(&text, "rake_served_journal_bytes"),
+        // Absent (zero) on a server running without --isolate.
+        worker_crashes: metric_sum(&text, "rake_served_worker_crashes_total{"),
+        worker_restarts: metric_value(&text, "rake_served_worker_restarts_total"),
+        quarantined_keys: metric_value(&text, "rake_served_quarantined_keys"),
     })
 }
 

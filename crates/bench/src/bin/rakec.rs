@@ -32,6 +32,8 @@
 //!   3  synthesis budget exhausted on every ladder tier
 //!   4  compiled but the differential oracle found a mismatch (miscompile)
 //!   5  the selector panicked
+//!   7  the expression is quarantined as a poison pill (it repeatedly
+//!      crashed isolated synthesis workers; see rake-served --isolate)
 
 use std::io::Read as _;
 use std::process::ExitCode;
@@ -45,6 +47,7 @@ const EXIT_FAILED: u8 = 2;
 const EXIT_TIMED_OUT: u8 = 3;
 const EXIT_MISCOMPILE: u8 = 4;
 const EXIT_PANICKED: u8 = 5;
+const EXIT_QUARANTINED: u8 = 7;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -216,6 +219,11 @@ fn main() -> ExitCode {
             eprintln!("rakec: compilation cancelled");
             ExitCode::from(EXIT_TIMED_OUT)
         }
+        JobOutcome::Quarantined(reason) => {
+            eprintln!("rakec: expression is quarantined ({reason}); falling back to baseline");
+            print_fallback(result, lanes, vec_bytes);
+            ExitCode::from(EXIT_QUARANTINED)
+        }
     }
 }
 
@@ -240,7 +248,8 @@ fn usage(err: &str) -> ExitCode {
         "usage: rakec [--lanes N] [--baseline] [--trace] [--uber] [--validate] \
          [--cache DIR] [--log FILE] [--resume] [--timeout SEC] [file.sexp]\n\
          exit codes: 0 compiled, 1 usage/input error, 2 synthesis failed, \
-         3 timed out on every tier, 4 validation mismatch, 5 selector panicked"
+         3 timed out on every tier, 4 validation mismatch, 5 selector panicked, \
+         7 quarantined poison pill"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

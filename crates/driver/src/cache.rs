@@ -90,6 +90,37 @@ pub struct CachedArtifacts {
     pub tier: Tier,
 }
 
+/// The crash verdict stored for a poison-pill key: a key whose jobs
+/// repeatedly killed isolated workers is negative-cached with the crash
+/// forensics so later requests answer instantly instead of re-burning
+/// synthesis budget (and more workers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineInfo {
+    /// Human-readable crash summary ("worker killed by signal 6 …").
+    pub reason: String,
+    /// Absolute Unix-seconds expiry; `None` quarantines forever. Expired
+    /// entries are dropped lazily on the next lookup, so the key gets a
+    /// fresh chance after its TTL.
+    pub expires_unix: Option<u64>,
+}
+
+impl QuarantineInfo {
+    /// Whether this verdict has outlived its TTL.
+    pub fn expired(&self) -> bool {
+        match self.expires_unix {
+            Some(deadline) => unix_now() >= deadline,
+            None => false,
+        }
+    }
+}
+
+/// Seconds since the Unix epoch (0 if the clock is before it).
+fn unix_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs())
+}
+
 /// One cache entry.
 #[derive(Debug, Clone)]
 pub enum CacheEntry {
@@ -97,6 +128,9 @@ pub enum CacheEntry {
     Compiled(CachedArtifacts),
     /// A deterministic failure (e.g. no verified lifting exists).
     Failed(CompileError),
+    /// A poison-pill verdict: this key crashed isolated workers past the
+    /// configured threshold and is served as `quarantined` until expiry.
+    Quarantined(QuarantineInfo),
 }
 
 /// Running cache-effectiveness counters.
@@ -160,6 +194,14 @@ impl MemState {
         }
     }
 
+    /// Drop a key outright (expired quarantine verdicts).
+    fn remove(&mut self, key: &str) {
+        if let Some(slot) = self.map.remove(key) {
+            self.order.remove(&(slot.class, slot.seq));
+            self.total_bytes -= slot.line.len();
+        }
+    }
+
     /// Refresh a key's LRU recency (on hits and idempotent re-stores).
     fn touch(&mut self, key: &str) {
         let Some(slot) = self.map.get_mut(key) else { return };
@@ -201,6 +243,9 @@ fn evict_class(entry: &CacheEntry) -> u8 {
             Tier::Full => 2,
         },
         CacheEntry::Failed(_) => 3,
+        // A quarantine verdict cost (at least) `crash_threshold` dead
+        // workers to earn; forgetting it early invites more crashes.
+        CacheEntry::Quarantined(_) => 3,
     }
 }
 
@@ -360,6 +405,13 @@ impl SynthCache {
         let entry = state.map.get(key).map(|s| s.entry.clone());
         let (found, below_floor) = match entry {
             Some(CacheEntry::Compiled(a)) if !a.tier.meets(floor) => (None, true),
+            Some(CacheEntry::Quarantined(q)) if q.expired() => {
+                // The TTL elapsed: the key earns a fresh attempt. Dropping
+                // the resident entry is enough — the next store overwrites
+                // the persisted verdict via normal last-wins replay.
+                state.remove(key);
+                (None, false)
+            }
             other => (other, false),
         };
         if found.is_some() {
@@ -389,9 +441,48 @@ impl SynthCache {
             Some(slot) => match &slot.entry {
                 CacheEntry::Compiled(a) => a.tier.meets(floor),
                 CacheEntry::Failed(_) => true,
+                CacheEntry::Quarantined(q) => !q.expired(),
             },
             None => false,
         }
+    }
+
+    /// Quarantine a key as a poison pill: its jobs crashed isolated
+    /// workers past the configured threshold. `ttl = None` is forever.
+    pub fn quarantine(&self, key: &str, reason: &str, ttl: Option<std::time::Duration>) {
+        self.store(
+            key,
+            CacheEntry::Quarantined(QuarantineInfo {
+                reason: reason.to_owned(),
+                expires_unix: ttl.map(|t| unix_now().saturating_add(t.as_secs().max(1))),
+            }),
+        );
+    }
+
+    /// The active quarantine verdict for a key, if any — a non-counting
+    /// peek (no hit/miss accounting) for pre-dispatch poison checks.
+    /// An expired verdict reads as `None` (and is dropped).
+    pub fn quarantine_reason(&self, key: &str) -> Option<String> {
+        let mut state = self.mem.lock().unwrap();
+        match state.map.get(key).map(|s| &s.entry) {
+            Some(CacheEntry::Quarantined(q)) if q.expired() => {
+                state.remove(key);
+                None
+            }
+            Some(CacheEntry::Quarantined(q)) => Some(q.reason.clone()),
+            _ => None,
+        }
+    }
+
+    /// Number of active (unexpired) quarantine verdicts currently held.
+    pub fn quarantined_count(&self) -> usize {
+        self.mem
+            .lock()
+            .unwrap()
+            .map
+            .values()
+            .filter(|s| matches!(&s.entry, CacheEntry::Quarantined(q) if !q.expired()))
+            .count()
     }
 
     /// Insert an entry. Deadline failures are rejected (they are not
@@ -620,7 +711,8 @@ fn rule_from(name: &str) -> Option<LiftRule> {
     }
 }
 
-pub(crate) fn error_name(err: &CompileError) -> &'static str {
+/// Stable wire name of a [`CompileError`] (cache entries, worker replies).
+pub fn error_name(err: &CompileError) -> &'static str {
     match err {
         CompileError::NotQualifying => "not_qualifying",
         CompileError::LiftFailed => "lift_failed",
@@ -630,7 +722,9 @@ pub(crate) fn error_name(err: &CompileError) -> &'static str {
     }
 }
 
-pub(crate) fn error_from(name: &str) -> Option<CompileError> {
+/// Inverse of [`error_name`]. `deadline_exceeded` has no reverse mapping:
+/// deadline verdicts are never round-tripped through the cache.
+pub fn error_from(name: &str) -> Option<CompileError> {
     match name {
         "not_qualifying" => Some(CompileError::NotQualifying),
         "lift_failed" => Some(CompileError::LiftFailed),
@@ -667,6 +761,13 @@ fn entry_json(key: &str, entry: &CacheEntry) -> Json {
         CacheEntry::Failed(err) => {
             obj.push(("kind".to_owned(), "failed".into()));
             obj.push(("error".to_owned(), error_name(err).into()));
+        }
+        CacheEntry::Quarantined(q) => {
+            obj.push(("kind".to_owned(), "quarantined".into()));
+            obj.push(("reason".to_owned(), q.reason.as_str().into()));
+            if let Some(deadline) = q.expires_unix {
+                obj.push(("expires_unix".to_owned(), deadline.into()));
+            }
         }
     }
     Json::Obj(obj)
@@ -720,6 +821,10 @@ fn load_entry(entry: &Json) -> Option<(String, CacheEntry)> {
             CacheEntry::Compiled(CachedArtifacts { uber, hvx, trace, tier })
         }
         "failed" => CacheEntry::Failed(error_from(entry.get("error")?.as_str()?)?),
+        "quarantined" => CacheEntry::Quarantined(QuarantineInfo {
+            reason: entry.get("reason")?.as_str()?.to_owned(),
+            expires_unix: entry.get("expires_unix").and_then(Json::as_i64).map(|s| s.max(0) as u64),
+        }),
         _ => return None,
     };
     Some((key, value))
@@ -960,6 +1065,64 @@ mod tests {
         assert!(warm.len() <= 2, "snapshot must be bounded, found {} entries", warm.len());
 
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_roundtrips_and_meets_any_floor() {
+        let dir = std::env::temp_dir().join("rake-driver-cache-quarantine");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let cache = SynthCache::persistent(&dir);
+        cache.quarantine("poison", "worker killed by signal 6", None);
+        assert_eq!(cache.quarantine_reason("poison").as_deref(), Some("worker killed by signal 6"));
+        assert_eq!(cache.quarantined_count(), 1);
+        // Quarantine verdicts are floor-independent: they answer even the
+        // strictest request (re-running would just crash another worker).
+        assert!(cache.contains_meeting("poison", Tier::Full));
+        assert!(matches!(
+            cache.lookup_meeting("poison", Tier::Full),
+            Some(CacheEntry::Quarantined(_))
+        ));
+        cache.persist().unwrap();
+
+        // The verdict survives a restart via the normal snapshot/log path.
+        let warm = SynthCache::persistent(&dir);
+        let Some(CacheEntry::Quarantined(q)) = warm.lookup("poison") else {
+            panic!("quarantine verdict must survive persistence");
+        };
+        assert_eq!(q.reason, "worker killed by signal 6");
+        assert_eq!(q.expires_unix, None);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_expires_after_ttl() {
+        let cache = SynthCache::in_memory();
+        // An already-expired verdict (expiry in the past) reads as absent
+        // everywhere and is dropped on first contact.
+        cache.store(
+            "stale",
+            CacheEntry::Quarantined(QuarantineInfo {
+                reason: "old crash".to_owned(),
+                expires_unix: Some(1),
+            }),
+        );
+        assert!(cache.quarantine_reason("stale").is_none());
+        assert!(!cache.contains_meeting("stale", Tier::Direct));
+        assert!(cache.lookup_meeting("stale", Tier::Direct).is_none());
+        assert_eq!(cache.len(), 0, "expired verdicts are dropped, not served");
+
+        // A fresh TTL keeps the verdict live.
+        cache.quarantine("live", "recent crash", Some(std::time::Duration::from_secs(3600)));
+        assert!(cache.quarantine_reason("live").is_some());
+        assert_eq!(cache.quarantined_count(), 1);
+
+        // Recompiling a previously-quarantined key overwrites the verdict.
+        cache.store("live", CacheEntry::Compiled(artifacts_at(Tier::Full)));
+        assert!(cache.quarantine_reason("live").is_none());
+        assert!(matches!(cache.lookup("live"), Some(CacheEntry::Compiled(_))));
     }
 
     #[test]

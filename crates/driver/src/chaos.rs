@@ -38,6 +38,37 @@ pub enum Fault {
     ForcedDeadline,
     /// The worker sleeps this long before compiling for real.
     Latency(Duration),
+    /// The worker process calls `std::process::abort()` — no unwind, no
+    /// `catch_unwind` rescue. Only survivable under process isolation.
+    Abort,
+    /// The worker allocates until the per-worker RSS limit (or the kernel
+    /// OOM killer) takes it down. Only survivable under process isolation.
+    Oom,
+}
+
+/// Execute an injected fault that kills the *process* (not just the
+/// unwinding thread). [`Fault::Abort`] aborts outright; [`Fault::Oom`]
+/// grows touched heap memory until something (the supervisor's RSS limit,
+/// the kernel) kills the process — bounded at 8 GiB so a misconfigured
+/// run still terminates via abort rather than swapping forever.
+pub fn execute_lethal(fault: Fault) {
+    match fault {
+        Fault::Abort => std::process::abort(),
+        Fault::Oom => {
+            let mut hog: Vec<Vec<u8>> = Vec::new();
+            for _ in 0..(8 * 1024) {
+                // 1 MiB chunks, touched so the pages are actually resident.
+                let mut chunk = vec![0u8; 1024 * 1024];
+                for page in chunk.chunks_mut(4096) {
+                    page[0] = 1;
+                }
+                hog.push(chunk);
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            std::process::abort();
+        }
+        _ => {}
+    }
 }
 
 /// How to corrupt a cache file on disk.
@@ -65,6 +96,12 @@ pub struct FaultPlan {
     pub latency_rate: f64,
     /// Upper bound on the injected delay.
     pub max_latency: Duration,
+    /// Probability a (job, tier) aborts the worker process outright.
+    /// Zero by default: only meaningful under process isolation.
+    pub abort_rate: f64,
+    /// Probability a (job, tier) allocates until killed. Zero by default:
+    /// only meaningful under process isolation.
+    pub oom_rate: f64,
 }
 
 impl FaultPlan {
@@ -77,6 +114,8 @@ impl FaultPlan {
             panic_rate: 0.15,
             latency_rate: 0.15,
             max_latency: Duration::from_millis(3),
+            abort_rate: 0.0,
+            oom_rate: 0.0,
         }
     }
 
@@ -96,6 +135,13 @@ impl FaultPlan {
         if r < self.deadline_rate + self.panic_rate + self.latency_rate {
             let micros = 1 + mix(h) % self.max_latency.as_micros().max(2) as u64;
             return Some(Fault::Latency(Duration::from_micros(micros)));
+        }
+        let lethal_floor = self.deadline_rate + self.panic_rate + self.latency_rate;
+        if r < lethal_floor + self.abort_rate {
+            return Some(Fault::Abort);
+        }
+        if r < lethal_floor + self.abort_rate + self.oom_rate {
+            return Some(Fault::Oom);
         }
         None
     }
@@ -194,6 +240,44 @@ mod tests {
         let expected = plan.deadline_rate + plan.panic_rate + plan.latency_rate;
         let got = faults as f64 / n as f64;
         assert!((got - expected).abs() < 0.05, "fault rate {got} vs configured {expected}");
+    }
+
+    #[test]
+    fn lethal_faults_schedule_deterministically_and_default_off() {
+        // seeded() plans never schedule lethal faults: the in-process chaos
+        // harness must keep working unchanged.
+        let plan = FaultPlan::seeded(0xDEAD);
+        for i in 0..256 {
+            let f = plan.fault_for(&format!("job-{i}"), Tier::Full);
+            assert!(
+                !matches!(f, Some(Fault::Abort) | Some(Fault::Oom)),
+                "lethal fault from default plan: {f:?}"
+            );
+        }
+
+        // With lethal rates dialed up, the schedule is sticky and mixes
+        // both lethal kinds across keys.
+        let lethal = FaultPlan {
+            deadline_rate: 0.0,
+            panic_rate: 0.0,
+            latency_rate: 0.0,
+            abort_rate: 0.5,
+            oom_rate: 0.5,
+            ..FaultPlan::seeded(0xDEAD)
+        };
+        let mut aborts = 0;
+        let mut ooms = 0;
+        for i in 0..64 {
+            let key = format!("job-{i}");
+            let first = lethal.fault_for(&key, Tier::Full);
+            assert_eq!(lethal.fault_for(&key, Tier::Full), first, "sticky");
+            match first {
+                Some(Fault::Abort) => aborts += 1,
+                Some(Fault::Oom) => ooms += 1,
+                other => panic!("rates sum to 1.0 yet got {other:?}"),
+            }
+        }
+        assert!(aborts > 0 && ooms > 0, "both lethal kinds appear: {aborts} aborts, {ooms} ooms");
     }
 
     #[test]

@@ -49,6 +49,10 @@ pub enum OutcomeKind {
     /// The batch's cancellation flag was raised before the job finished;
     /// not a verdict — resume recompiles these.
     Cancelled,
+    /// The key is a known poison pill (it crashed isolated workers past
+    /// the configured threshold) and was answered from its cached crash
+    /// verdict without running synthesis.
+    Quarantined,
 }
 
 impl OutcomeKind {
@@ -60,6 +64,7 @@ impl OutcomeKind {
             OutcomeKind::TimedOut => "timed_out",
             OutcomeKind::Panicked => "panicked",
             OutcomeKind::Cancelled => "cancelled",
+            OutcomeKind::Quarantined => "quarantined",
         }
     }
 
@@ -71,6 +76,7 @@ impl OutcomeKind {
             "timed_out" => Some(OutcomeKind::TimedOut),
             "panicked" => Some(OutcomeKind::Panicked),
             "cancelled" => Some(OutcomeKind::Cancelled),
+            "quarantined" => Some(OutcomeKind::Quarantined),
             _ => None,
         }
     }
@@ -177,10 +183,31 @@ pub enum DriverEvent {
         panicked: usize,
         /// Jobs cancelled before they finished.
         cancelled: usize,
+        /// Jobs answered from a cached poison-pill verdict.
+        quarantined: usize,
         /// Jobs served from the cache.
         cache_hits: usize,
         /// End-to-end batch wall-clock time.
         wall: Duration,
+    },
+    /// Crash forensics from the supervision layer: an isolated worker
+    /// subprocess died while (or shortly after) running a job. Emitted by
+    /// the serving layer's supervisor, not by the in-process driver;
+    /// journal replay ignores it (it is not a `job_completed` verdict).
+    WorkerCrashed {
+        /// The cache key of the job the worker was running, if any.
+        key: Option<String>,
+        /// The degradation tier the job was attempted at, if known.
+        tier: Option<Tier>,
+        /// What killed the worker: `signal`, `exit`, `wallclock`, `rss`,
+        /// or `spawn` (the respawn itself failed).
+        cause: String,
+        /// The fatal signal number, when the worker died to one.
+        signal: Option<i32>,
+        /// Crashes this key has now caused (drives quarantine decisions).
+        crashes_for_key: u32,
+        /// The tail of the dead worker's stderr, for post-mortems.
+        stderr_tail: String,
     },
 }
 
@@ -279,6 +306,7 @@ impl DriverEvent {
                 timed_out,
                 panicked,
                 cancelled,
+                quarantined,
                 cache_hits,
                 wall,
             } => Json::obj([
@@ -288,9 +316,35 @@ impl DriverEvent {
                 ("timed_out", (*timed_out).into()),
                 ("panicked", (*panicked).into()),
                 ("cancelled", (*cancelled).into()),
+                ("quarantined", (*quarantined).into()),
                 ("cache_hits", (*cache_hits).into()),
                 ("wall_ms", ms(*wall)),
             ]),
+            DriverEvent::WorkerCrashed {
+                key,
+                tier,
+                cause,
+                signal,
+                crashes_for_key,
+                stderr_tail,
+            } => {
+                let mut obj = vec![("event".to_owned(), "worker_crashed".into())];
+                if let Some(key) = key {
+                    obj.push(("key".to_owned(), key.as_str().into()));
+                }
+                if let Some(tier) = tier {
+                    obj.push(("tier".to_owned(), tier.name().into()));
+                }
+                obj.push(("cause".to_owned(), cause.as_str().into()));
+                if let Some(signal) = signal {
+                    obj.push(("signal".to_owned(), f64::from(*signal).into()));
+                }
+                obj.push(("crashes_for_key".to_owned(), u64::from(*crashes_for_key).into()));
+                if !stderr_tail.is_empty() {
+                    obj.push(("stderr_tail".to_owned(), stderr_tail.as_str().into()));
+                }
+                Json::Obj(obj)
+            }
         }
     }
 
@@ -514,6 +568,7 @@ pub fn summary_table(events: &[DriverEvent]) -> String {
             timed_out,
             panicked,
             cancelled,
+            quarantined,
             cache_hits,
             wall,
         } = event
@@ -522,8 +577,9 @@ pub fn summary_table(events: &[DriverEvent]) -> String {
         };
         out.push_str(&format!(
             "total: {compiled} compiled ({degraded} on degraded tiers), {failed} failed, \
-             {timed_out} timed out, {panicked} panicked, {cancelled} cancelled; \
-             {cache_hits} cache hits, {total_queries} queries, {:.1} ms wall\n",
+             {timed_out} timed out, {panicked} panicked, {cancelled} cancelled, \
+             {quarantined} quarantined; {cache_hits} cache hits, {total_queries} queries, \
+             {:.1} ms wall\n",
             wall.as_secs_f64() * 1e3
         ));
     }
@@ -565,6 +621,7 @@ mod tests {
                 timed_out: 0,
                 panicked: 0,
                 cancelled: 0,
+                quarantined: 0,
                 cache_hits: 1,
                 wall: Duration::from_millis(40),
             },
@@ -605,6 +662,27 @@ mod tests {
         assert_eq!(v.get("retries").unwrap().as_i64(), Some(2));
         assert_eq!(v.get("fault_injected").unwrap().as_bool(), Some(true));
         assert!(v.get("replayed").is_none(), "replayed is emitted only when true");
+    }
+
+    #[test]
+    fn worker_crash_forensics_serialize_and_are_replay_invisible() {
+        let ev = DriverEvent::WorkerCrashed {
+            key: Some("(vadd ...)|l8v8".to_owned()),
+            tier: Some(Tier::Full),
+            cause: "signal".to_owned(),
+            signal: Some(9),
+            crashes_for_key: 2,
+            stderr_tail: "thread panicked".to_owned(),
+        };
+        let v = json::parse(&ev.to_jsonl()).unwrap();
+        assert_eq!(v.get("event").unwrap().as_str(), Some("worker_crashed"));
+        assert_eq!(v.get("signal").unwrap().as_i64(), Some(9));
+        assert_eq!(v.get("crashes_for_key").unwrap().as_i64(), Some(2));
+        assert_eq!(v.get("stderr_tail").unwrap().as_str(), Some("thread panicked"));
+        // Forensics never pollute the replay map: only `job_completed`
+        // records carry verdicts.
+        let replay = replay_records(&ev.to_jsonl());
+        assert!(replay.is_empty());
     }
 
     #[test]
@@ -677,6 +755,7 @@ mod tests {
                 timed_out: 0,
                 panicked: 0,
                 cancelled: 0,
+                quarantined: 0,
                 cache_hits: 1,
                 wall: Duration::from_millis(12),
             },

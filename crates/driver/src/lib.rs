@@ -190,6 +190,10 @@ pub enum JobOutcome {
     /// (e.g. the requesting client disconnected). Proves nothing about the
     /// tile: never cached, recompiled on resume.
     Cancelled,
+    /// The key is a known poison pill: its jobs crashed isolated workers
+    /// past the serving layer's threshold and a cached crash verdict
+    /// answered instead of running synthesis. Carries the crash summary.
+    Quarantined(String),
 }
 
 impl JobOutcome {
@@ -200,6 +204,7 @@ impl JobOutcome {
             JobOutcome::TimedOut => OutcomeKind::TimedOut,
             JobOutcome::Panicked(_) => OutcomeKind::Panicked,
             JobOutcome::Cancelled => OutcomeKind::Cancelled,
+            JobOutcome::Quarantined(_) => OutcomeKind::Quarantined,
         }
     }
 }
@@ -432,8 +437,7 @@ impl Driver {
     /// The cache key of an expression under this driver's target and
     /// options: canonical S-expression plus a geometry/options fingerprint.
     pub fn cache_key(&self, e: &Expr) -> String {
-        let canonical = canon::canonicalize(e);
-        self.key_of(&canonical)
+        cache_key(&self.rake, e)
     }
 
     fn key_of(&self, canonical: &canon::Canonical) -> String {
@@ -589,6 +593,12 @@ impl Driver {
                     (JobOutcome::Panicked(msg.clone()), SynthStats::default())
                 }
                 UniqueOutcome::Cancelled => (JobOutcome::Cancelled, SynthStats::default()),
+                UniqueOutcome::Quarantined(reason) => {
+                    // Quarantine verdicts come straight from the cache;
+                    // count them as cache-served like any negative entry.
+                    let job_stats = SynthStats { cache_hits: 1, ..SynthStats::default() };
+                    (JobOutcome::Quarantined(reason.clone()), job_stats)
+                }
             };
             stats.merge(&job_stats);
             let fallback = match &outcome {
@@ -616,6 +626,7 @@ impl Driver {
                 JobOutcome::Failed(err) => (None, Some(err.to_string())),
                 JobOutcome::TimedOut | JobOutcome::Cancelled => (None, None),
                 JobOutcome::Panicked(msg) => (None, Some(msg.clone())),
+                JobOutcome::Quarantined(reason) => (None, Some(reason.clone())),
             };
             events.push(DriverEvent::JobFinished(JobRecord {
                 index,
@@ -658,6 +669,7 @@ impl Driver {
             timed_out: count(OutcomeKind::TimedOut),
             panicked: count(OutcomeKind::Panicked),
             cancelled: count(OutcomeKind::Cancelled),
+            quarantined: count(OutcomeKind::Quarantined),
             cache_hits: results.iter().filter(|r| r.cache_hit).count(),
             wall,
         });
@@ -750,6 +762,7 @@ impl Driver {
                         detail: match &result.outcome {
                             UniqueOutcome::Failed(err) => Some(cache::error_name(err).to_owned()),
                             UniqueOutcome::Panicked(msg) => Some(msg.clone()),
+                            UniqueOutcome::Quarantined(reason) => Some(reason.clone()),
                             _ => None,
                         },
                         tier: result.tier(),
@@ -840,6 +853,11 @@ impl Driver {
                 }
                 // A cancelled record is not a verdict: recompile.
                 OutcomeKind::Cancelled => {}
+                // A quarantined record's authoritative verdict lives in the
+                // cache (with its TTL); fall through to the lookup below.
+                // If the entry expired or was lost, the key has earned a
+                // fresh attempt — exactly what recompiling does.
+                OutcomeKind::Quarantined => {}
             }
         }
 
@@ -860,6 +878,17 @@ impl Driver {
             }
             Some(CacheEntry::Failed(err)) => {
                 return finish(UniqueOutcome::Failed(err), true, replay_rec.is_some(), 0, false);
+            }
+            Some(CacheEntry::Quarantined(q)) => {
+                // A poison pill answers from its cached crash verdict:
+                // re-running it would only kill another worker.
+                return finish(
+                    UniqueOutcome::Quarantined(q.reason),
+                    true,
+                    replay_rec.is_some(),
+                    0,
+                    false,
+                );
             }
             None => {}
         }
@@ -984,6 +1013,12 @@ impl Driver {
                         return Err(panic_message(payload.as_ref()));
                     }
                     chaos::Fault::Latency(delay) => std::thread::sleep(delay),
+                    // Lethal faults take down the whole process: only ever
+                    // scheduled inside an isolated worker, where the
+                    // supervisor contains the blast radius.
+                    lethal @ (chaos::Fault::Abort | chaos::Fault::Oom) => {
+                        chaos::execute_lethal(lethal)
+                    }
                 }
             }
         }
@@ -1022,6 +1057,7 @@ enum UniqueOutcome {
     TimedOut,
     Panicked(String),
     Cancelled,
+    Quarantined(String),
 }
 
 #[derive(Clone)]
@@ -1043,6 +1079,7 @@ impl UniqueResult {
             UniqueOutcome::TimedOut => OutcomeKind::TimedOut,
             UniqueOutcome::Panicked(_) => OutcomeKind::Panicked,
             UniqueOutcome::Cancelled => OutcomeKind::Cancelled,
+            UniqueOutcome::Quarantined(_) => OutcomeKind::Quarantined,
         }
     }
 
@@ -1090,6 +1127,19 @@ fn fingerprint(target: rake::Target, opts: &LoweringOptions) -> String {
     )
 }
 
+/// The cache key of an expression under a selector's target and options —
+/// identical to [`Driver::cache_key`] but usable without a `Driver` (the
+/// serving layer's worker-pool dispatch computes keys inside a closure
+/// that outlives its per-request driver).
+pub fn cache_key(rake: &Rake, e: &Expr) -> String {
+    let canonical = canon::canonicalize(e);
+    format!(
+        "{}|{}",
+        halide_ir::sexpr::to_sexpr(&canonical.expr),
+        fingerprint(rake.target(), &rake.options())
+    )
+}
+
 fn baseline_fallback(e: &Expr, target: rake::Target) -> Option<Program> {
     let opts = halide_opt::BaselineOptions { lanes: target.lanes, vec_bytes: target.vec_bytes };
     halide_opt::select(e, opts).ok().map(|hvx| hvx.to_program())
@@ -1097,8 +1147,9 @@ fn baseline_fallback(e: &Expr, target: rake::Target) -> Option<Program> {
 
 /// Render a panic payload. String payloads are passed through; common
 /// non-string payloads (`panic_any(42)` and friends) get a typed
-/// placeholder instead of being silently dropped.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+/// placeholder instead of being silently dropped. Public so the serving
+/// layer can render payloads it re-raises through `resume_unwind`.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         return (*s).to_owned();
     }

@@ -11,6 +11,12 @@
 //!   --timeout-ms N     per-job synthesis budget
 //!   --validate         differentially validate the compiled program
 //!   --tier-floor T     lowest degradation tier to try (full|reduced|direct)
+//!   --retries N        retry transient failures (connection errors, 429,
+//!                      503) up to N times with capped exponential backoff
+//!                      and full jitter (default 0)
+//!   --retry-max-ms N   cap on a single retry delay (default 2000)
+//!   --chaos FAULT      ask the server to inject FAULT (`abort`, `oom`,
+//!                      `sleep:<ms>`) worker-side; needs a --chaos server
 //!   --json             print the raw response JSON instead of the program
 //!   --metrics          GET /metrics and print it
 //!   --healthz          GET /healthz and print it
@@ -18,7 +24,8 @@
 //!
 //! Exit codes mirror `rakec` where they overlap:
 //!   0 compiled, 1 usage/connection error, 2 synthesis failed,
-//!   3 timed out, 4 validation mismatch, 5 panicked, 6 server busy (429)
+//!   3 timed out, 4 validation mismatch, 5 panicked, 6 server busy (429),
+//!   7 quarantined (the expression keeps crashing isolated workers)
 
 use std::io::Read as _;
 use std::net::TcpStream;
@@ -26,13 +33,17 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use driver::json::{self, Json};
-use served::http::roundtrip;
+use served::http::{backoff_delay, roundtrip, roundtrip_headers};
 
 const EXIT_FAILED: u8 = 2;
 const EXIT_TIMED_OUT: u8 = 3;
 const EXIT_MISCOMPILE: u8 = 4;
 const EXIT_PANICKED: u8 = 5;
 const EXIT_BUSY: u8 = 6;
+const EXIT_QUARANTINED: u8 = 7;
+
+/// Base delay for the first retry, doubled per attempt up to the cap.
+const RETRY_BASE_MS: u64 = 100;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,6 +52,9 @@ fn main() -> ExitCode {
     let mut timeout_ms: Option<u64> = None;
     let mut validate = false;
     let mut tier_floor: Option<String> = None;
+    let mut retries: u32 = 0;
+    let mut retry_max_ms: u64 = 2000;
+    let mut chaos: Option<String> = None;
     let mut raw_json = false;
     let mut do_metrics = false;
     let mut do_healthz = false;
@@ -65,6 +79,18 @@ fn main() -> ExitCode {
                 Some(v) => tier_floor = Some(v.clone()),
                 None => return usage("--tier-floor needs a tier name"),
             },
+            "--retries" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => retries = v,
+                None => return usage("--retries needs an integer"),
+            },
+            "--retry-max-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => retry_max_ms = v,
+                None => return usage("--retry-max-ms needs an integer"),
+            },
+            "--chaos" => match it.next() {
+                Some(v) => chaos = Some(v.clone()),
+                None => return usage("--chaos needs a fault name"),
+            },
             "--json" => raw_json = true,
             "--metrics" => do_metrics = true,
             "--healthz" => do_healthz = true,
@@ -77,16 +103,15 @@ fn main() -> ExitCode {
         return usage("--addr is required");
     };
 
-    let mut stream = match TcpStream::connect(&addr) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("rake-client: cannot connect to {addr}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(900)));
-
     if do_metrics || do_healthz {
+        let mut stream = match TcpStream::connect(&addr) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("rake-client: cannot connect to {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(900)));
         let path = if do_metrics { "/metrics" } else { "/healthz" };
         return match roundtrip(&mut stream, "GET", path, None) {
             Ok((status, body)) => {
@@ -136,13 +161,62 @@ fn main() -> ExitCode {
     if let Some(floor) = tier_floor {
         req.push(("tier_floor".to_owned(), floor.into()));
     }
+    if let Some(fault) = chaos {
+        req.push(("chaos".to_owned(), fault.into()));
+    }
     let body = Json::Obj(req).to_string();
 
-    let (status, body) = match roundtrip(&mut stream, "POST", "/compile", Some(body.as_bytes())) {
-        Ok(reply) => reply,
-        Err(e) => {
-            eprintln!("rake-client: {e}");
-            return ExitCode::FAILURE;
+    // Each attempt uses a fresh connection (the server may close after a
+    // 429/503, and a refused connect has no stream at all). Transient
+    // failures — transport errors, 429, 503 — retry with capped
+    // exponential backoff and full jitter; a 429/503 carrying
+    // `Retry-After` has its hint honored instead (still capped).
+    let salt = std::process::id() as u64;
+    let mut attempt: u32 = 0;
+    let (status, body) = loop {
+        let result = TcpStream::connect(&addr)
+            .map_err(|e| format!("cannot connect to {addr}: {e}"))
+            .and_then(|mut stream| {
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(900)));
+                roundtrip_headers(&mut stream, "POST", "/compile", Some(body.as_bytes()))
+                    .map_err(|e| e.to_string())
+            });
+        match result {
+            Ok((status, headers, resp_body)) if matches!(status, 429 | 503) && attempt < retries => {
+                let hinted = headers
+                    .iter()
+                    .find(|(name, _)| name == "retry-after")
+                    .and_then(|(_, v)| v.trim().parse::<u64>().ok())
+                    .map(Duration::from_secs);
+                let delay = hinted
+                    .unwrap_or_else(|| backoff_delay(RETRY_BASE_MS, retry_max_ms, attempt, salt))
+                    .min(Duration::from_millis(retry_max_ms.max(1)));
+                eprintln!(
+                    "rake-client: server answered {status}; retrying in {}ms ({} of {} retries)",
+                    delay.as_millis(),
+                    attempt + 1,
+                    retries,
+                );
+                std::thread::sleep(delay);
+                attempt += 1;
+                drop(resp_body);
+            }
+            Ok((status, _, resp_body)) => break (status, resp_body),
+            Err(e) if attempt < retries => {
+                let delay = backoff_delay(RETRY_BASE_MS, retry_max_ms, attempt, salt);
+                eprintln!(
+                    "rake-client: {e}; retrying in {}ms ({} of {} retries)",
+                    delay.as_millis(),
+                    attempt + 1,
+                    retries,
+                );
+                std::thread::sleep(delay);
+                attempt += 1;
+            }
+            Err(e) => {
+                eprintln!("rake-client: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
     let text = String::from_utf8_lossy(&body);
@@ -212,6 +286,11 @@ fn main() -> ExitCode {
             eprintln!("rake-client: selector panicked: {detail}");
             ExitCode::from(EXIT_PANICKED)
         }
+        "quarantined" => {
+            let detail = result.get("detail").and_then(Json::as_str).unwrap_or("unknown");
+            eprintln!("rake-client: expression is quarantined: {detail}");
+            ExitCode::from(EXIT_QUARANTINED)
+        }
         other => {
             eprintln!("rake-client: unknown outcome `{other}`");
             ExitCode::FAILURE
@@ -225,10 +304,11 @@ fn usage(err: &str) -> ExitCode {
     }
     eprintln!(
         "usage: rake-client --addr HOST:PORT [--lanes N] [--timeout-ms N] [--validate] \
-         [--tier-floor full|reduced|direct] [--json] [file.sexp]\n\
+         [--tier-floor full|reduced|direct] [--retries N] [--retry-max-ms N] [--chaos FAULT] \
+         [--json] [file.sexp]\n\
          \x20      rake-client --addr HOST:PORT --metrics | --healthz\n\
          exit codes: 0 compiled, 1 usage/connection, 2 failed, 3 timed out/cancelled, \
-         4 miscompile, 5 panicked, 6 busy"
+         4 miscompile, 5 panicked, 6 busy, 7 quarantined"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

@@ -26,6 +26,26 @@
 //!                      instead of re-running synthesis (default 300; 0 off)
 //!   --verdict-cap N    timeout verdicts remembered at most (default 1024;
 //!                      0 = unbounded)
+//!   --read-timeout-ms N  slow-loris guard: a started request must arrive
+//!                      whole within N ms or the connection is answered
+//!                      408 (default 10000; 0 disables)
+//!   --isolate          run synthesis in supervised worker subprocesses;
+//!                      worker deaths fail only their own jobs
+//!   --workers N        worker subprocesses under --isolate (default:
+//!                      same as --permits)
+//!   --worker-rss-mb N  per-worker resident-set cap in MiB; past it the
+//!                      supervisor kills the worker (default 4096; 0 off)
+//!   --worker-grace-ms N  grace past a job's deadline before the
+//!                      supervisor kills its worker (default 5000)
+//!   --crash-threshold N  worker crashes a single key may cause before it
+//!                      is quarantined as a poison pill (default 2)
+//!   --quarantine-ttl-s N  how long a quarantined key stays poisoned
+//!                      (default 3600; 0 = forever)
+//!   --chaos            accept the per-request `chaos` fault-injection
+//!                      field (test/benchmark plumbing)
+//!
+//! The hidden first argument `worker` switches the binary into the
+//! frame-protocol worker the supervisor pre-forks under `--isolate`.
 //!
 //! SIGTERM/SIGINT drain gracefully: in-flight requests finish, the cache
 //! is persisted, then the process exits 0.
@@ -66,9 +86,15 @@ mod sig {
 }
 
 fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Hidden worker mode: the supervisor re-execs this binary with the
+    // single argument `worker` (dispatched before flag parsing so the
+    // worker surface cannot drift from the server's).
+    if args.first().map(String::as_str) == Some("worker") {
+        served::worker::worker_main();
+    }
     let mut config = ServerConfig::default();
     let mut port_file: Option<std::path::PathBuf> = None;
-    let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -128,6 +154,32 @@ fn main() -> ExitCode {
                 Some(v) => config.verdict_cache_cap = v,
                 None => return usage("--verdict-cap needs an integer"),
             },
+            "--read-timeout-ms" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) => config.read_timeout = (v > 0).then(|| Duration::from_millis(v)),
+                None => return usage("--read-timeout-ms needs an integer"),
+            },
+            "--isolate" => config.isolate = true,
+            "--workers" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => config.pool_workers = v,
+                None => return usage("--workers needs an integer"),
+            },
+            "--worker-rss-mb" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) => config.worker_rss_limit = (v > 0).then_some(v * 1024 * 1024),
+                None => return usage("--worker-rss-mb needs an integer"),
+            },
+            "--worker-grace-ms" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) => config.worker_grace = Duration::from_millis(v),
+                None => return usage("--worker-grace-ms needs an integer"),
+            },
+            "--crash-threshold" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => config.crash_threshold = v,
+                None => return usage("--crash-threshold needs an integer"),
+            },
+            "--quarantine-ttl-s" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) => config.quarantine_ttl = (v > 0).then(|| Duration::from_secs(v)),
+                None => return usage("--quarantine-ttl-s needs an integer"),
+            },
+            "--chaos" => config.chaos = true,
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unknown option `{other}`")),
         }
@@ -173,7 +225,9 @@ fn usage(err: &str) -> ExitCode {
         "usage: rake-served [--addr HOST:PORT] [--port-file FILE] [--permits N] [--queue N] \
          [--cache DIR] [--cache-max-entries N] [--cache-max-bytes N] \
          [--cache-log-max-bytes N] [--log FILE] [--journal-rotate-bytes N] [--timeout SEC] \
-         [--threads N] [--verdict-ttl SEC] [--verdict-cap N]"
+         [--threads N] [--verdict-ttl SEC] [--verdict-cap N] [--read-timeout-ms N] \
+         [--isolate] [--workers N] [--worker-rss-mb N] [--worker-grace-ms N] \
+         [--crash-threshold N] [--quarantine-ttl-s N] [--chaos]"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

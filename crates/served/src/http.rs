@@ -10,6 +10,7 @@
 
 use std::io::{self, BufRead, Read, Write};
 use std::net::TcpStream;
+use std::time::Instant;
 
 /// Upper bound on the request line plus all header bytes. Prevents a
 /// peer from streaming an unbounded header section.
@@ -56,7 +57,12 @@ pub enum ReadError {
         /// The configured cap.
         limit: usize,
     },
-    /// The socket failed mid-read (timeout, reset, ...).
+    /// A started request did not finish arriving within the read
+    /// deadline (slow-loris guard) → 408. Distinct from an *idle*
+    /// keep-alive connection timing out between requests, which is a
+    /// clean close.
+    TimedOut,
+    /// The socket failed mid-read (reset, ...).
     Io(io::Error),
 }
 
@@ -69,10 +75,53 @@ pub fn read_request(
     reader: &mut impl BufRead,
     max_body_bytes: usize,
 ) -> Result<Request, ReadError> {
+    read_request_deadline(reader, max_body_bytes, None)
+}
+
+/// [`read_request`] with a slow-loris guard: the *entire* request —
+/// line, headers, body — must arrive before `deadline`, or the read
+/// fails with [`ReadError::TimedOut`] (→ 408).
+///
+/// The deadline catches drip-feed peers (a byte every few seconds keeps
+/// any per-read socket timeout happy forever); callers should *also*
+/// set a socket read timeout of the same order so a fully silent peer
+/// cannot pin the thread between bytes — with a deadline armed, those
+/// `WouldBlock`/`TimedOut` socket errors are mapped to `TimedOut` too.
+///
+/// # Errors
+///
+/// See [`ReadError`].
+pub fn read_request_deadline(
+    reader: &mut impl BufRead,
+    max_body_bytes: usize,
+    deadline: Option<Instant>,
+) -> Result<Request, ReadError> {
+    read_request_inner(reader, max_body_bytes, deadline).map_err(|e| match e {
+        // With a deadline armed, a socket-level stall is the same
+        // slow-loris verdict as blowing the overall deadline.
+        ReadError::Io(io)
+            if deadline.is_some()
+                && matches!(io.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+        {
+            ReadError::TimedOut
+        }
+        other => other,
+    })
+}
+
+fn read_request_inner(
+    reader: &mut impl BufRead,
+    max_body_bytes: usize,
+    deadline: Option<Instant>,
+) -> Result<Request, ReadError> {
+    let overdue = || deadline.is_some_and(|d| Instant::now() >= d);
     let mut head_budget = MAX_HEAD_BYTES;
     let line = read_line(reader, &mut head_budget)?;
     if line.is_empty() {
         return Err(ReadError::Closed);
+    }
+    if overdue() {
+        return Err(ReadError::TimedOut);
     }
     let mut parts = line.split_whitespace();
     let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
@@ -88,6 +137,9 @@ pub fn read_request(
     let mut headers = Vec::new();
     loop {
         let line = read_line(reader, &mut head_budget)?;
+        if overdue() {
+            return Err(ReadError::TimedOut);
+        }
         if line.is_empty() {
             break;
         }
@@ -108,8 +160,27 @@ pub fn read_request(
         if len > max_body_bytes {
             return Err(ReadError::BodyTooLarge { declared: len, limit: max_body_bytes });
         }
+        // Chunked reads so a drip-fed body checks the deadline between
+        // chunks instead of sitting in one long `read_exact`.
         let mut body = vec![0u8; len];
-        reader.read_exact(&mut body).map_err(ReadError::Io)?;
+        let mut filled = 0usize;
+        while filled < len {
+            if overdue() {
+                return Err(ReadError::TimedOut);
+            }
+            let chunk = (len - filled).min(64 * 1024);
+            match reader.read(&mut body[filled..filled + chunk]) {
+                Ok(0) => {
+                    return Err(ReadError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "body cut short",
+                    )));
+                }
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(ReadError::Io(e)),
+            }
+        }
         req.body = body;
     }
     Ok(req)
@@ -222,6 +293,7 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
@@ -244,6 +316,24 @@ pub fn roundtrip(
     path: &str,
     body: Option<&[u8]>,
 ) -> io::Result<(u16, Vec<u8>)> {
+    roundtrip_headers(stream, method, path, body).map(|(status, _, body)| (status, body))
+}
+
+/// Status, headers (lowercased names), and body of an HTTP response.
+pub type StatusHeadersBody = (u16, Vec<(String, String)>, Vec<u8>);
+
+/// [`roundtrip`], but also returning the response headers (lowercased
+/// names) — retry logic needs `Retry-After`.
+///
+/// # Errors
+///
+/// Propagates socket failures and malformed responses as `io::Error`.
+pub fn roundtrip_headers(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> io::Result<StatusHeadersBody> {
     let body = body.unwrap_or(&[]);
     let head = format!(
         "{method} {path} HTTP/1.1\r\nhost: rake-served\r\ncontent-length: {}\r\n\r\n",
@@ -270,6 +360,7 @@ pub fn roundtrip(
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| bad(&format!("bad status line `{status_line}`")))?;
     let mut content_length = 0usize;
+    let mut headers = Vec::new();
     loop {
         let line = read_line(&mut reader, &mut budget).map_err(|e| match e {
             ReadError::Io(io) => io,
@@ -283,11 +374,28 @@ pub fn roundtrip(
                 content_length =
                     value.trim().parse().map_err(|_| bad("bad response content-length"))?;
             }
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
         }
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
-    Ok((status, body))
+    Ok((status, headers, body))
+}
+
+/// Capped exponential backoff with full jitter, for retrying transient
+/// failures: delay `attempt` (0-based) is uniform in
+/// `[0, min(base · 2^attempt, cap)]` — the AWS "full jitter" scheme,
+/// which decorrelates a thundering herd of retrying clients. `salt`
+/// seeds the jitter (callers mix in pid/time; this module stays
+/// dependency-free and deterministic for tests).
+pub fn backoff_delay(base_ms: u64, cap_ms: u64, attempt: u32, salt: u64) -> std::time::Duration {
+    let ceiling = base_ms.saturating_mul(1u64 << attempt.min(20)).min(cap_ms).max(1);
+    // SplitMix64 finalizer over (salt, attempt) → uniform-enough jitter.
+    let mut z = salt.wrapping_add(0x9e3779b97f4a7c15u64.wrapping_mul(u64::from(attempt) + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^= z >> 31;
+    std::time::Duration::from_millis(z % ceiling)
 }
 
 #[cfg(test)]
@@ -329,6 +437,49 @@ mod tests {
         assert!(matches!(parse(b"GET /\r\n\r\n"), Err(ReadError::Malformed(_))));
         let huge = format!("GET / HTTP/1.1\r\nx: {}\r\n\r\n", "y".repeat(MAX_HEAD_BYTES));
         assert!(matches!(parse(huge.as_bytes()), Err(ReadError::Malformed(_))));
+    }
+
+    #[test]
+    fn expired_deadline_is_timed_out_not_malformed() {
+        let raw = b"POST /compile HTTP/1.1\r\ncontent-length: 5\r\n\r\nhello";
+        let past = Instant::now() - std::time::Duration::from_millis(1);
+        let err = read_request_deadline(&mut BufReader::new(&raw[..]), 1024, Some(past))
+            .unwrap_err();
+        assert!(matches!(err, ReadError::TimedOut), "{err:?}");
+        // A generous deadline changes nothing.
+        let future = Instant::now() + std::time::Duration::from_secs(60);
+        let req =
+            read_request_deadline(&mut BufReader::new(&raw[..]), 1024, Some(future)).unwrap();
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn socket_stall_maps_to_timed_out_only_under_deadline() {
+        struct Stall;
+        impl io::Read for Stall {
+            fn read(&mut self, _: &mut [u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::WouldBlock, "stalled"))
+            }
+        }
+        let future = Instant::now() + std::time::Duration::from_secs(60);
+        let err = read_request_deadline(&mut BufReader::new(Stall), 1024, Some(future))
+            .unwrap_err();
+        assert!(matches!(err, ReadError::TimedOut), "{err:?}");
+        let err = read_request_deadline(&mut BufReader::new(Stall), 1024, None).unwrap_err();
+        assert!(matches!(err, ReadError::Io(_)), "no deadline keeps the old Io verdict: {err:?}");
+    }
+
+    #[test]
+    fn backoff_jitter_stays_under_the_cap_and_grows() {
+        for attempt in 0..10 {
+            for salt in [1u64, 7, 42, 0xDEAD] {
+                let d = backoff_delay(100, 2000, attempt, salt);
+                let ceiling = 100u64.saturating_mul(1 << attempt).min(2000);
+                assert!(d.as_millis() < u128::from(ceiling.max(1)) + 1, "{d:?} vs {ceiling}");
+            }
+        }
+        // Deterministic for a fixed (salt, attempt).
+        assert_eq!(backoff_delay(100, 2000, 3, 9), backoff_delay(100, 2000, 3, 9));
     }
 
     #[test]

@@ -26,6 +26,9 @@
 pub mod http;
 pub mod metrics;
 pub mod server;
+pub mod supervisor;
+pub mod worker;
 
 pub use metrics::Metrics;
 pub use server::{serve, ServerConfig, ServerHandle};
+pub use supervisor::{PoolConfig, WorkerPool};

@@ -120,6 +120,24 @@ pub struct CacheSnapshot {
     pub journal_bytes: u64,
     /// Journal rotations performed since startup.
     pub journal_rotations: u64,
+    /// Keys currently quarantined as poison pills (crashed workers past
+    /// the threshold).
+    pub quarantined: usize,
+}
+
+/// Worker-pool numbers supplied at render time when the server runs
+/// isolated (`--isolate`); the pool keeps its own counters
+/// ([`crate::supervisor::PoolCounters`]) and this is their snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerSnapshot {
+    /// Workers (re)started after the initial pre-fork.
+    pub restarts: u64,
+    /// Live worker processes right now.
+    pub alive: u64,
+    /// Highest resident-set size observed on any worker, in bytes.
+    pub rss_high_water: u64,
+    /// Crash counts by cause label (`signal_9`, `exit_2`, `rss`, ...).
+    pub crashes: Vec<(String, u64)>,
 }
 
 /// The registry. One per server process, shared by all connections.
@@ -138,6 +156,7 @@ pub struct Metrics {
     cache_served: AtomicU64,
     validation_mismatches: AtomicU64,
     disconnects: AtomicU64,
+    quarantine_added: AtomicU64,
     latency: Histogram,
 }
 
@@ -201,9 +220,15 @@ impl Metrics {
         self.exprs.fetch_add(n as u64, Ordering::Relaxed);
     }
 
-    /// Count a client that vanished mid-compile (its cancel flag fired).
+    /// Count a client that vanished mid-compile (its cancel flag fired)
+    /// or mid-response (the write hit EPIPE / a reset).
     pub fn client_disconnected(&self) {
         self.disconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a key newly quarantined as a poison pill.
+    pub fn key_quarantined(&self) {
+        self.quarantine_added.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Current in-flight gauge (used by tests and the drain path).
@@ -241,8 +266,15 @@ impl Metrics {
         })
     }
 
-    /// Render the whole registry in Prometheus text format.
-    pub fn render(&self, started: Instant, cache: CacheSnapshot) -> String {
+    /// Render the whole registry in Prometheus text format. `workers` is
+    /// `Some` only when the server runs with process isolation; its
+    /// families are omitted otherwise.
+    pub fn render(
+        &self,
+        started: Instant,
+        cache: CacheSnapshot,
+        workers: Option<&WorkerSnapshot>,
+    ) -> String {
         let mut out = String::with_capacity(4096);
         let out = &mut out;
 
@@ -461,6 +493,52 @@ impl Metrics {
             "rake_served_journal_rotations_total {}\n",
             cache.journal_rotations
         ));
+        out.push_str(
+            "# HELP rake_served_quarantined_keys Keys currently quarantined as poison pills \
+             (they crashed workers past the threshold; served as structured failures).\n\
+             # TYPE rake_served_quarantined_keys gauge\n",
+        );
+        out.push_str(&format!("rake_served_quarantined_keys {}\n", cache.quarantined));
+        out.push_str(
+            "# HELP rake_served_quarantine_added_total Keys quarantined since startup.\n\
+             # TYPE rake_served_quarantine_added_total counter\n",
+        );
+        out.push_str(&format!(
+            "rake_served_quarantine_added_total {}\n",
+            self.quarantine_added.load(Ordering::Relaxed)
+        ));
+
+        if let Some(w) = workers {
+            out.push_str(
+                "# HELP rake_served_worker_restarts_total Worker processes restarted by the \
+                 supervisor (initial pre-forks excluded).\n\
+                 # TYPE rake_served_worker_restarts_total counter\n",
+            );
+            out.push_str(&format!("rake_served_worker_restarts_total {}\n", w.restarts));
+            out.push_str(
+                "# HELP rake_served_worker_crashes_total Worker deaths, by cause.\n\
+                 # TYPE rake_served_worker_crashes_total counter\n",
+            );
+            for (cause, n) in &w.crashes {
+                out.push_str(&format!(
+                    "rake_served_worker_crashes_total{{cause=\"{cause}\"}} {n}\n"
+                ));
+            }
+            out.push_str(
+                "# HELP rake_served_workers_alive Live worker processes.\n\
+                 # TYPE rake_served_workers_alive gauge\n",
+            );
+            out.push_str(&format!("rake_served_workers_alive {}\n", w.alive));
+            out.push_str(
+                "# HELP rake_served_worker_rss_high_water_bytes Highest resident-set size \
+                 observed on any worker.\n\
+                 # TYPE rake_served_worker_rss_high_water_bytes gauge\n",
+            );
+            out.push_str(&format!(
+                "rake_served_worker_rss_high_water_bytes {}\n",
+                w.rss_high_water
+            ));
+        }
 
         out.push_str(
             "# HELP rake_served_compile_latency_seconds End-to-end /compile latency.\n\
@@ -499,6 +577,7 @@ mod tests {
         m.compile_finished(Duration::from_millis(3));
         m.exprs_submitted(2);
         m.rejected_busy();
+        m.key_quarantined();
         let text = m.render(
             Instant::now(),
             CacheSnapshot {
@@ -517,7 +596,14 @@ mod tests {
                 verdict_evictions: 1,
                 journal_bytes: 8192,
                 journal_rotations: 3,
+                quarantined: 2,
             },
+            Some(&WorkerSnapshot {
+                restarts: 4,
+                alive: 2,
+                rss_high_water: 1 << 20,
+                crashes: vec![("signal_9".to_owned(), 3)],
+            }),
         );
         for family in [
             "rake_served_requests_total{endpoint=\"compile\"} 1",
@@ -539,10 +625,22 @@ mod tests {
             "rake_served_verdict_evictions_total 1",
             "rake_served_journal_bytes 8192",
             "rake_served_journal_rotations_total 3",
+            "rake_served_quarantined_keys 2",
+            "rake_served_quarantine_added_total 1",
+            "rake_served_worker_restarts_total 4",
+            "rake_served_worker_crashes_total{cause=\"signal_9\"} 3",
+            "rake_served_workers_alive 2",
+            "rake_served_worker_rss_high_water_bytes 1048576",
             "rake_served_compile_latency_seconds_count 1",
         ] {
             assert!(text.contains(family), "missing `{family}` in:\n{text}");
         }
+        let plain = m.render(Instant::now(), CacheSnapshot::default(), None);
+        assert!(
+            !plain.contains("rake_served_worker_restarts_total"),
+            "worker families must be omitted without a pool"
+        );
+        assert!(plain.contains("rake_served_quarantined_keys 0"));
     }
 
     #[test]

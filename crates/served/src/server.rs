@@ -38,14 +38,16 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use driver::cache::SynthCache;
+use driver::event::DriverEvent;
 use driver::json::{self, Json, ParseLimits};
 use driver::{CacheLimits, Driver, DriverConfig, JobOutcome, Journal, Tier};
 use halide_ir::Expr;
 use hvx::SlotBudget;
-use rake::{Rake, Target};
+use rake::{CompileError, Compiled, Rake, Target};
 
-use crate::http::{read_request, ReadError, Request, Response};
+use crate::http::{read_request_deadline, ReadError, Request, Response};
 use crate::metrics::{CacheSnapshot, Endpoint, Metrics};
+use crate::supervisor::{DispatchOutcome, PoolConfig, WorkerJob, WorkerPool};
 
 /// Hard cap on expressions per `/compile` request.
 pub const MAX_EXPRS_PER_REQUEST: usize = 64;
@@ -107,10 +109,40 @@ pub struct ServerConfig {
     pub timeout_verdict_ttl: Duration,
     /// Per-connection idle read timeout.
     pub idle_timeout: Duration,
+    /// Slow-loris guard: once a request's first byte arrives, the whole
+    /// request (line + headers + body) must land within this window or
+    /// the connection is answered 408. `None` disables the deadline
+    /// (the idle timeout still bounds fully-silent peers).
+    pub read_timeout: Option<Duration>,
     /// Process-wide [`synth::pool`] thread budget, set once at startup.
     pub thread_budget: usize,
     /// How long [`ServerHandle::shutdown`] waits for in-flight work.
     pub drain_timeout: Duration,
+    /// Run synthesis in isolated worker subprocesses ([`WorkerPool`])
+    /// instead of in-process. Worker deaths then fail only their own
+    /// jobs.
+    pub isolate: bool,
+    /// Worker subprocesses to pre-fork under `isolate`; zero means "as
+    /// many as `permits`".
+    pub pool_workers: usize,
+    /// Program + args to exec per worker; `None` re-execs the server's
+    /// own binary in hidden `worker` mode. (Tests override this because
+    /// `current_exe` is the test harness there.)
+    pub worker_cmd: Option<Vec<String>>,
+    /// Per-worker resident-set cap, enforced by the supervisor with
+    /// SIGKILL. `None` disables the check.
+    pub worker_rss_limit: Option<u64>,
+    /// Grace past a job's deadline before the supervisor kills its
+    /// worker.
+    pub worker_grace: Duration,
+    /// Worker crashes a single key may cause before it is quarantined as
+    /// a poison pill.
+    pub crash_threshold: u32,
+    /// How long a quarantined key stays poisoned; `None` is forever.
+    pub quarantine_ttl: Option<Duration>,
+    /// Accept the per-request `chaos` field (fault injection inside
+    /// workers). Test/benchmark plumbing; off by default.
+    pub chaos: bool,
 }
 
 impl Default for ServerConfig {
@@ -133,8 +165,17 @@ impl Default for ServerConfig {
             verdict_cache_cap: 1024,
             timeout_verdict_ttl: Duration::from_secs(300),
             idle_timeout: Duration::from_secs(60),
+            read_timeout: Some(Duration::from_secs(10)),
             thread_budget: cores,
             drain_timeout: Duration::from_secs(30),
+            isolate: false,
+            pool_workers: 0,
+            worker_cmd: None,
+            worker_rss_limit: Some(4 * 1024 * 1024 * 1024),
+            worker_grace: Duration::from_secs(5),
+            crash_threshold: 2,
+            quarantine_ttl: Some(Duration::from_secs(3600)),
+            chaos: false,
         }
     }
 }
@@ -332,6 +373,8 @@ struct Shared {
     /// Base selector per lane width; cloned per request so every
     /// connection shares one memo handle per geometry.
     rakes: Mutex<std::collections::HashMap<usize, Rake>>,
+    /// The isolated worker pool; `Some` only under `--isolate`.
+    pool: Option<Arc<WorkerPool>>,
     draining: AtomicBool,
     connections: AtomicUsize,
     started: Instant,
@@ -367,6 +410,7 @@ impl Shared {
             verdict_evictions: self.verdicts.evictions(),
             journal_bytes: self.journal.as_ref().map_or(0, |j| j.bytes()),
             journal_rotations: self.journal.as_ref().map_or(0, |j| j.rotations()),
+            quarantined: self.cache.quarantined_count(),
         }
     }
 }
@@ -395,6 +439,12 @@ impl ServerHandle {
         Arc::clone(&self.shared.cache)
     }
 
+    /// Live worker pids under `--isolate` (tests kill these to prove
+    /// containment); empty in-process.
+    pub fn worker_pids(&self) -> Vec<u32> {
+        self.shared.pool.as_ref().map(|p| p.worker_pids()).unwrap_or_default()
+    }
+
     /// Graceful drain: stop accepting, let in-flight requests finish (up
     /// to [`ServerConfig::drain_timeout`]), persist the cache, return.
     pub fn shutdown(mut self) {
@@ -405,6 +455,9 @@ impl ServerHandle {
         let deadline = Instant::now() + self.shared.config.drain_timeout;
         while self.shared.connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(10));
+        }
+        if let Some(pool) = &self.shared.pool {
+            pool.shutdown();
         }
         if let Err(err) = self.shared.cache.persist() {
             eprintln!("rake-served: cache persist on shutdown failed: {err}");
@@ -438,6 +491,18 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
     };
     let gate = Arc::new(Gate::new(config.permits, config.queue_slots, config.queue_wait));
     let verdicts = VerdictCache::new(config.timeout_verdict_ttl, config.verdict_cache_cap);
+    let pool = config.isolate.then(|| {
+        let workers = if config.pool_workers == 0 { config.permits } else { config.pool_workers };
+        WorkerPool::start(PoolConfig {
+            workers: workers.max(1),
+            worker_cmd: config.worker_cmd.clone().unwrap_or_default(),
+            rss_limit_bytes: config.worker_rss_limit,
+            job_grace: config.worker_grace,
+            // Give jobs without a deadline the max budget plus slack.
+            max_job_wall: config.max_timeout + Duration::from_secs(60),
+            ..PoolConfig::default()
+        })
+    });
     let shared = Arc::new(Shared {
         config,
         cache,
@@ -447,6 +512,7 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
         inflight: InFlight::default(),
         verdicts,
         rakes: Mutex::new(std::collections::HashMap::new()),
+        pool,
         draining: AtomicBool::new(false),
         connections: AtomicUsize::new(0),
         started: Instant::now(),
@@ -495,6 +561,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 }
 
 fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    use std::io::BufRead;
     let Ok(read_half) = stream.try_clone() else { return };
     let mut reader = BufReader::new(read_half);
     let mut write_half = stream;
@@ -502,33 +569,68 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
         if shared.draining.load(Ordering::SeqCst) {
             return;
         }
-        // The compile path's disconnect monitor adjusts the socket read
-        // timeout; restore the idle timeout before each request.
+        // Await the request's first byte under the idle timeout (the
+        // compile path's disconnect monitor adjusts the socket timeout,
+        // so restore it each loop), then arm the slow-loris deadline:
+        // a peer may idle *between* requests, but once it starts one it
+        // must deliver line + headers + body within `read_timeout` or
+        // the connection is answered 408.
         let _ = write_half.set_read_timeout(Some(shared.config.idle_timeout));
-        let req = match read_request(&mut reader, shared.config.max_body_bytes) {
-            Ok(req) => req,
-            Err(ReadError::Closed) => return,
-            Err(ReadError::Io(_)) => return,
-            Err(ReadError::Malformed(why)) => {
-                let resp = Response::text(400, format!("{why}\n"));
-                shared.metrics.response(resp.status);
-                let _ = resp.write_to(&mut write_half, true);
-                return;
-            }
-            Err(ReadError::BodyTooLarge { declared, limit }) => {
-                let resp = Response::text(
-                    413,
-                    format!("request body {declared} bytes exceeds the {limit}-byte limit\n"),
-                );
-                shared.metrics.response(resp.status);
-                let _ = resp.write_to(&mut write_half, true);
-                return;
-            }
-        };
+        match reader.fill_buf() {
+            Ok([]) => return, // EOF between requests
+            Ok(_) => {}
+            Err(_) => return, // idle timeout or reset
+        }
+        let deadline = shared.config.read_timeout.map(|t| {
+            // Per-read socket timeout of the same order, so a peer that
+            // goes fully silent mid-request cannot pin the thread past
+            // the deadline (read_request_deadline maps the stall to 408).
+            let _ = write_half.set_read_timeout(Some(t));
+            Instant::now() + t
+        });
+        let req =
+            match read_request_deadline(&mut reader, shared.config.max_body_bytes, deadline) {
+                Ok(req) => req,
+                Err(ReadError::Closed) => return,
+                Err(ReadError::Io(_)) => return,
+                Err(ReadError::TimedOut) => {
+                    let resp =
+                        Response::text(408, "request did not complete within the read timeout\n");
+                    shared.metrics.response(resp.status);
+                    let _ = resp.write_to(&mut write_half, true);
+                    return;
+                }
+                Err(ReadError::Malformed(why)) => {
+                    let resp = Response::text(400, format!("{why}\n"));
+                    shared.metrics.response(resp.status);
+                    let _ = resp.write_to(&mut write_half, true);
+                    return;
+                }
+                Err(ReadError::BodyTooLarge { declared, limit }) => {
+                    let resp = Response::text(
+                        413,
+                        format!("request body {declared} bytes exceeds the {limit}-byte limit\n"),
+                    );
+                    shared.metrics.response(resp.status);
+                    let _ = resp.write_to(&mut write_half, true);
+                    return;
+                }
+            };
         let close = req.wants_close() || shared.draining.load(Ordering::SeqCst);
-        let resp = route(shared, &req, &write_half);
+        // One disconnect count per connection, whichever side sees it
+        // first: the compile path's monitor (a small response to a
+        // vanished peer can be written "successfully") or the response
+        // write below (EPIPE mid-response, no monitor running).
+        let disconnected = AtomicBool::new(false);
+        let resp = route(shared, &req, &write_half, &disconnected);
         shared.metrics.response(resp.status);
         if resp.write_to(&mut write_half, close).is_err() {
+            // Rust ignores SIGPIPE before main, so a vanished peer
+            // surfaces here as plain EPIPE/ECONNRESET — count it and
+            // move on; nothing to log per-connection.
+            if !disconnected.swap(true, Ordering::SeqCst) {
+                shared.metrics.client_disconnected();
+            }
             return;
         }
         if close {
@@ -537,7 +639,12 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
     }
 }
 
-fn route(shared: &Arc<Shared>, req: &Request, stream: &TcpStream) -> Response {
+fn route(
+    shared: &Arc<Shared>,
+    req: &Request,
+    stream: &TcpStream,
+    disconnected: &AtomicBool,
+) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
             shared.metrics.request(Endpoint::Healthz);
@@ -549,7 +656,9 @@ fn route(shared: &Arc<Shared>, req: &Request, stream: &TcpStream) -> Response {
         }
         ("GET", "/metrics") => {
             shared.metrics.request(Endpoint::Metrics);
-            let text = shared.metrics.render(shared.started, shared.cache_snapshot());
+            let workers = shared.pool.as_ref().map(|p| p.metrics_snapshot());
+            let text =
+                shared.metrics.render(shared.started, shared.cache_snapshot(), workers.as_ref());
             Response {
                 status: 200,
                 headers: Vec::new(),
@@ -559,7 +668,7 @@ fn route(shared: &Arc<Shared>, req: &Request, stream: &TcpStream) -> Response {
         }
         ("POST", "/compile") => {
             shared.metrics.request(Endpoint::Compile);
-            handle_compile(shared, req, stream)
+            handle_compile(shared, req, stream, disconnected)
         }
         (_, "/compile") | (_, "/healthz") | (_, "/metrics") => {
             shared.metrics.request(Endpoint::Other);
@@ -579,6 +688,9 @@ struct CompileRequest {
     timeout: Option<Duration>,
     validate: bool,
     tiers: Vec<Tier>,
+    /// Chaos fault to inject worker-side (`abort` / `oom` /
+    /// `sleep:<ms>`); only accepted when the server runs `--chaos`.
+    fault: Option<String>,
 }
 
 fn bad(msg: impl Into<String>) -> Response {
@@ -658,6 +770,21 @@ fn parse_compile_request(shared: &Shared, body: &[u8]) -> Result<CompileRequest,
         Some(v) => v.as_bool().ok_or_else(|| bad("`validate` must be a boolean"))?,
     };
 
+    let fault = match doc.get("chaos") {
+        None => None,
+        Some(_) if !shared.config.chaos => {
+            return Err(bad("`chaos` requires the server to run with --chaos"));
+        }
+        Some(v) => {
+            let f = v.as_str().ok_or_else(|| bad("`chaos` must be a string"))?;
+            let valid = f == "abort" || f == "oom" || f.strip_prefix("sleep:").is_some_and(|ms| ms.parse::<u64>().is_ok());
+            if !valid {
+                return Err(bad("`chaos` must be `abort`, `oom`, or `sleep:<ms>`"));
+            }
+            Some(f.to_owned())
+        }
+    };
+
     let tiers = match doc.get("tier_floor") {
         None => Tier::ladder().to_vec(),
         Some(v) => {
@@ -674,7 +801,7 @@ fn parse_compile_request(shared: &Shared, body: &[u8]) -> Result<CompileRequest,
         }
     };
 
-    Ok(CompileRequest { exprs, lanes, timeout, validate, tiers })
+    Ok(CompileRequest { exprs, lanes, timeout, validate, tiers, fault })
 }
 
 /// Maximum paren nesting of an S-expression, counting inside-string
@@ -695,7 +822,12 @@ fn sexpr_depth(s: &str) -> usize {
     max
 }
 
-fn handle_compile(shared: &Arc<Shared>, req: &Request, stream: &TcpStream) -> Response {
+fn handle_compile(
+    shared: &Arc<Shared>,
+    req: &Request,
+    stream: &TcpStream,
+    disconnected: &AtomicBool,
+) -> Response {
     if shared.draining.load(Ordering::SeqCst) {
         return Response::text(503, "draining\n");
     }
@@ -721,6 +853,9 @@ fn handle_compile(shared: &Arc<Shared>, req: &Request, stream: &TcpStream) -> Re
         .with_event_sink(shared.metrics.sink());
     if let Some(journal) = &shared.journal {
         driver = driver.with_shared_journal(Arc::clone(journal));
+    }
+    if let Some(pool) = &shared.pool {
+        driver = driver.with_compile_fn(isolated_compile_fn(shared, pool, &parsed));
     }
 
     let expr_keys: Vec<String> =
@@ -761,6 +896,23 @@ fn handle_compile(shared: &Arc<Shared>, req: &Request, stream: &TcpStream) -> Re
     // behind does not make a stricter request warm — it recompiles.
     let floor = parsed.tiers.iter().copied().max_by_key(|t| t.rank()).unwrap_or(Tier::Full);
     let warm = keys.iter().all(|k| shared.cache.contains_meeting(k, floor));
+    if !warm {
+        // Cold work needs live workers; while the restart-storm breaker
+        // is open, fail fast instead of queueing behind a pool that will
+        // refuse the dispatch anyway. Warm requests still serve.
+        if let Some(pool) = &shared.pool {
+            if pool.breaker_open() {
+                return Response::json(
+                    503,
+                    &Json::obj([(
+                        "error",
+                        "worker pool in restart-storm cooldown; retry later".into(),
+                    )]),
+                )
+                .with_header("retry-after", "2");
+            }
+        }
+    }
     let permit = if warm {
         shared.metrics.warm_path();
         None
@@ -813,9 +965,15 @@ fn handle_compile(shared: &Arc<Shared>, req: &Request, stream: &TcpStream) -> Re
         let report = driver.compile_batch(&exprs);
 
         done.store(true, Ordering::SeqCst);
-        let disconnected = monitor.map(|m| m.join().unwrap_or(false)).unwrap_or(false);
-        if disconnected {
-            shared.metrics.client_disconnected();
+        // The monitor is authoritative for mid-compile disconnects: a
+        // small response written to a half-closed socket can still
+        // "succeed", so the connection loop's EPIPE check alone would
+        // undercount. The shared once-flag keeps the two sites from
+        // ever counting the same connection twice.
+        if let Some(m) = monitor {
+            if m.join().unwrap_or(false) && !disconnected.swap(true, Ordering::SeqCst) {
+                shared.metrics.client_disconnected();
+            }
         }
         drop(driver);
         if let Some(cancel) = cancel {
@@ -826,7 +984,7 @@ fn handle_compile(shared: &Arc<Shared>, req: &Request, stream: &TcpStream) -> Re
         }
 
         memo_stats =
-            (report.stats.lifting_queries as u64, report.stats.sketching_queries as u64);
+            (report.stats.lifting_queries, report.stats.sketching_queries);
         for (&slot, r) in to_compile.iter().zip(report.results.iter()) {
             let rendered = render_result(r, parsed.lanes);
             if matches!(r.outcome, JobOutcome::TimedOut) {
@@ -871,6 +1029,114 @@ fn handle_compile(shared: &Arc<Shared>, req: &Request, stream: &TcpStream) -> Re
     )
 }
 
+/// The per-job compile function under `--isolate`: ship the expression
+/// to a pooled worker subprocess and translate its fate back into the
+/// driver's vocabulary.
+///
+/// Worker *deaths* (and pool unavailability) surface via
+/// [`std::panic::resume_unwind`] with a string payload: the driver's
+/// existing `catch_unwind` turns that into a structured `panicked`
+/// outcome for this job only, without tripping the process panic hook
+/// (no log spam) and without widening [`rake::CompileError`]. A key
+/// whose crash count crosses the threshold is quarantined in the shared
+/// synthesis cache as a poison pill — later requests get a structured
+/// `quarantined` outcome straight from the cache, burning no budget.
+fn isolated_compile_fn(
+    shared: &Arc<Shared>,
+    pool: &Arc<WorkerPool>,
+    parsed: &CompileRequest,
+) -> impl Fn(
+    &Expr,
+    Option<Instant>,
+    Tier,
+    Option<synth::CancelFlag>,
+) -> Result<Compiled, CompileError>
+       + Send
+       + Sync
+       + 'static {
+    let pool = Arc::clone(pool);
+    let cache = Arc::clone(&shared.cache);
+    let journal = shared.journal.clone();
+    let metrics = Arc::clone(&shared.metrics);
+    let key_rake = shared.base_rake(parsed.lanes);
+    let lanes = parsed.lanes;
+    let fault = parsed.fault.clone();
+    let crash_threshold = shared.config.crash_threshold.max(1);
+    let quarantine_ttl = shared.config.quarantine_ttl;
+    move |e, deadline, tier, cancel| {
+        let key = driver::cache_key(&key_rake, e);
+        // A key quarantined seconds ago — by this very batch's previous
+        // tier attempt, or by a concurrent request — must not be
+        // redispatched down the ladder.
+        if let Some(reason) = cache.quarantine_reason(&key) {
+            std::panic::resume_unwind(Box::new(format!("poison pill: {reason}")));
+        }
+        let job = WorkerJob {
+            key: key.clone(),
+            expr: halide_ir::sexpr::to_sexpr(e),
+            lanes,
+            tier,
+            deadline,
+            fault: fault.clone(),
+        };
+        match pool.dispatch(&job, cancel) {
+            DispatchOutcome::Compiled(art) => {
+                match (uber_ir::sexpr::parse(&art.uber), hvx::sexpr::parse(&art.hvx)) {
+                    (Ok(uber), Ok(hvx)) => {
+                        let program = hvx.to_program();
+                        Ok(Compiled {
+                            uber,
+                            hvx,
+                            program,
+                            trace: Default::default(),
+                            stats: art.stats,
+                        })
+                    }
+                    _ => std::panic::resume_unwind(Box::new(
+                        "worker returned unparseable artifacts".to_owned(),
+                    )),
+                }
+            }
+            DispatchOutcome::Error(name) => {
+                Err(driver::cache::error_from(&name).unwrap_or(CompileError::LowerFailed))
+            }
+            DispatchOutcome::Panicked(detail) => std::panic::resume_unwind(Box::new(detail)),
+            DispatchOutcome::Crashed(report) => {
+                if let Some(journal) = &journal {
+                    journal.append(&DriverEvent::WorkerCrashed {
+                        key: Some(key.clone()),
+                        tier: Some(tier),
+                        cause: report.cause.to_owned(),
+                        signal: report.signal,
+                        crashes_for_key: report.crashes_for_key,
+                        stderr_tail: report.stderr_tail.clone(),
+                    });
+                }
+                if report.crashes_for_key >= crash_threshold {
+                    cache.quarantine(
+                        &key,
+                        &format!(
+                            "worker {} ({} crashes)",
+                            report.summary(),
+                            report.crashes_for_key
+                        ),
+                        quarantine_ttl,
+                    );
+                    metrics.key_quarantined();
+                }
+                std::panic::resume_unwind(Box::new(format!(
+                    "worker crashed: {}",
+                    report.summary()
+                )))
+            }
+            DispatchOutcome::Unavailable(why) => {
+                std::panic::resume_unwind(Box::new(format!("worker pool unavailable: {why}")))
+            }
+            DispatchOutcome::Cancelled => Err(CompileError::DeadlineExceeded),
+        }
+    }
+}
+
 /// Render one per-expression job result as the `/compile` response JSON.
 fn render_result(r: &driver::JobResult, lanes: usize) -> Json {
     let vec_bytes = 128.min(lanes.max(8));
@@ -902,6 +1168,9 @@ fn render_result(r: &driver::JobResult, lanes: usize) -> Json {
         JobOutcome::Panicked(msg) => {
             obj.push(("detail".to_owned(), msg.as_str().into()));
         }
+        JobOutcome::Quarantined(reason) => {
+            obj.push(("detail".to_owned(), reason.as_str().into()));
+        }
         JobOutcome::TimedOut | JobOutcome::Cancelled => {}
     }
     if let Some(p) = &r.fallback {
@@ -923,6 +1192,7 @@ fn outcome_name(outcome: &JobOutcome) -> &'static str {
         JobOutcome::TimedOut => "timed_out",
         JobOutcome::Panicked(_) => "panicked",
         JobOutcome::Cancelled => "cancelled",
+        JobOutcome::Quarantined(_) => "quarantined",
     }
 }
 
@@ -1083,6 +1353,7 @@ mod tests {
             inflight: InFlight::default(),
             verdicts: VerdictCache::new(Duration::from_secs(300), 1024),
             rakes: Mutex::new(std::collections::HashMap::new()),
+            pool: None,
             draining: AtomicBool::new(false),
             connections: AtomicUsize::new(0),
             started: Instant::now(),

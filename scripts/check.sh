@@ -130,6 +130,56 @@ wait "$soak_pid" 2>/dev/null || true
 trap - EXIT
 rm -rf "$soak_dir"
 
+echo "== crash smoke (worker isolation: abort containment, quarantine, respawn)"
+# An --isolate server with the chaos plane on. A poison expression aborts
+# its worker subprocess mid-compile: the request must fail structured
+# (rake-client exit 5), /healthz must stay green, a repeat of the key must
+# be answered from the quarantine (exit 7) without risking another worker,
+# a fresh key must still compile, and the supervisor must have recorded
+# the respawn. A crash-storm loadgen then mixes poison and healthy keys
+# and asserts containment end to end (zero transport errors, every poison
+# key quarantined, crash/restart counters moved).
+crash_dir="$(mktemp -d /tmp/rake-crash-XXXXXX)"
+./target/release/rake-served --addr 127.0.0.1:0 --port-file "$crash_dir/port" \
+  --cache "$crash_dir/cache" --log "$crash_dir/journal.jsonl" \
+  --isolate --workers 2 --chaos --crash-threshold 1 \
+  >"$crash_dir/server.log" 2>&1 &
+crash_pid=$!
+cleanup_crash() {
+  kill "$crash_pid" 2>/dev/null || true
+  wait "$crash_pid" 2>/dev/null || true
+  rm -rf "$crash_dir"
+}
+trap cleanup_crash EXIT
+for _ in $(seq 100); do
+  [ -s "$crash_dir/port" ] && break
+  sleep 0.1
+done
+addr="$(cat "$crash_dir/port")"
+poison='(add (load a u8 9 9) (load b u8 9 9))'
+echo "$poison" | ./target/release/rake-client --addr "$addr" --chaos abort >/dev/null \
+  && rc=0 || rc=$?
+[ "$rc" -eq 5 ] \
+  || { echo "crash smoke: worker abort must fail the job as panicked (exit 5), got $rc"; exit 1; }
+./target/release/rake-client --addr "$addr" --healthz | grep -qx ok \
+  || { echo "crash smoke: /healthz went red after a worker crash"; exit 1; }
+echo "$poison" | ./target/release/rake-client --addr "$addr" >/dev/null \
+  && rc=0 || rc=$?
+[ "$rc" -eq 7 ] \
+  || { echo "crash smoke: the crashing key must be quarantined (exit 7), got $rc"; exit 1; }
+echo '(add (load a u8 0 0) (load b u8 0 0))' \
+  | ./target/release/rake-client --addr "$addr" >/dev/null \
+  || { echo "crash smoke: a fresh key must still compile after the crash"; exit 1; }
+./target/release/rake-client --addr "$addr" --metrics \
+  | awk '$1 == "rake_served_worker_restarts_total" && int($2) >= 1 { ok = 1 } END { exit !ok }' \
+  || { echo "crash smoke: the supervisor never recorded a respawn"; exit 1; }
+./target/release/loadgen --addr "$addr" --connections 4 --crash-storm 24 \
+  --out "$crash_dir/storm.json" --check
+kill "$crash_pid"
+wait "$crash_pid" 2>/dev/null || true
+trap - EXIT
+rm -rf "$crash_dir"
+
 echo "== chaos smoke (seeded fault injection, one schedule, ~60s budget)"
 # The full 21-workload suite under one deterministic fault schedule:
 # injected panics, forced deadline exhaustion, latency, and cache
