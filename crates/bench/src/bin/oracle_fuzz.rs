@@ -243,14 +243,20 @@ fn fuzz_workloads(opts: &Opts, t0: Instant) -> usize {
         }
         // Re-derive each failing point with the same oracle geometry the
         // driver used, then shrink it.
-        let subject = CompilingSubject::new(rake);
-        let run = |e: &Expr, env: &Env, x0: i64, y0: i64, l: usize| subject.run(e, env, x0, y0, l);
         for r in &report.results {
             if r.validation.map_or(true, |v| v.mismatches == 0) {
                 continue;
             }
             mismatched += 1;
             let e = &w.exprs[r.index];
+            // Shrink with the selector pinned at the tier that produced the
+            // failing program: a tier-dependent miscompile (e.g. one only
+            // the Direct tier's differential screening misses) must not
+            // vanish mid-minimization because the subject recompiled at
+            // full budget.
+            let subject = CompilingSubject::new(r.tier.apply(&rake));
+            let run =
+                |e: &Expr, env: &Env, x0: i64, y0: i64, l: usize| subject.run(e, env, x0, y0, l);
             let checker = Oracle { lanes, width: lanes + 24, ..Oracle::default() };
             let ty = e.ty();
             let Some(program) = r.program() else { continue };

@@ -1,0 +1,650 @@
+//! The metamorphic relation catalog: semantics-preserving Halide-IR
+//! transformations.
+//!
+//! Each [`Relation`] rewrites an expression into a variant that must
+//! compute the same lanes — possibly on alpha-renamed buffers
+//! ([`Applied::renames`]) or at a shifted tile origin
+//! ([`Applied::origin_dx`]). A relation that does not apply to a given
+//! expression returns `None` and the harness counts a skip, never a
+//! silent pass.
+//!
+//! Soundness of every relation is itself tested here (interpreter vs.
+//! interpreter over adversarial environments) so a harness "violation"
+//! always indicts the compiler, not the catalog.
+
+use halide_ir::{BinOp, Binary, Broadcast, Cast, Expr, Load, Shift, ShiftDir};
+
+/// Declared cost envelope for a relation: the transformed variant's
+/// cost must satisfy `variant * den <= base * num + slack * den`
+/// (i.e. `variant <= base * num/den + slack`).
+#[derive(Debug, Clone, Copy)]
+pub struct Envelope {
+    /// Numerator of the allowed cost growth factor.
+    pub num: u32,
+    /// Denominator of the allowed cost growth factor.
+    pub den: u32,
+    /// Absolute slack in cost units on top of the factor.
+    pub slack: u32,
+}
+
+impl Envelope {
+    /// Whether `variant` cost is within the envelope of `base` cost.
+    pub fn allows(&self, base: u32, variant: u32) -> bool {
+        u64::from(variant) * u64::from(self.den)
+            <= u64::from(base) * u64::from(self.num) + u64::from(self.slack) * u64::from(self.den)
+    }
+}
+
+/// A transformed expression plus the evaluation adjustments that make it
+/// output-equivalent to the original.
+#[derive(Debug, Clone)]
+pub struct Applied {
+    /// The transformed expression.
+    pub expr: Expr,
+    /// Evaluate the variant at `x0 + origin_dx` to align with the base
+    /// evaluated at `x0` (used by the uniform offset-shift relation).
+    pub origin_dx: i64,
+    /// Buffer renames `(old, new)`: the variant reads `new`, which must
+    /// hold the same contents the base's `old` holds.
+    pub renames: Vec<(String, String)>,
+}
+
+impl Applied {
+    fn plain(expr: Expr) -> Applied {
+        Applied { expr, origin_dx: 0, renames: Vec::new() }
+    }
+}
+
+/// One metamorphic relation.
+pub struct Relation {
+    /// Stable identifier (used in reports, `--relations` filters, and
+    /// repro tags).
+    pub name: &'static str,
+    /// One-line description for the report.
+    pub summary: &'static str,
+    /// Declared cost envelope.
+    pub envelope: Envelope,
+    /// The rewrite; `None` when the relation does not apply.
+    pub apply: fn(&Expr) -> Option<Applied>,
+}
+
+/// The full catalog, in report order.
+pub fn catalog() -> Vec<Relation> {
+    // Structure-preserving relations must cost the same program (the
+    // canonicalizing cache should even serve the identical artifact);
+    // structure-changing ones get headroom for a genuinely different
+    // synthesis outcome.
+    let tight = Envelope { num: 1, den: 1, slack: 2 };
+    let loose = Envelope { num: 2, den: 1, slack: 6 };
+    vec![
+        Relation {
+            name: "commute",
+            summary: "swap operands of every commutative binary operation",
+            envelope: tight,
+            apply: commute,
+        },
+        Relation {
+            name: "alpha-rename",
+            summary: "rename every buffer, carrying contents along",
+            envelope: tight,
+            apply: alpha_rename,
+        },
+        Relation {
+            name: "offset-shift",
+            summary: "shift every load offset by +1 and the tile origin by -1",
+            envelope: Envelope { num: 1, den: 1, slack: 4 },
+            apply: offset_shift,
+        },
+        Relation {
+            name: "mul-to-shift",
+            summary: "strength-reduce multiplication by 2^k to a left shift",
+            envelope: loose,
+            apply: mul_to_shift,
+        },
+        Relation {
+            name: "shift-to-mul",
+            summary: "expand a left shift by k into multiplication by 2^k",
+            envelope: loose,
+            apply: shift_to_mul,
+        },
+        Relation {
+            name: "widen-narrow",
+            summary: "wrap the root in a widen-then-truncate identity",
+            envelope: loose,
+            apply: widen_narrow,
+        },
+        Relation {
+            name: "distribute",
+            summary: "distribute multiplication over addition",
+            envelope: loose,
+            apply: distribute,
+        },
+        Relation {
+            name: "factor",
+            summary: "factor a common multiplicand out of a sum of products",
+            envelope: loose,
+            apply: factor,
+        },
+        Relation {
+            name: "const-unfold",
+            summary: "split a broadcast constant into a sum of two halves",
+            envelope: loose,
+            apply: const_unfold,
+        },
+        Relation {
+            name: "reassoc",
+            summary: "reassociate a left-leaning addition chain rightward",
+            envelope: loose,
+            apply: reassoc,
+        },
+        Relation {
+            name: "identity-pad",
+            summary: "add a broadcast zero to the root",
+            // The splat + add look free on paper, but at quick-scaled
+            // widths they can push a short program into an extra
+            // resource-class column, so the absolute slack dominates.
+            envelope: Envelope { num: 1, den: 1, slack: 6 },
+            apply: identity_pad,
+        },
+        Relation {
+            name: "shr-split",
+            summary: "split a right shift by k>=2 into two composed shifts",
+            envelope: loose,
+            apply: shr_split,
+        },
+    ]
+}
+
+/// Rebuild `e` with `f` applied to every node bottom-up.
+fn map_expr(e: &Expr, f: &mut impl FnMut(Expr) -> Expr) -> Expr {
+    let rebuilt = match e {
+        Expr::Load(_) | Expr::Broadcast(_) | Expr::BroadcastLoad(_) => e.clone(),
+        Expr::Cast(c) => Expr::Cast(Cast {
+            to: c.to,
+            saturating: c.saturating,
+            arg: Box::new(map_expr(&c.arg, f)),
+        }),
+        Expr::Binary(b) => Expr::Binary(Binary {
+            op: b.op,
+            lhs: Box::new(map_expr(&b.lhs, f)),
+            rhs: Box::new(map_expr(&b.rhs, f)),
+        }),
+        Expr::Shift(s) => {
+            Expr::Shift(Shift { dir: s.dir, amount: s.amount, arg: Box::new(map_expr(&s.arg, f)) })
+        }
+    };
+    f(rebuilt)
+}
+
+fn commute(e: &Expr) -> Option<Applied> {
+    let mut swapped = 0usize;
+    let out = map_expr(e, &mut |n| match n {
+        Expr::Binary(b) if b.op.is_commutative() => {
+            swapped += 1;
+            Expr::Binary(Binary { op: b.op, lhs: b.rhs, rhs: b.lhs })
+        }
+        other => other,
+    });
+    (swapped > 0).then(|| Applied::plain(out))
+}
+
+fn alpha_rename(e: &Expr) -> Option<Applied> {
+    let names = halide_ir::analysis::buffer_types(e);
+    if names.is_empty() {
+        return None;
+    }
+    let renames: Vec<(String, String)> =
+        names.keys().map(|n| (n.clone(), format!("{n}_r"))).collect();
+    let out = map_expr(e, &mut |n| match n {
+        Expr::Load(mut l) => {
+            l.buffer = format!("{}_r", l.buffer);
+            Expr::Load(l)
+        }
+        Expr::BroadcastLoad(mut b) => {
+            b.buffer = format!("{}_r", b.buffer);
+            Expr::BroadcastLoad(b)
+        }
+        other => other,
+    });
+    Some(Applied { expr: out, origin_dx: 0, renames })
+}
+
+fn offset_shift(e: &Expr) -> Option<Applied> {
+    // `input(x + dx)` at origin `x0` equals `input(x + dx + 1)` at origin
+    // `x0 - 1`. `BroadcastLoad` columns are absolute (not origin-relative)
+    // so they are untouched and unaffected by the origin shift; rows are
+    // untouched because the origin only moves in x.
+    let mut loads = 0usize;
+    let out = map_expr(e, &mut |n| match n {
+        Expr::Load(l) => {
+            loads += 1;
+            Expr::Load(Load { dx: l.dx + 1, ..l })
+        }
+        other => other,
+    });
+    (loads > 0).then(|| Applied { expr: out, origin_dx: -1, renames: Vec::new() })
+}
+
+/// `v` as a power of two exponent, if it is one (and at least 2).
+fn pow2_exponent(v: i64) -> Option<u32> {
+    (v >= 2 && v & (v - 1) == 0).then(|| v.trailing_zeros())
+}
+
+fn mul_to_shift(e: &Expr) -> Option<Applied> {
+    let mut hits = 0usize;
+    let out = map_expr(e, &mut |n| {
+        if let Expr::Binary(b) = &n {
+            if b.op == BinOp::Mul {
+                for (x, c) in [(&b.lhs, &b.rhs), (&b.rhs, &b.lhs)] {
+                    if let Expr::Broadcast(bc) = c.as_ref() {
+                        if let Some(k) = pow2_exponent(bc.value) {
+                            if k < n.ty().bits() {
+                                hits += 1;
+                                return Expr::Shift(Shift {
+                                    dir: ShiftDir::Left,
+                                    amount: k,
+                                    arg: x.clone(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        n
+    });
+    (hits > 0).then(|| Applied::plain(out))
+}
+
+fn shift_to_mul(e: &Expr) -> Option<Applied> {
+    let mut hits = 0usize;
+    let out = map_expr(e, &mut |n| {
+        if let Expr::Shift(s) = &n {
+            // 2^amount must be canonical in the element type; a left shift
+            // that overflows the type's positive range has no broadcast
+            // equivalent (e.g. `i16 << 15`).
+            if s.dir == ShiftDir::Left && s.amount >= 1 {
+                let ty = n.ty();
+                if let Some(v) = 1i64.checked_shl(s.amount) {
+                    if ty.contains(v) {
+                        hits += 1;
+                        return Expr::Binary(Binary {
+                            op: BinOp::Mul,
+                            lhs: s.arg.clone(),
+                            rhs: Box::new(Expr::Broadcast(Broadcast { value: v, ty })),
+                        });
+                    }
+                }
+            }
+        }
+        n
+    });
+    (hits > 0).then(|| Applied::plain(out))
+}
+
+fn widen_narrow(e: &Expr) -> Option<Applied> {
+    let ty = e.ty();
+    let wide = ty.widened()?;
+    // widen (zero/sign extend) then truncate back is the identity on
+    // every canonical value.
+    let widened = Expr::Cast(Cast { to: wide, saturating: false, arg: Box::new(e.clone()) });
+    let back = Expr::Cast(Cast { to: ty, saturating: false, arg: Box::new(widened) });
+    Some(Applied::plain(back))
+}
+
+fn distribute(e: &Expr) -> Option<Applied> {
+    // Wrapping multiplication distributes over wrapping addition.
+    let mut hits = 0usize;
+    let out = map_expr(e, &mut |n| {
+        if hits > 0 {
+            return n; // first match only: keeps the variant close in size
+        }
+        if let Expr::Binary(b) = &n {
+            if b.op == BinOp::Mul {
+                for (a, sum) in [(&b.lhs, &b.rhs), (&b.rhs, &b.lhs)] {
+                    if let Expr::Binary(s) = sum.as_ref() {
+                        if s.op == BinOp::Add {
+                            hits += 1;
+                            let mul = |x: &Expr| {
+                                Expr::Binary(Binary {
+                                    op: BinOp::Mul,
+                                    lhs: a.clone(),
+                                    rhs: Box::new(x.clone()),
+                                })
+                            };
+                            return Expr::Binary(Binary {
+                                op: BinOp::Add,
+                                lhs: Box::new(mul(&s.lhs)),
+                                rhs: Box::new(mul(&s.rhs)),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        n
+    });
+    (hits > 0).then(|| Applied::plain(out))
+}
+
+fn factor(e: &Expr) -> Option<Applied> {
+    // a*b + a*c == a*(b + c) under wrapping arithmetic.
+    let mut hits = 0usize;
+    let out = map_expr(e, &mut |n| {
+        if hits > 0 {
+            return n;
+        }
+        if let Expr::Binary(add) = &n {
+            if add.op == BinOp::Add {
+                if let (Expr::Binary(l), Expr::Binary(r)) = (add.lhs.as_ref(), add.rhs.as_ref()) {
+                    if l.op == BinOp::Mul && r.op == BinOp::Mul {
+                        // Try each pairing of a common multiplicand.
+                        let pairs = [
+                            (&l.lhs, &l.rhs, &r.lhs, &r.rhs),
+                            (&l.lhs, &l.rhs, &r.rhs, &r.lhs),
+                            (&l.rhs, &l.lhs, &r.lhs, &r.rhs),
+                            (&l.rhs, &l.lhs, &r.rhs, &r.lhs),
+                        ];
+                        for (a1, b, a2, c) in pairs {
+                            if a1 == a2 {
+                                // The lowering only handles multiplication
+                                // by a leaf, so fold two broadcast weights
+                                // into one (a*3 + a*5 == a*8 under
+                                // wrapping arithmetic); other factored
+                                // sums would never compile and the pair
+                                // would count as a skip, not a check.
+                                let folded = match (b.as_ref(), c.as_ref()) {
+                                    (Expr::Broadcast(bb), Expr::Broadcast(cb))
+                                        if bb.ty == cb.ty
+                                            && bb.ty.contains(bb.value + cb.value) =>
+                                    {
+                                        Some(Expr::Broadcast(Broadcast {
+                                            value: bb.value + cb.value,
+                                            ty: bb.ty,
+                                        }))
+                                    }
+                                    _ => None,
+                                };
+                                let sum = folded.unwrap_or_else(|| {
+                                    Expr::Binary(Binary {
+                                        op: BinOp::Add,
+                                        lhs: b.clone(),
+                                        rhs: c.clone(),
+                                    })
+                                });
+                                hits += 1;
+                                return Expr::Binary(Binary {
+                                    op: BinOp::Mul,
+                                    lhs: a1.clone(),
+                                    rhs: Box::new(sum),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        n
+    });
+    (hits > 0).then(|| Applied::plain(out))
+}
+
+fn const_unfold(e: &Expr) -> Option<Applied> {
+    // bcast(v) == bcast(v - v/2) + bcast(v/2) exactly, whenever both
+    // halves are canonical (always true: |v/2| <= |v| and same sign).
+    let mut hits = 0usize;
+    let out = map_expr(e, &mut |n| {
+        if let Expr::Broadcast(b) = &n {
+            let half = b.value / 2;
+            let rest = b.value - half;
+            if half != 0 && b.ty.contains(half) && b.ty.contains(rest) {
+                hits += 1;
+                return Expr::Binary(Binary {
+                    op: BinOp::Add,
+                    lhs: Box::new(Expr::Broadcast(Broadcast { value: rest, ty: b.ty })),
+                    rhs: Box::new(Expr::Broadcast(Broadcast { value: half, ty: b.ty })),
+                });
+            }
+        }
+        n
+    });
+    (hits > 0).then(|| Applied::plain(out))
+}
+
+fn reassoc(e: &Expr) -> Option<Applied> {
+    // (a + b) + c == a + (b + c) under wrapping addition.
+    let mut hits = 0usize;
+    let out = map_expr(e, &mut |n| {
+        if hits > 0 {
+            return n;
+        }
+        if let Expr::Binary(outer) = &n {
+            if outer.op == BinOp::Add {
+                if let Expr::Binary(inner) = outer.lhs.as_ref() {
+                    if inner.op == BinOp::Add {
+                        hits += 1;
+                        return Expr::Binary(Binary {
+                            op: BinOp::Add,
+                            lhs: inner.lhs.clone(),
+                            rhs: Box::new(Expr::Binary(Binary {
+                                op: BinOp::Add,
+                                lhs: inner.rhs.clone(),
+                                rhs: outer.rhs.clone(),
+                            })),
+                        });
+                    }
+                }
+            }
+        }
+        n
+    });
+    (hits > 0).then(|| Applied::plain(out))
+}
+
+fn identity_pad(e: &Expr) -> Option<Applied> {
+    let zero = Expr::Broadcast(Broadcast { value: 0, ty: e.ty() });
+    Some(Applied::plain(Expr::Binary(Binary {
+        op: BinOp::Add,
+        lhs: Box::new(e.clone()),
+        rhs: Box::new(zero),
+    })))
+}
+
+fn shr_split(e: &Expr) -> Option<Applied> {
+    // Right shift is floor division (arithmetic for signed, logical for
+    // unsigned canonical values), and floor division composes:
+    // (x >> 1) >> (k-1) == x >> k.
+    let mut hits = 0usize;
+    let out = map_expr(e, &mut |n| {
+        if let Expr::Shift(s) = &n {
+            if s.dir == ShiftDir::Right && s.amount >= 2 {
+                hits += 1;
+                let first =
+                    Expr::Shift(Shift { dir: ShiftDir::Right, amount: 1, arg: s.arg.clone() });
+                return Expr::Shift(Shift {
+                    dir: ShiftDir::Right,
+                    amount: s.amount - 1,
+                    arg: Box::new(first),
+                });
+            }
+        }
+        n
+    });
+    (hits > 0).then(|| Applied::plain(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halide_ir::{builder as hb, eval, Buffer2D, Env, EvalCtx};
+    use lanes::ElemType;
+    use oracle::Oracle;
+
+    /// Interp-vs-interp soundness: every relation applied to every
+    /// workload expression (and a few synthetic shapes) must agree with
+    /// the original on adversarial environments at every origin.
+    fn assert_sound(rel: &Relation, e: &Expr) {
+        let Some(applied) = (rel.apply)(e) else { return };
+        let oracle = Oracle { seed: 7, ..Oracle::default() };
+        for env in oracle.envs_for(e) {
+            let var_env = rename_env(&env, &applied.renames);
+            for &(x0, y0) in &oracle.origins {
+                let base = eval(e, &EvalCtx { env: &env, x0, y0, lanes: oracle.lanes });
+                let var = eval(
+                    &applied.expr,
+                    &EvalCtx { env: &var_env, x0: x0 + applied.origin_dx, y0, lanes: oracle.lanes },
+                );
+                let (Ok(base), Ok(var)) = (base, var) else {
+                    panic!("{}: interp failed on {}", rel.name, halide_ir::sexpr::to_sexpr(e))
+                };
+                assert!(
+                    oracle::first_mismatch(&base, &var).is_none(),
+                    "{} unsound on {} (variant {})",
+                    rel.name,
+                    halide_ir::sexpr::to_sexpr(e),
+                    halide_ir::sexpr::to_sexpr(&applied.expr),
+                );
+            }
+        }
+    }
+
+    fn rename_env(env: &Env, renames: &[(String, String)]) -> Env {
+        let mut out = env.clone();
+        for (old, new) in renames {
+            if let Some(b) = env.get(old) {
+                out.insert(Buffer2D::from_fn(new, b.elem(), b.width(), b.height(), |x, y| {
+                    b.get(x as i64, y as i64)
+                }));
+            }
+        }
+        out
+    }
+
+    fn samples() -> Vec<Expr> {
+        let ld = |b: &str, dx| hb::load(b, ElemType::U8, dx, 0);
+        vec![
+            hb::add(
+                hb::mul(hb::widen(ld("a", 0)), hb::bcast(6, ElemType::U16)),
+                hb::widen(ld("b", 1)),
+            ),
+            hb::shr(hb::add(hb::widen(ld("a", -1)), hb::widen(ld("a", 1))), 3),
+            hb::shl(hb::cast(ElemType::I16, ld("a", 0)), 4),
+            hb::max(hb::absd(ld("a", 0), ld("b", 0)), hb::min(ld("a", 1), ld("b", 1))),
+            hb::add(
+                hb::add(hb::widen(ld("a", 0)), hb::widen(ld("a", 1))),
+                hb::bcast(9, ElemType::U16),
+            ),
+            hb::mul(
+                hb::widen(ld("a", 0)),
+                hb::add(hb::widen(ld("b", 0)), hb::bcast(3, ElemType::U16)),
+            ),
+            hb::add(
+                hb::mul(hb::widen(ld("a", 0)), hb::widen(ld("b", 0))),
+                hb::mul(hb::widen(ld("a", 0)), hb::widen(ld("b", 1))),
+            ),
+            hb::mul(hb::bcast_load("w", 2, 0, ElemType::U8), ld("a", 0)),
+        ]
+    }
+
+    #[test]
+    fn catalog_has_at_least_ten_uniquely_named_relations() {
+        let cat = catalog();
+        assert!(cat.len() >= 10, "only {} relations", cat.len());
+        let mut names: Vec<&str> = cat.iter().map(|r| r.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), cat.len(), "duplicate relation names");
+    }
+
+    #[test]
+    fn relations_are_sound_on_synthetic_shapes() {
+        for rel in catalog() {
+            for e in samples() {
+                assert_sound(&rel, &e);
+            }
+        }
+    }
+
+    #[test]
+    fn relations_are_sound_on_all_workloads() {
+        for rel in catalog() {
+            for w in workloads::all() {
+                for e in &w.exprs {
+                    assert_sound(&rel, e);
+                }
+            }
+        }
+    }
+
+    /// Factoring two broadcast weights must fold them into one splat:
+    /// `a*3 + a*5 -> a*bcast(8)`. The general `a*(b+c)` form never
+    /// lowers (multiplication wants a leaf operand), so without the fold
+    /// the relation can only ever produce compile-skips.
+    #[test]
+    fn factor_folds_broadcast_weights_into_one_splat() {
+        let factor = catalog().into_iter().find(|r| r.name == "factor").expect("catalogued");
+        let wide = |b: &str| hb::widen(hb::load(b, ElemType::U8, 0, 0));
+        let e = hb::add(
+            hb::mul(wide("a"), hb::bcast(3, ElemType::U16)),
+            hb::mul(wide("a"), hb::bcast(5, ElemType::U16)),
+        );
+        let applied = (factor.apply)(&e).expect("applies");
+        let Expr::Binary(mul) = &applied.expr else { panic!("variant must be a mul") };
+        assert_eq!(mul.op, BinOp::Mul);
+        match mul.rhs.as_ref() {
+            Expr::Broadcast(b) => assert_eq!(b.value, 8, "weights folded"),
+            other => {
+                panic!("expected a folded broadcast, got {}", halide_ir::sexpr::to_sexpr(other))
+            }
+        }
+        assert_sound(&factor, &e);
+    }
+
+    #[test]
+    fn every_relation_applies_to_some_sample() {
+        let exprs: Vec<Expr> = samples()
+            .into_iter()
+            .chain(workloads::all().iter().flat_map(|w| w.exprs.clone()))
+            .collect();
+        for rel in catalog() {
+            assert!(
+                exprs.iter().any(|e| (rel.apply)(e).is_some()),
+                "relation {} never applies",
+                rel.name
+            );
+        }
+    }
+
+    #[test]
+    fn envelope_math() {
+        let e = Envelope { num: 1, den: 1, slack: 2 };
+        assert!(e.allows(4, 4));
+        assert!(e.allows(4, 6));
+        assert!(!e.allows(4, 7));
+        let l = Envelope { num: 2, den: 1, slack: 6 };
+        assert!(l.allows(3, 12));
+        assert!(!l.allows(3, 13));
+    }
+
+    #[test]
+    fn variants_are_well_typed() {
+        // Every applied variant must still type-check under the fallible
+        // constructors' invariants: probe by evaluating on a tiny env.
+        let mut env = Env::new();
+        for name in ["a", "b", "w", "a_r", "b_r", "w_r"] {
+            env.insert(Buffer2D::filled(name, ElemType::U8, 16, 4, 3));
+        }
+        for rel in catalog() {
+            for e in samples() {
+                if let Some(applied) = (rel.apply)(&e) {
+                    let ctx = EvalCtx { env: &env, x0: 2, y0: 1, lanes: 4 };
+                    assert!(
+                        eval(&applied.expr, &ctx).is_ok(),
+                        "{} built an unevaluable variant",
+                        rel.name
+                    );
+                }
+            }
+        }
+    }
+}

@@ -107,8 +107,15 @@ pub struct QuarantineInfo {
 impl QuarantineInfo {
     /// Whether this verdict has outlived its TTL.
     pub fn expired(&self) -> bool {
+        self.expired_at(unix_now())
+    }
+
+    /// Whether this verdict has outlived its TTL as of `now` (Unix
+    /// seconds). A verdict expires exactly at its deadline: `now ==
+    /// expires_unix` already reads as expired.
+    pub fn expired_at(&self, now: u64) -> bool {
         match self.expires_unix {
-            Some(deadline) => unix_now() >= deadline,
+            Some(deadline) => now >= deadline,
             None => false,
         }
     }
@@ -265,6 +272,10 @@ pub struct SynthCache {
     /// Set when loading found a corrupted snapshot or log: the next flush
     /// compacts unconditionally, rewriting the damaged file.
     force_compact: AtomicBool,
+    /// Unix-seconds clock used for quarantine TTLs. Injected by tests
+    /// (see [`SynthCache::with_clock`]) so expiry-at-the-boundary is
+    /// checkable without sleeping; everything else uses the wall clock.
+    clock: fn() -> u64,
 }
 
 impl SynthCache {
@@ -283,7 +294,16 @@ impl SynthCache {
             stats: Mutex::default(),
             persist_lock: Mutex::new(()),
             force_compact: AtomicBool::new(false),
+            clock: unix_now,
         }
+    }
+
+    /// Replace the quarantine-TTL clock (a plain `fn` returning Unix
+    /// seconds). Tests inject a controlled clock to pin expiry exactly
+    /// at the deadline without sleeping through a real TTL.
+    pub fn with_clock(mut self, clock: fn() -> u64) -> SynthCache {
+        self.clock = clock;
+        self
     }
 
     /// A cache backed by `dir/synthcache.json` (+ segment log), loaded now
@@ -381,6 +401,7 @@ impl SynthCache {
             stats: Mutex::new(stats),
             persist_lock: Mutex::new(()),
             force_compact: AtomicBool::new(force_compact),
+            clock: unix_now,
         }
     }
 
@@ -405,7 +426,7 @@ impl SynthCache {
         let entry = state.map.get(key).map(|s| s.entry.clone());
         let (found, below_floor) = match entry {
             Some(CacheEntry::Compiled(a)) if !a.tier.meets(floor) => (None, true),
-            Some(CacheEntry::Quarantined(q)) if q.expired() => {
+            Some(CacheEntry::Quarantined(q)) if q.expired_at((self.clock)()) => {
                 // The TTL elapsed: the key earns a fresh attempt. Dropping
                 // the resident entry is enough — the next store overwrites
                 // the persisted verdict via normal last-wins replay.
@@ -441,7 +462,7 @@ impl SynthCache {
             Some(slot) => match &slot.entry {
                 CacheEntry::Compiled(a) => a.tier.meets(floor),
                 CacheEntry::Failed(_) => true,
-                CacheEntry::Quarantined(q) => !q.expired(),
+                CacheEntry::Quarantined(q) => !q.expired_at((self.clock)()),
             },
             None => false,
         }
@@ -454,7 +475,7 @@ impl SynthCache {
             key,
             CacheEntry::Quarantined(QuarantineInfo {
                 reason: reason.to_owned(),
-                expires_unix: ttl.map(|t| unix_now().saturating_add(t.as_secs().max(1))),
+                expires_unix: ttl.map(|t| (self.clock)().saturating_add(t.as_secs().max(1))),
             }),
         );
     }
@@ -465,7 +486,7 @@ impl SynthCache {
     pub fn quarantine_reason(&self, key: &str) -> Option<String> {
         let mut state = self.mem.lock().unwrap();
         match state.map.get(key).map(|s| &s.entry) {
-            Some(CacheEntry::Quarantined(q)) if q.expired() => {
+            Some(CacheEntry::Quarantined(q)) if q.expired_at((self.clock)()) => {
                 state.remove(key);
                 None
             }
@@ -481,7 +502,9 @@ impl SynthCache {
             .unwrap()
             .map
             .values()
-            .filter(|s| matches!(&s.entry, CacheEntry::Quarantined(q) if !q.expired()))
+            .filter(
+                |s| matches!(&s.entry, CacheEntry::Quarantined(q) if !q.expired_at((self.clock)())),
+            )
             .count()
     }
 

@@ -445,6 +445,12 @@ impl ServerHandle {
         self.shared.pool.as_ref().map(|p| p.worker_pids()).unwrap_or_default()
     }
 
+    /// Pids of workers currently executing a job; empty in-process.
+    /// Lets tests wait for a dispatch to land instead of sleeping.
+    pub fn busy_workers(&self) -> Vec<u32> {
+        self.shared.pool.as_ref().map(|p| p.busy_workers()).unwrap_or_default()
+    }
+
     /// Graceful drain: stop accepting, let in-flight requests finish (up
     /// to [`ServerConfig::drain_timeout`]), persist the cache, return.
     pub fn shutdown(mut self) {

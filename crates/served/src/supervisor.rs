@@ -365,6 +365,20 @@ impl WorkerPool {
             .collect()
     }
 
+    /// Pids of workers currently executing a job. Tests poll this to
+    /// know a dispatch has actually landed in a subprocess (instead of
+    /// sleeping a guessed interval and hoping).
+    pub fn busy_workers(&self) -> Vec<u32> {
+        let st = self.state.lock().unwrap();
+        st.slots
+            .iter()
+            .filter_map(|s| match s {
+                Slot::Busy { pid, .. } => Some(*pid),
+                Slot::Idle(_) | Slot::Dead { .. } => None,
+            })
+            .collect()
+    }
+
     /// Crashes recorded against `key` so far.
     pub fn crashes_for(&self, key: &str) -> u32 {
         let st = self.state.lock().unwrap();

@@ -1,0 +1,43 @@
+//! Shared helpers for the served integration tests: deadline polling
+//! instead of fixed sleeps, and bind-with-retry instead of trusting a
+//! single ephemeral-port grab.
+
+use std::time::{Duration, Instant};
+
+use served::{serve, ServerConfig, ServerHandle};
+
+/// Poll `cond` every few milliseconds until it holds or `deadline`
+/// elapses. Returns whether the condition was observed — callers assert
+/// with their own message so failures say *what* never happened.
+pub fn wait_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let t0 = Instant::now();
+    loop {
+        if cond() {
+            return true;
+        }
+        if t0.elapsed() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Start a server, retrying the bind a few times. `127.0.0.1:0` asks the
+/// kernel for a fresh ephemeral port, but a loaded CI machine can still
+/// fail the grab transiently (port-range exhaustion, a TIME_WAIT
+/// collision when SO_REUSEADDR is in play); one retry loop here beats N
+/// flaky tests.
+pub fn start_with_retry(mut make_config: impl FnMut() -> ServerConfig) -> ServerHandle {
+    let mut last_err = None;
+    for attempt in 0..5 {
+        match serve(make_config()) {
+            Ok(handle) => return handle,
+            Err(err) => {
+                eprintln!("bind attempt {attempt} failed: {err}");
+                last_err = Some(err);
+                std::thread::sleep(Duration::from_millis(20 << attempt));
+            }
+        }
+    }
+    panic!("could not bind an ephemeral port after 5 attempts: {last_err:?}");
+}

@@ -16,6 +16,9 @@ use driver::json::{self, Json};
 use served::http::roundtrip;
 use served::{serve, ServerConfig, ServerHandle};
 
+mod common;
+use common::{start_with_retry, wait_until};
+
 /// A tile that lifts and lowers in milliseconds.
 const TRIVIAL: &str = "(add (load a u8 0 0) (load b u8 0 0))";
 /// A second trivial tile with a distinct cache key.
@@ -25,17 +28,19 @@ fn worker_cmd() -> Vec<String> {
     vec![env!("CARGO_BIN_EXE_rake-served").to_owned(), "worker".to_owned()]
 }
 
-fn start_isolated(tweak: impl FnOnce(&mut ServerConfig)) -> ServerHandle {
-    let mut config = ServerConfig {
-        addr: "127.0.0.1:0".to_owned(),
-        isolate: true,
-        pool_workers: 2,
-        worker_cmd: Some(worker_cmd()),
-        chaos: true,
-        ..ServerConfig::default()
-    };
-    tweak(&mut config);
-    serve(config).expect("bind ephemeral port")
+fn start_isolated(mut tweak: impl FnMut(&mut ServerConfig)) -> ServerHandle {
+    start_with_retry(|| {
+        let mut config = ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            isolate: true,
+            pool_workers: 2,
+            worker_cmd: Some(worker_cmd()),
+            chaos: true,
+            ..ServerConfig::default()
+        };
+        tweak(&mut config);
+        config
+    })
 }
 
 fn connect(handle: &ServerHandle) -> TcpStream {
@@ -126,11 +131,11 @@ fn compiles_run_inside_workers_and_crashes_are_contained() {
     assert_eq!(outcome0(&doc), "compiled", "{doc}");
 
     // The supervisor replaced the dead worker and the books agree.
-    let t0 = Instant::now();
-    while handle.worker_pids().len() < 2 && t0.elapsed() < Duration::from_secs(10) {
-        std::thread::sleep(Duration::from_millis(50));
-    }
-    assert_eq!(handle.worker_pids().len(), 2, "dead worker must be replaced");
+    assert!(
+        wait_until(Duration::from_secs(10), || handle.worker_pids().len() == 2),
+        "dead worker must be replaced: {:?}",
+        handle.worker_pids()
+    );
     let text = metrics_text(&handle);
     let counter = |name: &str| -> f64 {
         text.lines()
@@ -170,11 +175,16 @@ fn kill_dash_nine_of_a_busy_worker_fails_only_that_job() {
         (status, String::from_utf8_lossy(&reply).into_owned())
     });
     let metrics = handle.metrics();
-    let t0 = Instant::now();
-    while metrics.in_flight() == 0 && t0.elapsed() < Duration::from_secs(30) {
-        std::thread::sleep(Duration::from_millis(10));
-    }
-    std::thread::sleep(Duration::from_millis(300)); // let the dispatch land in a worker
+    assert!(
+        wait_until(Duration::from_secs(30), || metrics.in_flight() > 0),
+        "sleeper request never started"
+    );
+    // Wait for the dispatch to actually land in a worker subprocess —
+    // the previous fixed 300 ms sleep raced the handoff under load.
+    assert!(
+        wait_until(Duration::from_secs(30), || !handle.busy_workers().is_empty()),
+        "dispatch never reached a worker"
+    );
     let pids = handle.worker_pids();
     assert!(!pids.is_empty(), "no workers to kill");
     for pid in &pids {
@@ -193,15 +203,14 @@ fn kill_dash_nine_of_a_busy_worker_fails_only_that_job() {
     // every slot to hold a NEW pid: a killed-but-unreaped slot still
     // looks idle for a monitor tick, and a job dispatched to it would
     // be charged a crash of its own.
-    let t0 = Instant::now();
-    loop {
-        let now = handle.worker_pids();
-        if now.len() == pids.len() && now.iter().all(|p| !pids.contains(p)) {
-            break;
-        }
-        assert!(t0.elapsed() < Duration::from_secs(15), "pool never repopulated: {now:?}");
-        std::thread::sleep(Duration::from_millis(50));
-    }
+    assert!(
+        wait_until(Duration::from_secs(15), || {
+            let now = handle.worker_pids();
+            now.len() == pids.len() && now.iter().all(|p| !pids.contains(p))
+        }),
+        "pool never repopulated: {:?}",
+        handle.worker_pids()
+    );
     let (status, doc) = post_compile(&handle, &body(TRIVIAL2, &[]));
     assert_eq!(status, 200);
     assert_eq!(outcome0(&doc), "compiled", "{doc}");
@@ -246,7 +255,9 @@ fn quarantine_survives_restart_and_expires_after_ttl() {
 
     // TTL: a short-lived quarantine lapses and the key may try again.
     // Generous enough that a loaded test machine still observes the
-    // `quarantined` answer before the pill expires.
+    // `quarantined` answer before the pill expires; expiry itself is
+    // polled with a deadline rather than slept for (a fixed sleep both
+    // wasted the common case and flaked the slow one).
     let ttl = start_isolated(|c| {
         c.crash_threshold = 1;
         c.quarantine_ttl = Some(Duration::from_secs(3));
@@ -257,10 +268,14 @@ fn quarantine_survives_restart_and_expires_after_ttl() {
     let (status, doc) = post_compile(&ttl, &body(TRIVIAL2, &[]));
     assert_eq!(status, 200);
     assert_eq!(outcome0(&doc), "quarantined", "{doc}");
-    std::thread::sleep(Duration::from_millis(3300));
-    let (status, doc) = post_compile(&ttl, &body(TRIVIAL2, &[]));
-    assert_eq!(status, 200);
-    assert_eq!(outcome0(&doc), "compiled", "an expired quarantine must retry: {doc}");
+    assert!(
+        wait_until(Duration::from_secs(30), || {
+            std::thread::sleep(Duration::from_millis(200));
+            let (status, doc) = post_compile(&ttl, &body(TRIVIAL2, &[]));
+            status == 200 && outcome0(&doc) == "compiled"
+        }),
+        "an expired quarantine must retry"
+    );
     ttl.shutdown();
 }
 

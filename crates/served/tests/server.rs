@@ -5,19 +5,25 @@
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use driver::json::{self, Json};
 use served::http::roundtrip;
-use served::{serve, ServerConfig, ServerHandle};
+use served::{ServerConfig, ServerHandle};
+
+mod common;
+use common::{start_with_retry, wait_until};
 
 /// A tile that lifts and lowers in milliseconds.
 const TRIVIAL: &str = "(add (load a u8 0 0) (load b u8 0 0))";
 
-fn start(tweak: impl FnOnce(&mut ServerConfig)) -> ServerHandle {
-    let mut config = ServerConfig { addr: "127.0.0.1:0".to_owned(), ..ServerConfig::default() };
-    tweak(&mut config);
-    serve(config).expect("bind ephemeral port")
+fn start(mut tweak: impl FnMut(&mut ServerConfig)) -> ServerHandle {
+    start_with_retry(|| {
+        let mut config =
+            ServerConfig { addr: "127.0.0.1:0".to_owned(), ..ServerConfig::default() };
+        tweak(&mut config);
+        config
+    })
 }
 
 fn connect(handle: &ServerHandle) -> TcpStream {
@@ -224,11 +230,10 @@ fn busy_server_answers_429_with_retry_after() {
     });
     // Wait until the heavy request holds the permit.
     let metrics = handle.metrics();
-    let t0 = Instant::now();
-    while metrics.in_flight() == 0 && t0.elapsed() < Duration::from_secs(30) {
-        std::thread::sleep(Duration::from_millis(5));
-    }
-    assert_eq!(metrics.in_flight(), 1, "heavy request never started");
+    assert!(
+        wait_until(Duration::from_secs(30), || metrics.in_flight() == 1),
+        "heavy request never started"
+    );
 
     let mut stream = connect(&handle);
     let body = compile_body(&[TRIVIAL], &[]);
@@ -259,21 +264,19 @@ fn client_disconnect_cancels_and_frees_the_worker() {
         );
         stream.write_all(head.as_bytes()).unwrap();
         stream.write_all(&body).unwrap();
-        let t0 = Instant::now();
-        while metrics.in_flight() == 0 && t0.elapsed() < Duration::from_secs(30) {
-            std::thread::sleep(Duration::from_millis(5));
-        }
-        assert_eq!(metrics.in_flight(), 1, "heavy request never started");
+        assert!(
+            wait_until(Duration::from_secs(30), || metrics.in_flight() == 1),
+            "heavy request never started"
+        );
         // Dropping the stream closes the socket → RST/EOF at the server.
     }
 
     // The disconnect monitor must cancel the batch and free the permit
     // long before the 60-second synthesis budget.
-    let t0 = Instant::now();
-    while metrics.in_flight() > 0 && t0.elapsed() < Duration::from_secs(30) {
-        std::thread::sleep(Duration::from_millis(20));
-    }
-    assert_eq!(metrics.in_flight(), 0, "cancellation did not free the worker");
+    assert!(
+        wait_until(Duration::from_secs(30), || metrics.in_flight() == 0),
+        "cancellation did not free the worker"
+    );
 
     // And the next client is served normally.
     let mut stream = connect(&handle);
@@ -300,7 +303,16 @@ fn graceful_drain_finishes_inflight_work() {
         let (status, _) = roundtrip(&mut stream, "POST", "/compile", Some(&body)).unwrap();
         status
     });
-    std::thread::sleep(Duration::from_millis(30));
+    // Shut down only once the request has demonstrably reached the
+    // compile path (in flight, or already through a fresh synthesis) —
+    // a fixed pre-shutdown sleep raced the connection on slow machines.
+    let metrics = handle.metrics();
+    assert!(
+        wait_until(Duration::from_secs(30), || {
+            metrics.in_flight() > 0 || metrics.synth_fresh() > 0
+        }),
+        "request never reached the server"
+    );
     handle.shutdown();
     assert_eq!(inflight.join().unwrap(), 200, "in-flight request must complete during drain");
 

@@ -23,6 +23,7 @@
 //! stand-in for Rosette/Z3; see DESIGN.md).
 
 pub mod cancel;
+pub mod coverage;
 pub mod encode;
 pub mod envs;
 pub mod lift;

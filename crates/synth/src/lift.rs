@@ -143,12 +143,12 @@ impl Lifter<'_> {
         match e {
             Expr::Load(l) => {
                 let u = UberExpr::Data(l.clone());
-                self.accept_silently(e, LiftRule::Extend, &u);
+                self.accept_silently(e, LiftRule::Extend, "leaf.load", &u);
                 Some(u)
             }
             Expr::Broadcast(b) => {
                 let u = UberExpr::Bcast { value: ScalarSource::Imm(b.value), ty: b.ty };
-                self.accept_silently(e, LiftRule::Extend, &u);
+                self.accept_silently(e, LiftRule::Extend, "leaf.imm-broadcast", &u);
                 Some(u)
             }
             Expr::BroadcastLoad(b) => {
@@ -156,7 +156,7 @@ impl Lifter<'_> {
                     value: ScalarSource::Scalar { buffer: b.buffer.clone(), x: b.x, dy: b.dy },
                     ty: b.ty,
                 };
-                self.accept_silently(e, LiftRule::Extend, &u);
+                self.accept_silently(e, LiftRule::Extend, "leaf.scalar-broadcast", &u);
                 Some(u)
             }
             _ => {
@@ -170,7 +170,9 @@ impl Lifter<'_> {
                 let kids = kids?;
                 let cands = self.candidates(e, &kids);
                 let winner = self.screen(e, &cands)?;
-                let (rule, cand) = cands.into_iter().nth(winner).expect("winner in range");
+                let (rule, site, cand) =
+                    cands.into_iter().nth(winner).expect("winner in range");
+                crate::coverage::record_rule(site);
                 self.trace.push_step(rule, e, &cand);
                 Some(cand)
             }
@@ -192,7 +194,11 @@ impl Lifter<'_> {
     /// exactly the serial first-accept, and synthesized programs are
     /// byte-identical to the serial path. Only `lifting_queries` may
     /// differ: helpers past the winner may have been mid-check.
-    fn screen(&mut self, e: &Expr, cands: &[(LiftRule, UberExpr)]) -> Option<usize> {
+    fn screen(
+        &mut self,
+        e: &Expr,
+        cands: &[(LiftRule, &'static str, UberExpr)],
+    ) -> Option<usize> {
         use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
         let reservation = if self.verifier.parallel_lifting && cands.len() >= 2 {
@@ -202,7 +208,7 @@ impl Lifter<'_> {
         };
         let helpers = reservation.as_ref().map_or(0, |r| r.count());
         if helpers == 0 {
-            for (i, (_, cand)) in cands.iter().enumerate() {
+            for (i, (_, _, cand)) in cands.iter().enumerate() {
                 let expired = self.deadline.is_some_and(|deadline| Instant::now() >= deadline);
                 if expired || crate::cancel::cancelled(self.cancel) {
                     self.stats.deadline_exceeded = true;
@@ -234,7 +240,7 @@ impl Lifter<'_> {
                 break;
             }
             queries.fetch_add(1, Ordering::SeqCst);
-            if verifier.equiv_halide_uber(e, &cands[i].1) {
+            if verifier.equiv_halide_uber(e, &cands[i].2) {
                 best.fetch_min(i, Ordering::SeqCst);
                 break;
             }
@@ -262,15 +268,18 @@ impl Lifter<'_> {
         }
     }
 
-    fn accept_silently(&mut self, e: &Expr, rule: LiftRule, u: &UberExpr) {
+    fn accept_silently(&mut self, e: &Expr, rule: LiftRule, site: &'static str, u: &UberExpr) {
+        crate::coverage::record_rule(site);
         self.trace.push_step(rule, e, u);
     }
 
     /// Candidate uber-expressions for `e` given lifted children, in
     /// decreasing preference (updates before replaces before extends).
-    fn candidates(&self, e: &Expr, kids: &[UberExpr]) -> Vec<(LiftRule, UberExpr)> {
+    /// Each candidate carries the name of the rule site that produced it
+    /// (the [`crate::coverage::RULES`] catalog) for coverage accounting.
+    fn candidates(&self, e: &Expr, kids: &[UberExpr]) -> Vec<(LiftRule, &'static str, UberExpr)> {
         let ty = e.ty();
-        let mut out: Vec<(LiftRule, UberExpr)> = Vec::new();
+        let mut out: Vec<(LiftRule, &'static str, UberExpr)> = Vec::new();
         match e {
             Expr::Binary(b) => match b.op {
                 BinOp::Add | BinOp::Sub => {
@@ -282,12 +291,13 @@ impl Lifter<'_> {
                             if inputs.len() > MAX_KERNEL {
                                 continue;
                             }
-                            let rule = if ra == LiftRule::Update || rb == LiftRule::Update {
-                                LiftRule::Update
+                            let (rule, site) = if ra == LiftRule::Update || rb == LiftRule::Update
+                            {
+                                (LiftRule::Update, "addsub.vsmpy-update")
                             } else {
-                                LiftRule::Extend
+                                (LiftRule::Extend, "addsub.vsmpy-extend")
                             };
-                            out.push((rule, mk_vsmpy(inputs, ty)));
+                            out.push((rule, site, mk_vsmpy(inputs, ty)));
                         }
                     }
                     // Merge vector-vector dot products.
@@ -301,6 +311,7 @@ impl Lifter<'_> {
                                 pairs.extend(vb.pairs.clone());
                                 out.push((
                                     LiftRule::Update,
+                                    "add.vvmpy-merge",
                                     UberExpr::VvMpyAdd(VvMpyAdd {
                                         pairs,
                                         saturating: false,
@@ -320,7 +331,11 @@ impl Lifter<'_> {
                         {
                             if c.unsigned_abs() < MAX_WEIGHT.unsigned_abs() {
                                 for (_, opt) in absorb_options(&kids[vec_side], ty, *c) {
-                                    out.push((LiftRule::Replace, mk_vsmpy(opt, ty)));
+                                    out.push((
+                                        LiftRule::Replace,
+                                        "mul.imm-weight-fold",
+                                        mk_vsmpy(opt, ty),
+                                    ));
                                 }
                             }
                         }
@@ -337,6 +352,7 @@ impl Lifter<'_> {
                     if (&sa, &sb) != (&kids[0], &kids[1]) {
                         out.push((
                             LiftRule::Replace,
+                            "mul.widen-strip-vvmpy",
                             UberExpr::VvMpyAdd(VvMpyAdd {
                                 pairs: vec![(sa, sb)],
                                 saturating: false,
@@ -347,6 +363,7 @@ impl Lifter<'_> {
                     // General vector-vector multiply.
                     out.push((
                         LiftRule::Extend,
+                        "mul.vvmpy-extend",
                         UberExpr::VvMpyAdd(VvMpyAdd {
                             pairs: vec![(kids[0].clone(), kids[1].clone())],
                             saturating: false,
@@ -356,14 +373,17 @@ impl Lifter<'_> {
                 }
                 BinOp::Min => out.push((
                     LiftRule::Extend,
+                    "min.extend",
                     UberExpr::Min(Box::new(kids[0].clone()), Box::new(kids[1].clone())),
                 )),
                 BinOp::Max => out.push((
                     LiftRule::Extend,
+                    "max.extend",
                     UberExpr::Max(Box::new(kids[0].clone()), Box::new(kids[1].clone())),
                 )),
                 BinOp::Absd => out.push((
                     LiftRule::Extend,
+                    "absd.extend",
                     UberExpr::AbsDiff(Box::new(kids[0].clone()), Box::new(kids[1].clone())),
                 )),
             },
@@ -373,11 +393,12 @@ impl Lifter<'_> {
                     // (the `add` benchmark's optimization, Figure 12).
                     if s.amount < 12 {
                         for (_, opt) in absorb_options(&kids[0], ty, 1i64 << s.amount) {
-                            out.push((LiftRule::Replace, mk_vsmpy(opt, ty)));
+                            out.push((LiftRule::Replace, "shl.weight-fold", mk_vsmpy(opt, ty)));
                         }
                     }
                     out.push((
                         LiftRule::Extend,
+                        "shl.extend",
                         UberExpr::Shl { arg: Box::new(kids[0].clone()), amount: s.amount },
                     ));
                 }
@@ -399,11 +420,16 @@ impl Lifter<'_> {
                         if !v.saturating {
                             let mut v2 = v.clone();
                             v2.out = c.to;
-                            out.push((LiftRule::Update, UberExpr::VsMpyAdd(v2)));
+                            out.push((
+                                LiftRule::Update,
+                                "widen.vsmpy-output",
+                                UberExpr::VsMpyAdd(v2),
+                            ));
                         }
                     }
                     out.push((
                         LiftRule::Extend,
+                        "widen.extend",
                         UberExpr::Widen { arg: Box::new(k.clone()), out: c.to },
                     ));
                 } else {
@@ -424,7 +450,7 @@ impl Lifter<'_> {
         shift: u32,
         to: ElemType,
         cast_saturating: bool,
-    ) -> Vec<(LiftRule, UberExpr)> {
+    ) -> Vec<(LiftRule, &'static str, UberExpr)> {
         let mut out = Vec::new();
         let mk = |arg: &UberExpr, shift, round, saturating| UberExpr::Narrow {
             arg: Box::new(arg.clone()),
@@ -438,24 +464,32 @@ impl Lifter<'_> {
         if shift == 0 {
             if let UberExpr::Widen { arg, .. } = k {
                 if arg.ty() == to {
-                    out.push((LiftRule::Replace, (**arg).clone()));
+                    out.push((LiftRule::Replace, "narrow.widen-identity", (**arg).clone()));
                 }
             }
         }
 
         // Update an existing narrow: deepen the shift / change the output.
         if let UberExpr::Narrow { arg, shift: s0, round, saturating, out: _ } = k {
-            out.push((LiftRule::Update, mk(arg, s0 + shift, *round, true)));
-            out.push((LiftRule::Update, mk(arg, s0 + shift, *round, *saturating)));
+            out.push((LiftRule::Update, "narrow.deepen", mk(arg, s0 + shift, *round, true)));
+            out.push((
+                LiftRule::Update,
+                "narrow.deepen",
+                mk(arg, s0 + shift, *round, *saturating),
+            ));
         }
 
         // Strip explicit clamps: saturation makes them redundant (the
         // camera_pipe case, Figure 12).
         for stripped in strip_clamps(k) {
             if let UberExpr::Narrow { arg, shift: s0, round, .. } = &stripped {
-                out.push((LiftRule::Replace, mk(arg, s0 + shift, *round, true)));
+                out.push((
+                    LiftRule::Replace,
+                    "narrow.strip-clamp",
+                    mk(arg, s0 + shift, *round, true),
+                ));
             }
-            out.push((LiftRule::Replace, mk(&stripped, shift, false, true)));
+            out.push((LiftRule::Replace, "narrow.strip-clamp", mk(&stripped, shift, false, true)));
         }
 
         // Strip a rounding term: vs-mpy-add with a `+ 2^(n-1)` constant
@@ -465,20 +499,28 @@ impl Lifter<'_> {
                 // Prefer the fused saturating form (a single HVX
                 // instruction) — valid whenever the value range fits, which
                 // the oracle decides.
-                out.push((LiftRule::Update, mk(&stripped, shift, true, true)));
-                out.push((LiftRule::Update, mk(&stripped, shift, true, false)));
+                out.push((
+                    LiftRule::Update,
+                    "narrow.strip-rounding",
+                    mk(&stripped, shift, true, true),
+                ));
+                out.push((
+                    LiftRule::Update,
+                    "narrow.strip-rounding",
+                    mk(&stripped, shift, true, false),
+                ));
             }
         }
 
         // Plain fused shift-narrow; try the saturating form first (it is
         // the cheaper single instruction when provably equivalent).
-        out.push((LiftRule::Extend, mk(k, shift, false, true)));
-        out.push((LiftRule::Extend, mk(k, shift, false, cast_saturating)));
+        out.push((LiftRule::Extend, "narrow.fuse", mk(k, shift, false, true)));
+        out.push((LiftRule::Extend, "narrow.fuse", mk(k, shift, false, cast_saturating)));
         // A narrow shifts at the *source* width, so a deepened shift that
         // reaches it is unrepresentable — and would panic the evaluators
         // during verification (found by oracle_fuzz on `(x >> 10) >> 7`
         // over u16). Drop such candidates; the shifts stay nested.
-        out.retain(|(_, u)| match u {
+        out.retain(|(_, _, u)| match u {
             UberExpr::Narrow { arg, shift, .. } => *shift < arg.ty().bits(),
             _ => true,
         });
@@ -581,7 +623,7 @@ fn strip_rounding_term(k: &UberExpr, shift: u32) -> Option<UberExpr> {
 }
 
 /// Candidates turning `(a + b [+ 1]) >> 1` into `average(a, b)`.
-fn average_candidates(k: &UberExpr, ty: ElemType) -> Vec<(LiftRule, UberExpr)> {
+fn average_candidates(k: &UberExpr, ty: ElemType) -> Vec<(LiftRule, &'static str, UberExpr)> {
     let UberExpr::VsMpyAdd(v) = k else { return Vec::new() };
     if v.out != ty {
         return Vec::new();
@@ -611,11 +653,15 @@ fn average_candidates(k: &UberExpr, ty: ElemType) -> Vec<(LiftRule, UberExpr)> {
     };
     let t = operands[0].ty();
     if t == ty {
-        vec![(LiftRule::Replace, avg)]
+        vec![(LiftRule::Replace, "shr.average", avg)]
     } else if t.bits() * 2 == ty.bits() {
         // Halving sum of widened operands: average at the narrow width,
         // then widen — `(u16(a) + u16(b) + 1) >> 1 == u16(vavg(a, b))`.
-        vec![(LiftRule::Replace, UberExpr::Widen { arg: Box::new(avg), out: ty })]
+        vec![(
+            LiftRule::Replace,
+            "shr.average",
+            UberExpr::Widen { arg: Box::new(avg), out: ty },
+        )]
     } else {
         Vec::new()
     }

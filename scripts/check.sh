@@ -16,8 +16,28 @@ echo "== cargo clippy (rake-driver, -D warnings)"
 cargo clippy --offline --locked -p rake-driver --all-targets -- -D warnings
 cargo clippy --offline --locked -p rake-driver --features chaos --all-targets -- -D warnings
 
-echo "== cargo test (workspace)"
-cargo test -q --offline --locked --workspace
+echo "== cargo test: fast partition (everything but the socket/e2e suites)"
+# The workspace tests are split so a hang or runaway is localized fast:
+# the fast partition is pure-compute unit + integration tests, the slow
+# partition is the real-socket server suites and the end-to-end bench
+# suites. Each partition asserts a wall-clock budget — generous enough
+# for a loaded CI machine, tight enough that a deadlock (a test waiting
+# forever on a condition) fails the gate instead of stalling it.
+fast_t0="$(date +%s)"
+cargo test -q --offline --locked --workspace \
+  --exclude rake-served --exclude rake-bench
+fast_elapsed="$(( $(date +%s) - fast_t0 ))"
+echo "   fast partition: ${fast_elapsed}s"
+[ "$fast_elapsed" -le 900 ] \
+  || { echo "fast test partition blew its 900s budget (${fast_elapsed}s)"; exit 1; }
+
+echo "== cargo test: slow partition (rake-served + rake-bench suites)"
+slow_t0="$(date +%s)"
+cargo test -q --offline --locked -p rake-served -p rake-bench
+slow_elapsed="$(( $(date +%s) - slow_t0 ))"
+echo "   slow partition: ${slow_elapsed}s"
+[ "$slow_elapsed" -le 2700 ] \
+  || { echo "slow test partition blew its 2700s budget (${slow_elapsed}s)"; exit 1; }
 
 echo "== oracle smoke (seeded differential fuzz, 60s budget)"
 # Every workload compiled and executed against the interpreter, plus a
@@ -25,6 +45,20 @@ echo "== oracle smoke (seeded differential fuzz, 60s budget)"
 # failure here is immediately reproducible.
 cargo run -q --release --offline --locked -p rake-bench --bin oracle_fuzz -- \
   --seed 0xRAKE --cases 60 --budget 60
+
+echo "== conform smoke (metamorphic relations, fixed seed, filtered)"
+# A filtered slice of the metamorphic conformance harness: the first two
+# workloads plus the coverage-seeded corpus under four relations, both
+# sides compiled and compared lane-for-lane. Deterministic seed; the full
+# catalog × all 21 workloads is the nightly CI job (conform-nightly).
+conform_cov="$(mktemp /tmp/rake-conform-XXXXXX.json)"
+cargo run -q --release --offline --locked -p rake-bench --bin conform -- \
+  --seed 0xRAKE --workloads 2 --generated 2 --budget 600 \
+  --relations commute,offset-shift,widen-narrow,identity-pad \
+  --coverage-out "$conform_cov"
+grep -q '"schema":"rake-conform-coverage-v1"' "$conform_cov" \
+  || { echo "conform smoke: coverage report missing its schema tag"; exit 1; }
+rm -f "$conform_cov"
 
 echo "== perf smoke (3 workloads, snapshot structure only)"
 # Runs the synthesis performance harness on the first three workloads and
