@@ -35,6 +35,9 @@
 //!   --check            enforce the conformance gate: zero violations,
 //!                      zero unsound relations, >= 8 relations applied,
 //!                      untruncated sweep
+//!   --trace-out FILE   record structured spans for the sweep and write a
+//!                      Chrome trace-event JSON
+//!   --trace-slow-ms N  log spans slower than N ms to stderr
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -60,7 +63,7 @@ fn usage(err: &str) -> ExitCode {
     eprintln!(
         "usage: conform [--seed S] [--relations A,B] [--budget SEC] [--via-server ADDR]\n\
          \x20              [--coverage-out FILE] [--out DIR] [--generated N] [--lanes N]\n\
-         \x20              [--workloads N] [--check]"
+         \x20              [--workloads N] [--check] [--trace-out FILE] [--trace-slow-ms N]"
     );
     if err.is_empty() {
         ExitCode::SUCCESS
@@ -73,6 +76,8 @@ fn main() -> ExitCode {
     let mut cfg = HarnessConfig { seed: parse_seed("0xRAKE"), ..HarnessConfig::default() };
     let mut coverage_out: Option<std::path::PathBuf> = None;
     let mut check = false;
+    let mut trace_out: Option<std::path::PathBuf> = None;
+    let mut trace_slow_ms: Option<u64> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -118,19 +123,49 @@ fn main() -> ExitCode {
                 None => return usage("--workloads needs an integer"),
             },
             "--check" => check = true,
+            "--trace-out" => match it.next() {
+                Some(f) => trace_out = Some(f.into()),
+                None => return usage("--trace-out needs a file"),
+            },
+            "--trace-slow-ms" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) => trace_slow_ms = Some(v),
+                None => return usage("--trace-slow-ms needs an integer"),
+            },
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unknown option `{other}`")),
         }
     }
 
+    if trace_out.is_some() || trace_slow_ms.is_some() {
+        trace::enable();
+        if let Some(ms) = trace_slow_ms {
+            trace::set_slow_threshold_us(ms.saturating_mul(1000));
+        }
+    }
+
     let t0 = std::time::Instant::now();
-    let summary = match conform::run(&cfg) {
-        Ok(s) => s,
-        Err(err) => {
-            eprintln!("conform: harness failed: {err}");
-            return ExitCode::FAILURE;
+    let summary = {
+        let mut root = trace::span_root("conform.run", "cli", trace::new_trace_id());
+        if root.is_active() {
+            root.arg("seed", cfg.seed);
+        }
+        match conform::run(&cfg) {
+            Ok(s) => s,
+            Err(err) => {
+                eprintln!("conform: harness failed: {err}");
+                return ExitCode::FAILURE;
+            }
         }
     };
+    if let Some(out) = &trace_out {
+        let records = trace::drain();
+        if let Err(e) = std::fs::write(out, trace::chrome_trace_json(&records)) {
+            eprintln!("conform: cannot write trace {}: {e}", out.display());
+        }
+    }
+    if trace_slow_ms.is_some() {
+        eprint!("{}", trace::slow_log_lines(&trace::drain_slow()));
+    }
 
     println!(
         "conform: {} exprs, {} pairs, {} points in {:.1?} (seed {:#x})",

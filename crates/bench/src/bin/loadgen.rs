@@ -35,7 +35,10 @@
 //!   --out FILE         report path (default BENCH_5.json)
 //!   --check            exit non-zero unless: zero errors, warm p50 under
 //!                      50 ms (skipped under --soak and --crash-storm),
-//!                      and /metrics agrees with client tallies
+//!                      /metrics agrees with client tallies, and the
+//!                      latency histogram is internally consistent
+//!                      (cumulative buckets monotone, `+Inf` == `_count`,
+//!                      `_sum` within the client-observed latency total)
 //!
 //! Exit codes: 0 ok, 1 usage/connection error, 2 --check failed.
 
@@ -273,6 +276,7 @@ fn main() -> ExitCode {
     // Warm-up: every template once, serially, so the measured phase hits
     // a warm cache (the steady-state serving regime).
     let mut warm_errors = 0usize;
+    let mut warm_latency = Duration::ZERO;
     if warm {
         let t0 = Instant::now();
         match TcpStream::connect(&addr) {
@@ -281,13 +285,17 @@ fn main() -> ExitCode {
                 for t in &templates {
                     let start = Instant::now();
                     match roundtrip(&mut stream, "POST", "/compile", Some(&t.body)) {
-                        Ok((200, reply)) => eprintln!(
-                            "loadgen: warm-up `{}` {} in {:.0} ms",
-                            t.name,
-                            first_outcome(&reply),
-                            start.elapsed().as_secs_f64() * 1e3,
-                        ),
+                        Ok((200, reply)) => {
+                            warm_latency += start.elapsed();
+                            eprintln!(
+                                "loadgen: warm-up `{}` {} in {:.0} ms",
+                                t.name,
+                                first_outcome(&reply),
+                                start.elapsed().as_secs_f64() * 1e3,
+                            );
+                        }
                         Ok((status, _)) => {
+                            warm_latency += start.elapsed();
                             eprintln!("loadgen: warm-up `{}` answered {status}", t.name);
                             warm_errors += 1;
                         }
@@ -444,6 +452,17 @@ fn main() -> ExitCode {
     let jobs_delta = after.jobs_total - before.jobs_total;
     let metrics_ok = requests_delta == measured_plus_warm && jobs_delta >= exprs_sent as f64;
 
+    // Latency-histogram cross-validation: the exposed histogram must be
+    // internally consistent (cumulative bucket counts monotone
+    // non-decreasing, the `+Inf` bucket equal to `_count`), and the
+    // `_sum` the server accumulated during this run can never exceed
+    // what the client observed end-to-end (server-side latency nests
+    // strictly inside the client's round trip).
+    let client_latency_s = samples.iter().map(|s| s.latency.as_secs_f64()).sum::<f64>()
+        + warm_latency.as_secs_f64();
+    let hist_violations = check_histogram(&before.latency, &after.latency, client_latency_s);
+    let hist_ok = hist_violations.is_empty();
+
     // Post-storm probes (after the `after` scrape, so the cross-check
     // deltas stay exact): every poison key must now answer `quarantined`
     // straight from the cache, and the supervisor counters must have
@@ -483,7 +502,7 @@ fn main() -> ExitCode {
     // Soak traffic is all cold unique keys and a storm is dominated by
     // worker respawns; the warm-latency budget applies to neither.
     let ok_p50 = soak > 0 || storm > 0 || !warm || p50 < WARM_P50_BUDGET_MS;
-    let passed = ok_errors && ok_p50 && metrics_ok && storm_ok;
+    let passed = ok_errors && ok_p50 && metrics_ok && storm_ok && hist_ok;
 
     eprintln!(
         "loadgen: {} requests in {:.1}s ({:.1} req/s), {} errors",
@@ -502,6 +521,17 @@ fn main() -> ExitCode {
          (client submitted >= {exprs_sent} exprs) => {}",
         if metrics_ok { "consistent" } else { "MISMATCH" }
     );
+    eprintln!(
+        "loadgen: latency histogram: {} buckets, count +{:.0}, sum +{:.3}s \
+         (client observed {client_latency_s:.3}s) => {}",
+        after.latency.buckets.len(),
+        after.latency.count - before.latency.count,
+        after.latency.sum - before.latency.sum,
+        if hist_ok { "consistent" } else { "MISMATCH" }
+    );
+    for v in &hist_violations {
+        eprintln!("loadgen: latency histogram: {v}");
+    }
     if storm > 0 {
         eprintln!(
             "loadgen: storm: +{storm_crashes} worker crashes, +{storm_restarts} respawns, \
@@ -586,6 +616,20 @@ fn main() -> ExitCode {
             ]),
         ),
         (
+            "latency_histogram",
+            Json::obj([
+                ("buckets", after.latency.buckets.len().into()),
+                ("count_delta", (after.latency.count - before.latency.count).into()),
+                ("sum_delta_s", (after.latency.sum - before.latency.sum).into()),
+                ("client_latency_s", client_latency_s.into()),
+                (
+                    "violations",
+                    Json::Arr(hist_violations.iter().map(|v| Json::Str(v.clone())).collect()),
+                ),
+                ("consistent", hist_ok.into()),
+            ]),
+        ),
+        (
             "cache",
             Json::obj([
                 ("entries", after.cache_entries.into()),
@@ -634,7 +678,7 @@ fn main() -> ExitCode {
         eprintln!(
             "loadgen: CHECK FAILED (errors ok: {ok_errors}, warm p50 < \
              {WARM_P50_BUDGET_MS} ms: {ok_p50}, metrics consistent: {metrics_ok}, \
-             storm contained: {storm_ok})"
+             storm contained: {storm_ok}, histogram consistent: {hist_ok})"
         );
         return ExitCode::from(2);
     }
@@ -690,6 +734,84 @@ struct MetricsSnapshot {
     worker_crashes: f64,
     worker_restarts: f64,
     quarantined_keys: f64,
+    latency: HistogramScrape,
+}
+
+/// The compile-latency histogram as exposed: `(le, cumulative count)`
+/// pairs in exposition order plus the `_sum`/`_count` samples.
+#[derive(Default)]
+struct HistogramScrape {
+    buckets: Vec<(f64, f64)>,
+    sum: f64,
+    count: f64,
+}
+
+fn scrape_histogram(text: &str, name: &str) -> HistogramScrape {
+    let mut h = HistogramScrape {
+        sum: metric_value(text, &format!("{name}_sum")),
+        count: metric_value(text, &format!("{name}_count")),
+        ..HistogramScrape::default()
+    };
+    let prefix = format!("{name}_bucket{{le=\"");
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix(&prefix) else { continue };
+        let Some((le, value)) = rest.split_once("\"}") else { continue };
+        let le = if le == "+Inf" { f64::INFINITY } else { le.parse().unwrap_or(f64::NAN) };
+        if let Ok(v) = value.trim().parse::<f64>() {
+            h.buckets.push((le, v));
+        }
+    }
+    h
+}
+
+/// Internal-consistency checks on the exposed latency histogram, plus a
+/// client-side bound on what the server accumulated during this run.
+/// Returns human-readable violations (empty = consistent).
+fn check_histogram(
+    before: &HistogramScrape,
+    after: &HistogramScrape,
+    client_latency_s: f64,
+) -> Vec<String> {
+    let mut v = Vec::new();
+    if after.buckets.is_empty() {
+        v.push("no bucket samples exposed".to_owned());
+        return v;
+    }
+    for pair in after.buckets.windows(2) {
+        if pair[1].0 <= pair[0].0 {
+            v.push(format!("bucket bounds not increasing: le={} after le={}", pair[1].0, pair[0].0));
+        }
+        if pair[1].1 < pair[0].1 {
+            v.push(format!(
+                "cumulative counts decreased: le={} has {} < {} at le={}",
+                pair[1].0, pair[1].1, pair[0].1, pair[0].0
+            ));
+        }
+    }
+    let last = after.buckets[after.buckets.len() - 1];
+    if !last.0.is_infinite() {
+        v.push(format!("last bucket is le={}, not +Inf", last.0));
+    } else if last.1 != after.count {
+        v.push(format!("+Inf bucket {} != _count {}", last.1, after.count));
+    }
+    let count_delta = after.count - before.count;
+    let sum_delta = after.sum - before.sum;
+    if count_delta < 0.0 {
+        v.push(format!("_count went backwards (delta {count_delta})"));
+    }
+    if sum_delta < -1e-9 {
+        v.push(format!("_sum went backwards (delta {sum_delta})"));
+    }
+    // Server-side latency nests inside the client round trip; allow a
+    // millisecond per observation for exposition rounding.
+    let slack = 1e-3 * count_delta.max(1.0);
+    if sum_delta > client_latency_s + slack {
+        v.push(format!(
+            "_sum advanced by {sum_delta:.3}s but the client only observed \
+             {client_latency_s:.3}s end-to-end"
+        ));
+    }
+    v
 }
 
 fn scrape_metrics(addr: &str) -> std::io::Result<MetricsSnapshot> {
@@ -716,6 +838,7 @@ fn scrape_metrics(addr: &str) -> std::io::Result<MetricsSnapshot> {
         worker_crashes: metric_sum(&text, "rake_served_worker_crashes_total{"),
         worker_restarts: metric_value(&text, "rake_served_worker_restarts_total"),
         quarantined_keys: metric_value(&text, "rake_served_quarantined_keys"),
+        latency: scrape_histogram(&text, "rake_served_compile_latency_seconds"),
     })
 }
 

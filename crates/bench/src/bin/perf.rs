@@ -10,6 +10,9 @@
 //!   --jobs N        worker threads (also the shared lifting thread budget)
 //!   --out PATH      output path (default: BENCH_4.json)
 //!   --check PATH    validate an existing snapshot's structure and exit
+//!   --trace-out PATH  record structured spans and write a Chrome
+//!                   trace-event JSON for the whole run
+//!   --trace-slow-ms N  log spans slower than N ms to stderr
 //!
 //! ```sh
 //! cargo run --release -p rake-bench --bin perf -- --out BENCH_4.json
@@ -34,6 +37,8 @@ struct Args {
     jobs: Option<usize>,
     out: String,
     check: Option<String>,
+    trace_out: Option<String>,
+    trace_slow_ms: Option<u64>,
 }
 
 fn parse_args() -> Args {
@@ -45,6 +50,8 @@ fn parse_args() -> Args {
         jobs: None,
         out: "BENCH_4.json".to_owned(),
         check: None,
+        trace_out: None,
+        trace_slow_ms: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -61,6 +68,8 @@ fn parse_args() -> Args {
                 }
             }
             "--check" => args.check = it.next().cloned(),
+            "--trace-out" => args.trace_out = it.next().cloned(),
+            "--trace-slow-ms" => args.trace_slow_ms = it.next().and_then(|v| v.parse().ok()),
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
@@ -86,9 +95,21 @@ fn main() -> ExitCode {
     std::env::set_var("RAKE_MEMO", if args.memo { "1" } else { "0" });
     std::env::set_var("RAKE_PARALLEL_LIFT", if args.parallel { "1" } else { "0" });
 
+    if args.trace_out.is_some() || args.trace_slow_ms.is_some() {
+        trace::enable();
+        if let Some(ms) = args.trace_slow_ms {
+            trace::set_slow_threshold_us(ms.saturating_mul(1000));
+        }
+    }
+
     let svc = ServiceOptions { workers: args.jobs, ..ServiceOptions::default() };
     let all = workloads::all();
     let count = args.workloads.unwrap_or(all.len()).min(all.len());
+    let mut run_span = trace::span_root("perf.run", "cli", trace::new_trace_id());
+    if run_span.is_active() {
+        run_span.arg("workloads", count);
+        run_span.arg("quick", !args.full);
+    }
 
     let mut per_workload = Vec::new();
     let mut totals = synth::SynthStats::default();
@@ -98,7 +119,13 @@ fn main() -> ExitCode {
     for w in all.into_iter().take(count) {
         let cfg = if args.full { RunConfig::full(&w) } else { RunConfig::quick(&w) };
         let t0 = Instant::now();
-        let run = run_workload_with(&w, cfg, &svc);
+        let run = {
+            let mut sp = trace::span("perf.workload", "cli");
+            if sp.is_active() {
+                sp.arg("name", w.name);
+            }
+            run_workload_with(&w, cfg, &svc)
+        };
         let wall = t0.elapsed();
         let ok = run.all_verified();
         all_verified &= ok;
@@ -134,6 +161,16 @@ fn main() -> ExitCode {
         ]));
         totals.merge(&run.stats);
         total_wall += wall;
+    }
+    drop(run_span);
+    if let Some(out) = &args.trace_out {
+        let records = trace::drain();
+        if let Err(e) = std::fs::write(out, trace::chrome_trace_json(&records)) {
+            eprintln!("perf: cannot write trace {out}: {e}");
+        }
+    }
+    if args.trace_slow_ms.is_some() {
+        eprint!("{}", trace::slow_log_lines(&trace::drain_slow()));
     }
 
     let screen_queries =

@@ -24,6 +24,9 @@
 //!                  degradation ladder: full -> reduced -> direct)
 //!   --validate     differentially validate the compiled program against
 //!                  the Halide IR interpreter on adversarial inputs
+//!   --trace-out FILE  record structured spans for the whole compile and
+//!                  write a Chrome trace-event JSON (chrome://tracing)
+//!   --trace-slow-ms N  log spans slower than N ms to stderr
 //!
 //! Exit codes distinguish how the compile concluded:
 //!   0  compiled (any synthesis tier)
@@ -60,6 +63,8 @@ fn main() -> ExitCode {
     let mut cache_dir: Option<std::path::PathBuf> = None;
     let mut log_path: Option<std::path::PathBuf> = None;
     let mut timeout: Option<Duration> = None;
+    let mut trace_out: Option<std::path::PathBuf> = None;
+    let mut trace_slow_ms: Option<u64> = None;
     let mut path: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -84,6 +89,14 @@ fn main() -> ExitCode {
             "--timeout" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
                 Some(secs) => timeout = Some(Duration::from_secs_f64(secs)),
                 None => return usage("--timeout needs seconds"),
+            },
+            "--trace-out" => match it.next() {
+                Some(file) => trace_out = Some(file.into()),
+                None => return usage("--trace-out needs a file"),
+            },
+            "--trace-slow-ms" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) => trace_slow_ms = Some(v),
+                None => return usage("--trace-slow-ms needs an integer"),
             },
             "--help" | "-h" => return usage(""),
             other if !other.starts_with('-') => path = Some(other.to_owned()),
@@ -131,8 +144,29 @@ fn main() -> ExitCode {
         validate,
         ..DriverConfig::default()
     });
+    if trace_out.is_some() || trace_slow_ms.is_some() {
+        trace::enable();
+        if let Some(ms) = trace_slow_ms {
+            trace::set_slow_threshold_us(ms.saturating_mul(1000));
+        }
+    }
     let batch = [expr.clone()];
-    let report = if resume { driver.resume(&batch) } else { driver.compile_batch(&batch) };
+    let report = {
+        let mut root = trace::span_root("rakec.compile", "cli", trace::new_trace_id());
+        if root.is_active() {
+            root.arg("lanes", lanes);
+        }
+        if resume { driver.resume(&batch) } else { driver.compile_batch(&batch) }
+    };
+    if let Some(out) = &trace_out {
+        let records = trace::drain();
+        if let Err(e) = std::fs::write(out, trace::chrome_trace_json(&records)) {
+            eprintln!("rakec: cannot write trace {}: {e}", out.display());
+        }
+    }
+    if trace_slow_ms.is_some() {
+        eprint!("{}", trace::slow_log_lines(&trace::drain_slow()));
+    }
     let result = &report.results[0];
     if result.cache_hit {
         println!("; served from synthesis cache ({})", result.key);
@@ -246,7 +280,8 @@ fn usage(err: &str) -> ExitCode {
     }
     eprintln!(
         "usage: rakec [--lanes N] [--baseline] [--trace] [--uber] [--validate] \
-         [--cache DIR] [--log FILE] [--resume] [--timeout SEC] [file.sexp]\n\
+         [--cache DIR] [--log FILE] [--resume] [--timeout SEC] \
+         [--trace-out FILE] [--trace-slow-ms N] [file.sexp]\n\
          exit codes: 0 compiled, 1 usage/input error, 2 synthesis failed, \
          3 timed out on every tier, 4 validation mismatch, 5 selector panicked, \
          7 quarantined poison pill"

@@ -292,6 +292,17 @@ pub fn seed_corpus() -> Vec<(String, Expr)> {
                 hb::mul(wide("a", 0), hb::bcast(5, ElemType::U16)),
             ),
         ),
+        // A two-tap dot product: an Add over two vector-vector multiplies,
+        // each lifting to a non-saturating vv-mpy-add, so the Add merges
+        // their pair lists (`add.vvmpy-merge`). The paper workloads reach
+        // vv-mpy only through single products.
+        (
+            "seed_vvmpy_merge".to_owned(),
+            hb::add(
+                hb::mul(wide("a", 0), wide("b", 0)),
+                hb::mul(wide("a", 1), wide("b", 1)),
+            ),
+        ),
     ]
 }
 

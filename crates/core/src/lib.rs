@@ -217,8 +217,13 @@ impl Rake {
         };
         // The verifier's geometry was pinned to the target in the
         // constructors, so it is used directly for the final check.
-        if !self.verifier.equiv_halide_hvx(e, &hvx) {
-            return Err(CompileError::FinalCheckFailed);
+        {
+            let mut sp = trace::span("verify.final", "verify");
+            if !self.verifier.equiv_halide_hvx(e, &hvx) {
+                sp.arg("passed", false);
+                return Err(CompileError::FinalCheckFailed);
+            }
+            sp.arg("passed", true);
         }
         let program = hvx.to_program();
         // Attribute the verifier's memo/SMT counter movement to this

@@ -217,8 +217,25 @@ fn ms(d: Duration) -> Json {
 }
 
 impl DriverEvent {
-    /// The JSON object form used for JSONL logging.
+    /// The JSON object form used for JSONL logging. Every record carries a
+    /// `t_rel_us` field: microseconds on the process-wide monotonic trace
+    /// clock at serialization time, so interleaved streams can be ordered
+    /// without trusting the wall clock. Replay ignores it.
     pub fn to_json(&self) -> Json {
+        let mut v = self.to_json_inner();
+        if let Json::Obj(obj) = &mut v {
+            // When the serializing thread sits inside a trace (the
+            // serving layer's per-request tracing), stamp the trace ID so
+            // journal lines join up with the exported span tree.
+            if let Some(ctx) = trace::current() {
+                obj.push(("trace".to_owned(), Json::Str(trace::fmt_id(ctx.trace_id))));
+            }
+            obj.push(("t_rel_us".to_owned(), trace::now_us().into()));
+        }
+        v
+    }
+
+    fn to_json_inner(&self) -> Json {
         match self {
             DriverEvent::BatchStarted { jobs, unique, workers, cache_entries } => Json::obj([
                 ("event", "batch_started".into()),
@@ -662,6 +679,25 @@ mod tests {
         assert_eq!(v.get("retries").unwrap().as_i64(), Some(2));
         assert_eq!(v.get("fault_injected").unwrap().as_bool(), Some(true));
         assert!(v.get("replayed").is_none(), "replayed is emitted only when true");
+    }
+
+    #[test]
+    fn records_carry_monotonic_t_rel_us_and_replay_ignores_it() {
+        let ev = DriverEvent::JobCompleted {
+            key: "k".to_owned(),
+            outcome: OutcomeKind::Compiled,
+            detail: None,
+            tier: Tier::Full,
+            retries: 0,
+            fault_injected: false,
+            replayed: false,
+            run_time: Duration::from_millis(1),
+        };
+        let a = json::parse(&ev.to_jsonl()).unwrap().get("t_rel_us").unwrap().as_i64().unwrap();
+        let b = json::parse(&ev.to_jsonl()).unwrap().get("t_rel_us").unwrap().as_i64().unwrap();
+        assert!(a >= 0 && b >= a, "t_rel_us is monotone non-decreasing: {a} then {b}");
+        let replay = replay_records(&ev.to_jsonl());
+        assert_eq!(replay.get("k").unwrap().outcome, OutcomeKind::Compiled);
     }
 
     #[test]

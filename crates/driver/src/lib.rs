@@ -534,6 +534,12 @@ impl Driver {
             }),
         };
         let journal = journal.as_deref();
+        let mut batch_span = trace::span("driver.batch", "driver");
+        if batch_span.is_active() {
+            batch_span.arg("jobs", plan.len());
+            batch_span.arg("unique", unique.len());
+            batch_span.arg("workers", self.config.workers.max(1));
+        }
         let started = DriverEvent::BatchStarted {
             jobs: plan.len(),
             unique: unique.len(),
@@ -734,58 +740,66 @@ impl Driver {
             synth::pool::set_thread_budget(self.config.workers.max(1));
         }
         let permits = synth::pool::global().reserve_up_to(workers);
+        // Worker threads inherit the batch's span context explicitly:
+        // thread-local span stacks do not cross thread::scope.
+        let span_ctx = trace::current();
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let Some(job_index) = queue.lock().unwrap().pop_front() else {
-                        break;
-                    };
-                    let job = &jobs[job_index];
-                    let result = self.run_unique(job, batch_start, replay);
-                    // WAL ordering: make the artifacts durable first, then
-                    // the journal record that promises them. (A record
-                    // without its cache entry is self-healing on resume; a
-                    // cache entry without its record is just a warm hit.)
-                    if !result.cache_hit
-                        && matches!(
-                            result.outcome,
-                            UniqueOutcome::Compiled { .. } | UniqueOutcome::Failed(_)
-                        )
-                    {
-                        if let Err(err) = self.cache.persist() {
-                            eprintln!("warning: failed to persist synthesis cache: {err}");
+                scope.spawn(|| {
+                    let _adopted = span_ctx.map(trace::adopt);
+                    loop {
+                        let Some(job_index) = queue.lock().unwrap().pop_front() else {
+                            break;
+                        };
+                        let job = &jobs[job_index];
+                        let result = self.run_unique(job, batch_start, replay);
+                        // WAL ordering: make the artifacts durable first, then
+                        // the journal record that promises them. (A record
+                        // without its cache entry is self-healing on resume; a
+                        // cache entry without its record is just a warm hit.)
+                        if !result.cache_hit
+                            && matches!(
+                                result.outcome,
+                                UniqueOutcome::Compiled { .. } | UniqueOutcome::Failed(_)
+                            )
+                        {
+                            if let Err(err) = self.cache.persist() {
+                                eprintln!("warning: failed to persist synthesis cache: {err}");
+                            }
                         }
-                    }
-                    let event = DriverEvent::JobCompleted {
-                        key: job.key.clone(),
-                        outcome: result.kind(),
-                        detail: match &result.outcome {
-                            UniqueOutcome::Failed(err) => Some(cache::error_name(err).to_owned()),
-                            UniqueOutcome::Panicked(msg) => Some(msg.clone()),
-                            UniqueOutcome::Quarantined(reason) => Some(reason.clone()),
-                            _ => None,
-                        },
-                        tier: result.tier(),
-                        retries: result.retries,
-                        fault_injected: result.fault_injected,
-                        replayed: result.replayed,
-                        run_time: result.run_time,
-                    };
-                    if let Some(journal) = journal {
-                        // WAL durability is only worth an fsync when the
-                        // record prevents redoing real work on resume; a
-                        // cache-hit completion is re-derivable instantly.
-                        if result.cache_hit {
-                            journal.append_relaxed(&event);
-                        } else {
-                            journal.append(&event);
+                        let event = DriverEvent::JobCompleted {
+                            key: job.key.clone(),
+                            outcome: result.kind(),
+                            detail: match &result.outcome {
+                                UniqueOutcome::Failed(err) => {
+                                    Some(cache::error_name(err).to_owned())
+                                }
+                                UniqueOutcome::Panicked(msg) => Some(msg.clone()),
+                                UniqueOutcome::Quarantined(reason) => Some(reason.clone()),
+                                _ => None,
+                            },
+                            tier: result.tier(),
+                            retries: result.retries,
+                            fault_injected: result.fault_injected,
+                            replayed: result.replayed,
+                            run_time: result.run_time,
+                        };
+                        if let Some(journal) = journal {
+                            // WAL durability is only worth an fsync when the
+                            // record prevents redoing real work on resume; a
+                            // cache-hit completion is re-derivable instantly.
+                            if result.cache_hit {
+                                journal.append_relaxed(&event);
+                            } else {
+                                journal.append(&event);
+                            }
                         }
+                        if let Some(sink) = &self.sink {
+                            sink(&event);
+                        }
+                        completed.lock().unwrap().push(event);
+                        slots.lock().unwrap()[job_index] = Some(result);
                     }
-                    if let Some(sink) = &self.sink {
-                        sink(&event);
-                    }
-                    completed.lock().unwrap().push(event);
-                    slots.lock().unwrap()[job_index] = Some(result);
                 });
             }
         });
@@ -803,6 +817,25 @@ impl Driver {
     /// the remaining budget with panic isolation and bounded retries —
     /// storing the (canonicalized) result.
     fn run_unique(
+        &self,
+        job: &UniqueJob,
+        batch_start: Instant,
+        replay: Option<&HashMap<String, ReplayRecord>>,
+    ) -> UniqueResult {
+        let mut sp = trace::span("driver.job", "driver");
+        let result = self.run_unique_inner(job, batch_start, replay);
+        if sp.is_active() {
+            sp.arg("key", job.key.clone());
+            sp.arg("outcome", result.kind().name());
+            sp.arg("tier", result.tier().name());
+            sp.arg("retries", result.retries);
+            sp.arg("cache_hit", result.cache_hit);
+            sp.arg("replayed", result.replayed);
+        }
+        result
+    }
+
+    fn run_unique_inner(
         &self,
         job: &UniqueJob,
         batch_start: Instant,
@@ -914,7 +947,14 @@ impl Driver {
                 if synth::cancel::cancelled(self.config.cancel) {
                     break UniqueOutcome::Cancelled;
                 }
-                let result = self.compile_attempt(job, tier, tier_end, &mut fault_injected);
+                let result = {
+                    let mut asp = trace::span("driver.attempt", "driver");
+                    if asp.is_active() {
+                        asp.arg("tier", tier.name());
+                        asp.arg("attempt", attempt);
+                    }
+                    self.compile_attempt(job, tier, tier_end, &mut fault_injected)
+                };
                 match result {
                     Ok(Ok(c)) => {
                         let artifacts = CachedArtifacts {

@@ -43,6 +43,10 @@
 //!                      (default 3600; 0 = forever)
 //!   --chaos            accept the per-request `chaos` fault-injection
 //!                      field (test/benchmark plumbing)
+//!   --trace-out DIR    enable structured tracing and write one Chrome
+//!                      trace-event JSON per request into DIR
+//!   --trace-slow-ms N  enable tracing and log spans slower than N ms
+//!                      to stderr (independent of --trace-out)
 //!
 //! The hidden first argument `worker` switches the binary into the
 //! frame-protocol worker the supervisor pre-forks under `--isolate`.
@@ -180,6 +184,14 @@ fn main() -> ExitCode {
                 None => return usage("--quarantine-ttl-s needs an integer"),
             },
             "--chaos" => config.chaos = true,
+            "--trace-out" => match it.next() {
+                Some(v) => config.trace_out = Some(v.into()),
+                None => return usage("--trace-out needs a directory"),
+            },
+            "--trace-slow-ms" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) => config.trace_slow_ms = Some(v),
+                None => return usage("--trace-slow-ms needs an integer"),
+            },
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unknown option `{other}`")),
         }
@@ -227,7 +239,8 @@ fn usage(err: &str) -> ExitCode {
          [--cache-log-max-bytes N] [--log FILE] [--journal-rotate-bytes N] [--timeout SEC] \
          [--threads N] [--verdict-ttl SEC] [--verdict-cap N] [--read-timeout-ms N] \
          [--isolate] [--workers N] [--worker-rss-mb N] [--worker-grace-ms N] \
-         [--crash-threshold N] [--quarantine-ttl-s N] [--chaos]"
+         [--crash-threshold N] [--quarantine-ttl-s N] [--chaos] [--trace-out DIR] \
+         [--trace-slow-ms N]"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

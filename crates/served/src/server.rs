@@ -143,6 +143,14 @@ pub struct ServerConfig {
     /// Accept the per-request `chaos` field (fault injection inside
     /// workers). Test/benchmark plumbing; off by default.
     pub chaos: bool,
+    /// Directory for per-request Chrome trace-event exports
+    /// (`trace-<id>.json`, schema `rake-trace-v1`). Setting it turns the
+    /// tracer on; every `/compile` response then echoes its `trace_id`.
+    pub trace_out: Option<PathBuf>,
+    /// Slow-span threshold in milliseconds: spans at or over it are
+    /// logged to stderr after each request. Setting it turns the tracer
+    /// on even without `trace_out`.
+    pub trace_slow_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -176,6 +184,8 @@ impl Default for ServerConfig {
             crash_threshold: 2,
             quarantine_ttl: Some(Duration::from_secs(3600)),
             chaos: false,
+            trace_out: None,
+            trace_slow_ms: None,
         }
     }
 }
@@ -482,6 +492,15 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
     listener.set_nonblocking(true)?;
 
     synth::pool::set_thread_budget(config.thread_budget.max(1));
+    if config.trace_out.is_some() || config.trace_slow_ms.is_some() {
+        trace::enable();
+        if let Some(ms) = config.trace_slow_ms {
+            trace::set_slow_threshold_us(ms.saturating_mul(1000));
+        }
+        if let Some(dir) = &config.trace_out {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
     let limits = CacheLimits {
         max_entries: config.cache_max_entries,
         max_bytes: config.cache_max_bytes,
@@ -834,6 +853,52 @@ fn handle_compile(
     stream: &TcpStream,
     disconnected: &AtomicBool,
 ) -> Response {
+    if !trace::enabled() {
+        return handle_compile_inner(shared, req, stream, disconnected, None);
+    }
+    // One trace per request: the root span covers parse, admission, the
+    // driver batch, and response assembly. Worker-subprocess spans join
+    // the same trace through the frame protocol.
+    let trace_id = trace::new_trace_id();
+    let resp = {
+        let mut root = trace::span_root("http.request", "served", trace_id);
+        let resp = handle_compile_inner(shared, req, stream, disconnected, Some(trace_id));
+        root.arg("status", u64::from(resp.status));
+        root.arg("body_bytes", req.body.len());
+        resp
+    };
+    export_trace(shared, trace_id);
+    resp
+}
+
+/// Export one completed request trace: Chrome trace-event JSON into the
+/// configured directory, slow spans to stderr. Drains only this trace's
+/// records; concurrent requests keep theirs.
+fn export_trace(shared: &Shared, trace_id: u64) {
+    let records = trace::drain_trace(trace_id);
+    if let Some(dir) = &shared.config.trace_out {
+        if !records.is_empty() {
+            let path = dir.join(format!("trace-{}.json", trace::fmt_id(trace_id)));
+            if let Err(err) = std::fs::write(&path, trace::chrome_trace_json(&records)) {
+                eprintln!("rake-served: failed to write {}: {err}", path.display());
+            }
+        }
+    }
+    if shared.config.trace_slow_ms.is_some() {
+        let slow = trace::drain_slow();
+        if !slow.is_empty() {
+            eprint!("{}", trace::slow_log_lines(&slow));
+        }
+    }
+}
+
+fn handle_compile_inner(
+    shared: &Arc<Shared>,
+    req: &Request,
+    stream: &TcpStream,
+    disconnected: &AtomicBool,
+    trace_id: Option<u64>,
+) -> Response {
     if shared.draining.load(Ordering::SeqCst) {
         return Response::text(503, "draining\n");
     }
@@ -1011,28 +1076,28 @@ fn handle_compile(
     let results: Vec<Json> =
         slots.into_iter().map(|s| s.expect("every slot is filled")).collect();
     let cache = shared.cache_snapshot();
-    Response::json(
-        200,
-        &Json::obj([
-            ("results", Json::Arr(results)),
-            ("wall_ms", ((latency.as_secs_f64() * 1e5).round() / 1e2).into()),
-            (
-                "cache",
-                Json::obj([
-                    ("hits", cache.hits.into()),
-                    ("misses", cache.misses.into()),
-                    ("entries", cache.entries.into()),
-                ]),
-            ),
-            (
-                "memo",
-                Json::obj([
-                    ("lifting_queries", memo_stats.0.into()),
-                    ("sketching_queries", memo_stats.1.into()),
-                ]),
-            ),
+    let mut body: Vec<(String, Json)> = Vec::new();
+    if let Some(tid) = trace_id {
+        body.push(("trace_id".to_owned(), Json::Str(trace::fmt_id(tid))));
+    }
+    body.push(("results".to_owned(), Json::Arr(results)));
+    body.push(("wall_ms".to_owned(), ((latency.as_secs_f64() * 1e5).round() / 1e2).into()));
+    body.push((
+        "cache".to_owned(),
+        Json::obj([
+            ("hits", cache.hits.into()),
+            ("misses", cache.misses.into()),
+            ("entries", cache.entries.into()),
         ]),
-    )
+    ));
+    body.push((
+        "memo".to_owned(),
+        Json::obj([
+            ("lifting_queries", memo_stats.0.into()),
+            ("sketching_queries", memo_stats.1.into()),
+        ]),
+    ));
+    Response::json(200, &Json::Obj(body))
 }
 
 /// The per-job compile function under `--isolate`: ship the expression

@@ -400,14 +400,14 @@ impl WorkerPool {
 
         proc_.next_id += 1;
         let id = proc_.next_id;
-        let frame = Json::obj([
-            ("id", id.into()),
-            ("op", "compile".into()),
-            ("expr", job.expr.as_str().into()),
-            ("lanes", job.lanes.into()),
-            ("tier", job.tier.name().into()),
+        let mut fields = vec![
+            ("id".to_owned(), id.into()),
+            ("op".to_owned(), "compile".into()),
+            ("expr".to_owned(), job.expr.as_str().into()),
+            ("lanes".to_owned(), job.lanes.into()),
+            ("tier".to_owned(), job.tier.name().into()),
             (
-                "deadline_ms",
+                "deadline_ms".to_owned(),
                 job.deadline
                     .map_or(0u64, |d| {
                         d.saturating_duration_since(Instant::now()).as_millis() as u64
@@ -415,13 +415,25 @@ impl WorkerPool {
                     .into(),
             ),
             (
-                "fault",
+                "fault".to_owned(),
                 match &job.fault {
                     Some(f) => Json::Str(f.clone()),
                     None => Json::Null,
                 },
             ),
-        ]);
+        ];
+        // Span propagation across the process boundary: ship the current
+        // span's identity plus our monotonic clock reading; the worker
+        // aligns its clock to ours and parents its spans under this one,
+        // so the request's trace stitches into a single tree.
+        if trace::enabled() {
+            if let Some(ctx) = trace::current() {
+                fields.push(("trace".to_owned(), Json::Str(trace::fmt_id(ctx.trace_id))));
+                fields.push(("parent_span".to_owned(), Json::Str(trace::fmt_id(ctx.span_id))));
+                fields.push(("t_now_us".to_owned(), trace::now_us().into()));
+            }
+        }
+        let frame = Json::Obj(fields);
         if write_frame(&mut proc_.stdin, &frame.to_string()).is_err() {
             // The pipe is already gone: the worker died between jobs.
             return self.conclude_crash(slot_idx, *proc_, job, "exit");
@@ -446,6 +458,7 @@ impl WorkerPool {
                     if reply.get("id").and_then(Json::as_i64) != Some(id as i64) {
                         continue; // stale pong or leftover from a prior job
                     }
+                    ingest_reply_spans(&reply);
                     let outcome = parse_reply(&reply);
                     self.return_worker(slot_idx, proc_);
                     return outcome;
@@ -700,6 +713,51 @@ fn read_replies(stdout: impl Read, tx: &Sender<Json>) {
         if tx.send(reply).is_err() {
             break;
         }
+    }
+}
+
+/// Re-publish the worker-side spans a reply carries into this process's
+/// trace ring, so the request's export sees one stitched tree. Worker
+/// span IDs are pid-seeded and cannot collide with ours; timestamps were
+/// already aligned to our clock worker-side. Names arrive as strings and
+/// are interned (a bounded leak: the span vocabulary is finite).
+fn ingest_reply_spans(reply: &Json) {
+    if !trace::enabled() {
+        return;
+    }
+    let Some(spans) = reply.get("spans").and_then(Json::as_arr) else { return };
+    for s in spans {
+        let id = |k: &str| s.get(k).and_then(Json::as_str).and_then(trace::parse_id);
+        let num = |k: &str| s.get(k).and_then(Json::as_i64).map_or(0, |n| n.max(0) as u64);
+        let (Some(trace_id), Some(span_id)) = (id("trace"), id("span")) else { continue };
+        let mut args = Vec::new();
+        if let Some(Json::Obj(fields)) = s.get("args") {
+            for (k, v) in fields {
+                let key = trace::intern(k);
+                match v {
+                    Json::Str(t) => args.push((key, trace::ArgValue::Str(t.clone()))),
+                    Json::Bool(b) => args.push((key, trace::ArgValue::Bool(*b))),
+                    Json::Num(_) => {
+                        if let Some(n) = v.as_i64() {
+                            args.push((key, trace::ArgValue::I64(n)));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        trace::submit(trace::SpanRecord {
+            seq: num("seq"),
+            trace_id,
+            span_id,
+            parent_id: id("parent").unwrap_or(0),
+            name: trace::intern(s.get("name").and_then(Json::as_str).unwrap_or("worker.span")),
+            cat: trace::intern(s.get("cat").and_then(Json::as_str).unwrap_or("worker")),
+            start_us: num("start_us"),
+            dur_us: num("dur_us"),
+            pid: num("pid") as u32,
+            args,
+        });
     }
 }
 

@@ -139,6 +139,10 @@ struct Job {
     tier: Tier,
     deadline: Option<Duration>,
     fault: Option<String>,
+    /// Parent span context: (trace id, parent span id, parent's
+    /// monotonic clock in µs at dispatch). Present when the server
+    /// traces; the worker's spans join that trace.
+    trace: Option<(u64, u64, u64)>,
 }
 
 fn parse_job(text: &str) -> Result<Job, ()> {
@@ -146,6 +150,14 @@ fn parse_job(text: &str) -> Result<Job, ()> {
     let doc = json::parse_with_limits(text, limits).map_err(|_| ())?;
     let id = doc.get("id").and_then(Json::as_i64).unwrap_or(0).max(0) as u64;
     let op = doc.get("op").and_then(Json::as_str).unwrap_or("compile").to_owned();
+    let trace = doc
+        .get("trace")
+        .and_then(Json::as_str)
+        .and_then(trace::parse_id)
+        .zip(doc.get("parent_span").and_then(Json::as_str).and_then(trace::parse_id))
+        .map(|(t, p)| {
+            (t, p, doc.get("t_now_us").and_then(Json::as_i64).unwrap_or(0).max(0) as u64)
+        });
     Ok(Job {
         id,
         op,
@@ -162,14 +174,91 @@ fn parse_job(text: &str) -> Result<Job, ()> {
             .filter(|&ms| ms > 0)
             .map(|ms| Duration::from_millis(ms as u64)),
         fault: doc.get("fault").and_then(Json::as_str).map(str::to_owned),
+        trace,
     })
 }
+
+/// Cap on spans shipped back per reply, keeping the frame well under
+/// [`MAX_FRAME_BYTES`] even for pathological synthesis runs.
+const MAX_REPLY_SPANS: usize = 8192;
 
 fn handle_job(job: &Job, rakes: &mut HashMap<(usize, Tier), Rake>) -> Json {
     if job.op == "ping" {
         return Json::obj([("id", job.id.into()), ("status", "pong".into())]);
     }
+    let Some((trace_id, parent_span, t_now_us)) = job.trace else {
+        return compile_reply(job, rakes);
+    };
+    // The parent traces this job: align our monotonic clock to the
+    // parent's (offset applied as records publish), parent our spans
+    // under the dispatching span, and ship everything recorded back in
+    // the reply so the server can stitch one tree. A worker killed
+    // mid-job simply never ships — the server's side of the trace stays
+    // well-formed without ours.
+    trace::enable();
+    trace::set_clock_offset_us(t_now_us as i64 - trace::now_us() as i64);
+    let mut reply = {
+        let _adopted = trace::adopt(trace::TraceContext { trace_id, span_id: parent_span });
+        let mut sp = trace::span("worker.compile", "worker");
+        if sp.is_active() {
+            sp.arg("lanes", job.lanes);
+            sp.arg("tier", job.tier.name());
+        }
+        let reply = compile_reply(job, rakes);
+        if sp.is_active() {
+            sp.arg("status", reply.get("status").and_then(Json::as_str).unwrap_or("?"));
+        }
+        reply
+    };
+    let mut records = trace::drain_trace(trace_id);
+    records.truncate(MAX_REPLY_SPANS);
+    if let Json::Obj(fields) = &mut reply {
+        fields.push(("spans".to_owned(), spans_json(&records)));
+    }
+    reply
+}
 
+/// Serialize completed spans for the reply frame (IDs in hex, times
+/// already on the parent's clock).
+fn spans_json(records: &[trace::SpanRecord]) -> Json {
+    Json::Arr(
+        records
+            .iter()
+            .map(|r| {
+                let mut obj = vec![
+                    ("seq".to_owned(), r.seq.into()),
+                    ("trace".to_owned(), Json::Str(trace::fmt_id(r.trace_id))),
+                    ("span".to_owned(), Json::Str(trace::fmt_id(r.span_id))),
+                    ("parent".to_owned(), Json::Str(trace::fmt_id(r.parent_id))),
+                    ("name".to_owned(), r.name.into()),
+                    ("cat".to_owned(), r.cat.into()),
+                    ("start_us".to_owned(), r.start_us.into()),
+                    ("dur_us".to_owned(), r.dur_us.into()),
+                    ("pid".to_owned(), u64::from(r.pid).into()),
+                ];
+                if !r.args.is_empty() {
+                    let args = r
+                        .args
+                        .iter()
+                        .map(|(k, v)| {
+                            let value = match v {
+                                trace::ArgValue::U64(n) => (*n).into(),
+                                trace::ArgValue::I64(n) => Json::Num(*n as f64),
+                                trace::ArgValue::Str(s) => s.as_str().into(),
+                                trace::ArgValue::Bool(b) => (*b).into(),
+                            };
+                            ((*k).to_owned(), value)
+                        })
+                        .collect();
+                    obj.push(("args".to_owned(), Json::Obj(args)));
+                }
+                Json::Obj(obj)
+            })
+            .collect(),
+    )
+}
+
+fn compile_reply(job: &Job, rakes: &mut HashMap<(usize, Tier), Rake>) -> Json {
     // The chaos plane: lethal faults die *here*, inside the sacrificial
     // process, which is the whole point of isolation.
     match job.fault.as_deref() {

@@ -56,11 +56,26 @@ impl SharedSolver {
         build: impl FnOnce(&mut Context) -> TermId,
         max_conflicts: u64,
     ) -> Option<bool> {
+        let mut sp = trace::span("smt.prove_unsat", "smt");
         self.run(|ctx| {
+            let before = ctx.len();
             let t = build(ctx);
             let mut solver = BvSolver::new(ctx);
             solver.assert_term(t);
-            solver.check_limited(max_conflicts).map(|r| r == SmtResult::Unsat)
+            let verdict = solver.check_limited(max_conflicts).map(|r| r == SmtResult::Unsat);
+            if sp.is_active() {
+                sp.arg("terms", ctx.len());
+                sp.arg("new_terms", ctx.len() - before);
+                sp.arg(
+                    "outcome",
+                    match verdict {
+                        Some(true) => "unsat",
+                        Some(false) => "sat",
+                        None => "unknown",
+                    },
+                );
+            }
+            verdict
         })
     }
 

@@ -123,6 +123,8 @@ pub fn lift_expr_cancellable(
     stats: &mut SynthStats,
 ) -> Option<(UberExpr, LiftTrace)> {
     let start = Instant::now();
+    let mut sp = trace::span("lift", "synth");
+    let queries_before = stats.lifting_queries;
     let mut lifter = Lifter {
         verifier,
         stats,
@@ -135,6 +137,11 @@ pub fn lift_expr_cancellable(
     let result = lifter.lift(e);
     let trace = lifter.trace;
     stats.lifting_time += start.elapsed();
+    if sp.is_active() {
+        sp.arg("queries", stats.lifting_queries - queries_before);
+        sp.arg("lifted", result.is_some());
+        sp.arg("steps", trace.steps.len());
+    }
     result.map(|u| (u, trace))
 }
 
@@ -169,9 +176,18 @@ impl Lifter<'_> {
                 self.depth -= 1;
                 let kids = kids?;
                 let cands = self.candidates(e, &kids);
-                let winner = self.screen(e, &cands)?;
+                let mut sp = trace::span("lift.screen", "lift");
+                if sp.is_active() {
+                    sp.arg("depth", self.depth);
+                    sp.arg("candidates", cands.len());
+                }
+                let Some(winner) = self.screen(e, &cands) else {
+                    sp.arg("accepted", false);
+                    return None;
+                };
                 let (rule, site, cand) =
                     cands.into_iter().nth(winner).expect("winner in range");
+                sp.arg("rule", site);
                 crate::coverage::record_rule(site);
                 self.trace.push_step(rule, e, &cand);
                 Some(cand)
@@ -229,20 +245,26 @@ impl Lifter<'_> {
         let verifier = self.verifier;
         let deadline = self.deadline;
         let cancel = self.cancel;
-        let worker = || loop {
-            let i = next.fetch_add(1, Ordering::SeqCst);
-            if i >= cands.len() || i > best.load(Ordering::SeqCst) {
-                break;
-            }
-            let expired = deadline.is_some_and(|d| Instant::now() >= d);
-            if expired || crate::cancel::cancelled(cancel) {
-                timed_out.store(true, Ordering::SeqCst);
-                break;
-            }
-            queries.fetch_add(1, Ordering::SeqCst);
-            if verifier.equiv_halide_uber(e, &cands[i].2) {
-                best.fetch_min(i, Ordering::SeqCst);
-                break;
+        // Helper threads start with an empty span stack; hand them the
+        // calling thread's context so their oracle spans stitch under it.
+        let span_ctx = trace::current();
+        let worker = || {
+            let _adopted = span_ctx.map(trace::adopt);
+            loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                if i >= cands.len() || i > best.load(Ordering::SeqCst) {
+                    break;
+                }
+                let expired = deadline.is_some_and(|d| Instant::now() >= d);
+                if expired || crate::cancel::cancelled(cancel) {
+                    timed_out.store(true, Ordering::SeqCst);
+                    break;
+                }
+                queries.fetch_add(1, Ordering::SeqCst);
+                if verifier.equiv_halide_uber(e, &cands[i].2) {
+                    best.fetch_min(i, Ordering::SeqCst);
+                    break;
+                }
             }
         };
         std::thread::scope(|scope| {
@@ -269,6 +291,13 @@ impl Lifter<'_> {
     }
 
     fn accept_silently(&mut self, e: &Expr, rule: LiftRule, site: &'static str, u: &UberExpr) {
+        if trace::enabled() {
+            // A zero-duration marker span: leaves cost no oracle time but
+            // still count toward per-rule firing breakdowns.
+            let mut sp = trace::span("lift.rule", "lift");
+            sp.arg("rule", site);
+            sp.arg("depth", self.depth);
+        }
         crate::coverage::record_rule(site);
         self.trace.push_step(rule, e, u);
     }
@@ -283,24 +312,12 @@ impl Lifter<'_> {
         match e {
             Expr::Binary(b) => match b.op {
                 BinOp::Add | BinOp::Sub => {
-                    let neg = if b.op == BinOp::Sub { -1 } else { 1 };
-                    for (ra, oa) in absorb_options(&kids[0], ty, 1) {
-                        for (rb, ob) in absorb_options(&kids[1], ty, neg) {
-                            let mut inputs = oa.clone();
-                            inputs.extend(ob.clone());
-                            if inputs.len() > MAX_KERNEL {
-                                continue;
-                            }
-                            let (rule, site) = if ra == LiftRule::Update || rb == LiftRule::Update
-                            {
-                                (LiftRule::Update, "addsub.vsmpy-update")
-                            } else {
-                                (LiftRule::Extend, "addsub.vsmpy-extend")
-                            };
-                            out.push((rule, site, mk_vsmpy(inputs, ty)));
-                        }
-                    }
-                    // Merge vector-vector dot products.
+                    // Merge vector-vector dot products. An Update, so it
+                    // precedes the vs-mpy combinations below — otherwise
+                    // the weight-1 vs-mpy wrapping of the same two kids
+                    // verifies first and the merged dot product (one
+                    // accumulating vv-mpy chain instead of a multiply
+                    // followed by a reduction) is never selected.
                     if b.op == BinOp::Add {
                         if let (UberExpr::VvMpyAdd(va), UberExpr::VvMpyAdd(vb)) =
                             (&kids[0], &kids[1])
@@ -319,6 +336,23 @@ impl Lifter<'_> {
                                     }),
                                 ));
                             }
+                        }
+                    }
+                    let neg = if b.op == BinOp::Sub { -1 } else { 1 };
+                    for (ra, oa) in absorb_options(&kids[0], ty, 1) {
+                        for (rb, ob) in absorb_options(&kids[1], ty, neg) {
+                            let mut inputs = oa.clone();
+                            inputs.extend(ob.clone());
+                            if inputs.len() > MAX_KERNEL {
+                                continue;
+                            }
+                            let (rule, site) = if ra == LiftRule::Update || rb == LiftRule::Update
+                            {
+                                (LiftRule::Update, "addsub.vsmpy-update")
+                            } else {
+                                (LiftRule::Extend, "addsub.vsmpy-extend")
+                            };
+                            out.push((rule, site, mk_vsmpy(inputs, ty)));
                         }
                     }
                 }

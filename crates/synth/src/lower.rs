@@ -114,11 +114,19 @@ pub fn lower_expr(
     opts: LoweringOptions,
     stats: &mut SynthStats,
 ) -> Option<HvxExpr> {
+    let mut sp = trace::span("lower", "synth");
+    let swizzles_before = stats.swizzling_queries;
+    let sketches_before = stats.sketching_queries;
     let verifier =
         Verifier { lanes: opts.lanes, vec_bytes: opts.vec_bytes, ..verifier.clone() };
     let mut lw = Lowerer { verifier, opts, stats, memo: HashMap::new() };
-    let best = lw.lower(u, Layout::Natural)?;
-    Some(best.expr)
+    let best = lw.lower(u, Layout::Natural);
+    if sp.is_active() {
+        sp.arg("sketching_queries", stats.sketching_queries - sketches_before);
+        sp.arg("swizzling_queries", stats.swizzling_queries - swizzles_before);
+        sp.arg("lowered", best.is_some());
+    }
+    Some(best?.expr)
 }
 
 struct Lowerer<'a> {

@@ -126,6 +126,24 @@ impl<'a> SwizzleSearch<'a> {
         elem: ElemType,
         stats: &mut SynthStats,
     ) -> Option<HvxExpr> {
+        let mut sp = trace::span("swizzle.search", "swizzle");
+        let before = stats.swizzling_queries;
+        let result = self.synthesize_inner(target, sources, elem, stats);
+        if sp.is_active() {
+            sp.arg("queries", stats.swizzling_queries - before);
+            sp.arg("sources", sources.len());
+            sp.arg("found", result.is_some());
+        }
+        result
+    }
+
+    fn synthesize_inner(
+        &self,
+        target: &HvxExpr,
+        sources: &[HvxExpr],
+        elem: ElemType,
+        stats: &mut SynthStats,
+    ) -> Option<HvxExpr> {
         let want = self.eval_all(target)?;
         if want.iter().any(|v| v.is_empty()) {
             return None;

@@ -157,6 +157,16 @@ struct ProofKey {
     u: UberExpr,
 }
 
+/// A compact, stable-within-a-run fingerprint of a proof key, used to
+/// correlate repeated SMT queries in trace output without serializing
+/// the full expression pair into every span.
+fn proof_fingerprint(key: &ProofKey) -> String {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    format!("{:016x}", h.finish())
+}
+
 /// The proof map is process-global rather than per-[`MemoHandle`]: the key
 /// carries every proof-relevant parameter and the encoder and solver are
 /// deterministic, so an outcome is a pure function of the key no matter
@@ -592,9 +602,11 @@ impl Verifier {
     }
 
     fn smt_equiv(&self, h: &Expr, u: &UberExpr) -> bool {
+        let mut sp = trace::span("verify.smt_equiv", "smt");
         // Fast path: wrap-free linear combinations are decided exactly by
         // coefficient comparison (most multiply-add lifting queries).
         if let Some(eq) = crate::linear::decide_linear(h, u) {
+            sp.arg("path", "linear");
             return eq;
         }
         // The proof cache keys on the translation-canonicalized pair: the
@@ -612,11 +624,19 @@ impl Verifier {
                 u: canon.uber(u),
             }
         });
+        if sp.is_active() {
+            if let Some(k) = key.as_ref() {
+                sp.arg("proof_key", proof_fingerprint(k));
+            }
+        }
         if let Some(hit) = key.as_ref().and_then(|k| self.memo.lookup_proof(k)) {
+            sp.arg("path", "proof-cache");
+            sp.arg("proof_cache", "hit");
             return hit.unwrap_or(true);
         }
         let t0 = Instant::now();
         let build = |ctx: &mut Context| {
+            let mut sp = trace::span("verify.encode", "verify");
             let mut any_ne = ctx.ff();
             for lane in 0..self.smt_lanes {
                 let th = encode_halide_lane(ctx, h, lane);
@@ -624,6 +644,7 @@ impl Verifier {
                 let ne = ctx.ne(th, tu);
                 any_ne = ctx.or(any_ne, ne);
             }
+            sp.arg("lanes", self.smt_lanes);
             any_ne
         };
         let result = if self.memoize {
@@ -633,6 +654,18 @@ impl Verifier {
             SharedSolver::new().prove_unsat(build, self.smt_conflict_budget)
         };
         self.memo.record_smt(t0.elapsed());
+        if sp.is_active() {
+            sp.arg("path", "solve");
+            sp.arg("proof_cache", "miss");
+            sp.arg(
+                "outcome",
+                match result {
+                    Some(true) => "unsat",
+                    Some(false) => "sat",
+                    None => "unknown",
+                },
+            );
+        }
         if let Some(key) = key {
             self.memo.insert_proof(key, result);
         }

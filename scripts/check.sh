@@ -214,6 +214,61 @@ wait "$crash_pid" 2>/dev/null || true
 trap - EXIT
 rm -rf "$crash_dir"
 
+echo "== trace smoke (end-to-end spans: CLI, isolated server, trace_report)"
+# A CLI compile and an --isolate server compile, both traced. The server
+# trace must be one stitched tree: the worker subprocess's spans (pid !=
+# server pid) riding back over the job frame into the request's file.
+# trace_report --check strictly validates every event in both files.
+trace_dir="$(mktemp -d /tmp/rake-trace-XXXXXX)"
+# absd is non-linear, so its lift verification must issue a real solver
+# query — the trace has to show it.
+echo '(absd (load a u8 0 0) (load b u8 0 0))' \
+  | ./target/release/rakec --trace-out "$trace_dir/cli.json" >/dev/null
+grep -q '"rake-trace-v1"' "$trace_dir/cli.json" \
+  || { echo "trace smoke: rakec trace missing its schema tag"; exit 1; }
+grep -q '"smt.prove_unsat"' "$trace_dir/cli.json" \
+  || { echo "trace smoke: rakec trace has no SMT query spans"; exit 1; }
+# Three real paper workloads through the perf harness, one trace file.
+./target/release/perf --workloads 3 \
+  --out "$trace_dir/perf-snapshot.json" --trace-out "$trace_dir/perf.json" >/dev/null
+grep -q '"perf.workload"' "$trace_dir/perf.json" \
+  || { echo "trace smoke: perf trace has no per-workload spans"; exit 1; }
+mkdir "$trace_dir/served"
+./target/release/rake-served --addr 127.0.0.1:0 --port-file "$trace_dir/port" \
+  --cache "$trace_dir/cache" --log "$trace_dir/journal.jsonl" \
+  --isolate --workers 2 --trace-out "$trace_dir/served" \
+  >"$trace_dir/server.log" 2>&1 &
+trace_pid=$!
+cleanup_trace() {
+  kill "$trace_pid" 2>/dev/null || true
+  wait "$trace_pid" 2>/dev/null || true
+  rm -rf "$trace_dir"
+}
+trap cleanup_trace EXIT
+for _ in $(seq 100); do
+  [ -s "$trace_dir/port" ] && break
+  sleep 0.1
+done
+addr="$(cat "$trace_dir/port")"
+echo '(add (cast u16 (load a u8 0 0)) (cast u16 (load a u8 1 0)))' \
+  | ./target/release/rake-client --addr "$addr" --json \
+  | grep -q '"trace_id"' \
+  || { echo "trace smoke: /compile response did not echo a trace_id"; exit 1; }
+served_trace="$(ls "$trace_dir"/served/trace-*.json 2>/dev/null | head -1)"
+[ -n "$served_trace" ] \
+  || { echo "trace smoke: the server wrote no trace file"; exit 1; }
+grep -q '"worker.compile"' "$served_trace" \
+  || { echo "trace smoke: worker spans did not stitch into the request trace"; exit 1; }
+./target/release/trace_report --check \
+  "$trace_dir/cli.json" "$trace_dir/perf.json" "$trace_dir/served" \
+  || { echo "trace smoke: trace_report --check rejected the traces"; exit 1; }
+./target/release/trace_report "$trace_dir/served" | grep -q 'per-stage' \
+  || { echo "trace smoke: trace_report rendered no breakdown"; exit 1; }
+kill "$trace_pid"
+wait "$trace_pid" 2>/dev/null || true
+trap - EXIT
+rm -rf "$trace_dir"
+
 echo "== chaos smoke (seeded fault injection, one schedule, ~60s budget)"
 # The full 21-workload suite under one deterministic fault schedule:
 # injected panics, forced deadline exhaustion, latency, and cache
